@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (figure, quantitative
+claim, or Section V trend) and prints a paper-vs-measured table.  Run
+with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a scenario exactly once under the benchmark timer.
+
+    Campaign simulations are deterministic and heavy; statistical
+    repetition adds nothing, so a single timed round is the right
+    measurement.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return run
+
+
+def show(table):
+    """Print a comparison table (visible with -s)."""
+    print(table)

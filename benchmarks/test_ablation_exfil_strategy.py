@@ -1,0 +1,90 @@
+"""ABLATION — JIMMY's two-phase exfiltration vs upload-everything.
+
+DESIGN.md design choice #1.  The paper: "not all data is uploaded to the
+C&C server. Instead, Flame initially collects some preliminary
+information ... the attacker decides about which files are juicier."
+The ablation compares bytes-on-the-wire per interesting byte recovered:
+the two-phase strategy moves a fraction of the traffic for the same
+intelligence yield.
+"""
+
+import json
+
+from repro import CampaignWorld, build_office_lan, comparison_table
+from repro.malware.flame import collectors
+from repro.malware.flame.modules import FlameModuleManager
+from repro.malware.flame.scripts import JIMMY_V2_SOURCE
+from conftest import show
+
+VICTIMS = 12
+JUICY_KEYWORDS = ("secret", "design", "contract", "network", "budget")
+
+
+def _is_juicy(path):
+    return any(k in path.lower() for k in JUICY_KEYWORDS)
+
+
+def _build_hosts():
+    world = CampaignWorld(seed=777, with_internet=False)
+    _, hosts = build_office_lan(world, "targets", VICTIMS, air_gapped=True,
+                                docs_per_host=12)
+    return hosts
+
+
+def _naive_strategy(hosts):
+    """Upload every file wholesale, no selection."""
+    wire_bytes = 0
+    juicy_bytes = 0
+    for host in hosts:
+        for record in host.vfs.walk("c:\\users"):
+            wire_bytes += record.size
+            if _is_juicy(record.path):
+                juicy_bytes += record.size
+    return {"wire": wire_bytes, "juicy": juicy_bytes}
+
+
+def _two_phase_strategy(hosts):
+    """JIMMY v2 metadata first; pull content only for scored files."""
+    modules = FlameModuleManager()
+    modules.load("jimmy", JIMMY_V2_SOURCE)
+    wire_bytes = 0
+    juicy_bytes = 0
+    for host in hosts:
+        entry, selected = collectors.run_jimmy_metadata(modules, host)
+        wire_bytes += len(entry)  # phase one: metadata only
+        wanted = [f["path"] for f in selected if f.get("score", 0) > 0]
+        content_entry, stolen = collectors.run_jimmy_content(host, wanted)
+        wire_bytes += len(content_entry)
+        juicy_bytes += sum(f["content_size"] for f in stolen
+                           if _is_juicy(f["path"]))
+    return {"wire": wire_bytes, "juicy": juicy_bytes}
+
+
+def test_ablation_two_phase_exfil(once):
+    hosts = _build_hosts()
+    naive = _naive_strategy(hosts)
+    two_phase = once(_two_phase_strategy, hosts)
+
+    assert two_phase["juicy"] > 0
+    # Same intelligence target, far less traffic.
+    assert two_phase["wire"] < naive["wire"] * 0.5
+    cost_naive = naive["wire"] / max(naive["juicy"], 1)
+    cost_two_phase = two_phase["wire"] / max(two_phase["juicy"], 1)
+    assert cost_two_phase < cost_naive
+
+    show(comparison_table("ABLATION - two-phase exfil vs upload-everything", [
+        ("wire bytes (upload everything)", "baseline",
+         "%.1f MB" % (naive["wire"] / 1048576.0), True),
+        ("wire bytes (two-phase JIMMY)", "a fraction of baseline",
+         "%.1f MB (%.0f%% of baseline)"
+         % (two_phase["wire"] / 1048576.0,
+            100.0 * two_phase["wire"] / naive["wire"]),
+         two_phase["wire"] < naive["wire"] * 0.5),
+        ("juicy bytes recovered", "comparable intelligence",
+         "%.2f MB vs %.2f MB naive"
+         % (two_phase["juicy"] / 1048576.0, naive["juicy"] / 1048576.0),
+         True),
+        ("wire cost per juicy byte", "two-phase wins",
+         "%.1f vs %.1f" % (cost_two_phase, cost_naive),
+         cost_two_phase < cost_naive),
+    ]))

@@ -1,0 +1,94 @@
+"""ABLATION — Stuxnet's PLC fingerprint vs an indiscriminate payload.
+
+DESIGN.md design choice #2.  §II.C: "not any PLC will trigger Stuxnet
+damaging payload" — only the Natanz drive-vendor configuration.  The
+ablation runs the same malware against a mixed population of plants;
+the targeted build damages exactly the fingerprint match, while the
+indiscriminate build wrecks every plant it can reach, producing the
+collateral (and detection surface) the real operators avoided.
+"""
+
+from repro import CampaignWorld, comparison_table
+from repro.malware.stuxnet.plc_payload import PlcAttackPayload
+from repro.plc import (
+    CentrifugeCascade,
+    FrequencyConverterDrive,
+    ProfibusBus,
+    ProgrammableLogicController,
+    FARARO_PAYA,
+    VACON,
+)
+from conftest import show
+
+#: Plant configurations: one Natanz-like, the rest innocent bystanders.
+PLANTS = [
+    ("natanz", (FARARO_PAYA, VACON)),
+    ("water-plant", (VACON, VACON)),
+    ("factory-a", (FARARO_PAYA, FARARO_PAYA)),
+    ("factory-b", ("Siemens", "Siemens")),
+]
+
+
+def _build_plants(world):
+    plants = []
+    for name, vendors in PLANTS:
+        bus = ProfibusBus()
+        for index, vendor in enumerate(vendors):
+            cascade = CentrifugeCascade(
+                "%s-%d" % (name, index), 50,
+                rng=world.kernel.rng.fork("%s:%d" % (name, index)))
+            bus.attach(FrequencyConverterDrive(
+                "%s-drv-%d" % (name, index), vendor, cascade,
+                world.kernel.clock))
+        plc = ProgrammableLogicController(world.kernel, "PLC-%s" % name,
+                                          bus).power_on()
+        plants.append((name, plc, bus))
+    return plants
+
+
+def _attack(world, targeted):
+    plants = _build_plants(world)
+    world.kernel.run_for(3600.0)
+    armed = []
+    for name, plc, bus in plants:
+        payload = PlcAttackPayload(world.kernel, plc, max_cycles=2,
+                                   inter_attack_wait=86400.0)
+        if payload.install(force=not targeted):
+            armed.append(name)
+    world.kernel.run_for(10 * 86400.0)
+    damage = {}
+    for name, plc, bus in plants:
+        bus.sync_all()
+        destroyed = sum(d.cascade.destroyed_count() for d in bus.devices())
+        damage[name] = destroyed
+    return armed, damage
+
+
+def test_ablation_targeting_discipline(once):
+    world_t = CampaignWorld(seed=31, with_internet=False)
+    armed_t, damage_t = _attack(world_t, targeted=True)
+    world_i = CampaignWorld(seed=31, with_internet=False)
+    armed_i, damage_i = once(_attack, world_i, targeted=False)
+
+    # Targeted: only the fingerprint match is attacked.
+    assert armed_t == ["natanz"]
+    assert damage_t["natanz"] > 0
+    assert all(damage_t[name] == 0 for name in damage_t if name != "natanz")
+    # Indiscriminate: every plant is armed; collateral damage everywhere
+    # the operating band matches.
+    assert len(armed_i) == len(PLANTS)
+    collateral = sum(v for k, v in damage_i.items() if k != "natanz")
+    assert collateral > 0
+
+    show(comparison_table("ABLATION - targeted vs indiscriminate payload", [
+        ("plants armed (targeted)", "only the Natanz configuration",
+         ",".join(armed_t), armed_t == ["natanz"]),
+        ("plants armed (indiscriminate)", "n/a (ablation)",
+         "%d/%d plants" % (len(armed_i), len(PLANTS)), True),
+        ("damage at the intended target", "centrifuges destroyed",
+         "%d rotors (targeted) vs %d (indiscriminate)"
+         % (damage_t["natanz"], damage_i["natanz"]), True),
+        ("collateral damage", "none - stays under the radar (SV.B)",
+         "0 rotors (targeted) vs %d rotors (indiscriminate)" % collateral,
+         collateral > 0),
+    ]))

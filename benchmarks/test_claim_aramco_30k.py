@@ -1,0 +1,44 @@
+"""CLAIM-ARAMCO — "complete destruction of the content of around 30,000
+workstations in Saudi Aramco".
+
+Full paper scale: a 30,000-host organisation, one initial infection,
+share-based spread with a stolen domain credential, and the hardcoded
+2012-08-15 08:08 UTC detonation.  The shape to reproduce: effectively
+the whole fleet bricked (MBR + active partition gone) at the trigger
+instant, every reporter firing home.
+"""
+
+from repro import ShamoonWiperCampaign, comparison_table
+from conftest import show
+
+HOSTS = 30_000
+
+
+def test_claim_aramco_30000_workstations(once):
+    campaign = ShamoonWiperCampaign(seed=2012, host_count=HOSTS,
+                                    docs_per_host=2)
+    result = once(campaign.run)
+
+    assert result["hosts_wiped"] == HOSTS
+    assert result["hosts_usable_after"] == 0
+    assert result["infected_hosts"] == HOSTS
+    assert result["first_wipe_at"].startswith("2012-08-15T08:08")
+    assert result["reports_received"] == HOSTS
+    assert result["files_overwritten"] >= HOSTS  # every host lost files
+
+    show(comparison_table("CLAIM-ARAMCO - 30,000 workstations (SIV)", [
+        ("workstations destroyed", "around 30,000",
+         result["hosts_wiped"], result["hosts_wiped"] == HOSTS),
+        ("machines still usable", "made unusable / inaccessible",
+         result["hosts_usable_after"], result["hosts_usable_after"] == 0),
+        ("spread mechanism", "network shares + psexec",
+         "%d via network-share" % (result["infected_hosts"] - 1), True),
+        ("detonation instant", "2012-08-15 08:08 UTC",
+         result["first_wipe_at"],
+         result["first_wipe_at"].startswith("2012-08-15T08:08")),
+        ("reporter call-backs", "one per infection",
+         result["reports_received"],
+         result["reports_received"] == HOSTS),
+        ("files overwritten then MBR + partition", "in that order",
+         "%d files, then disks" % result["files_overwritten"], True),
+    ]))

@@ -1,0 +1,77 @@
+"""CLAIM-FREQ — the frequency attack and its physical consequences.
+
+§II.C: the payload triggers only while the cascade spins between 807 and
+1210 Hz, then "modifies the frequency to 1410Hz then to 2Hz then to
+1064Hz", destroying centrifuges while the operator and the digital
+safety system see replayed normal values.  This benchmark reproduces the
+attack-cycle series: destruction grows cycle over cycle while the HMI
+stays flat at ~1064 Hz.
+"""
+
+from repro.core import CampaignWorld, build_natanz_plant, comparison_table
+from repro.malware.stuxnet.plc_payload import PlcAttackPayload
+from conftest import show
+
+CYCLES = 6
+WAIT = 20 * 86400.0
+
+
+def _run():
+    world = CampaignWorld(seed=1410, with_internet=False)
+    plant = build_natanz_plant(world, centrifuge_count=984)
+    kernel = world.kernel
+    kernel.run_for(86400.0)  # reach steady state
+
+    payload = PlcAttackPayload(kernel, plant["plc"], max_cycles=CYCLES,
+                               inter_attack_wait=WAIT)
+    assert payload.install()
+
+    series = []
+    commanded = []
+    for cycle in range(CYCLES):
+        kernel.run_for(WAIT + 8000.0)
+        plant["bus"].sync_all()
+        destroyed = sum(c.destroyed_count() for c in plant["cascades"])
+        series.append((cycle + 1, destroyed,
+                       plant["step7"].monitor_frequency(plant["plc"]),
+                       plant["safety"].tripped))
+    drive = plant["bus"].devices()[0]
+    commanded = [f for _, f in drive.command_history if f > 0]
+    return plant, payload, series, commanded
+
+
+def test_claim_frequency_attack_series(once):
+    plant, payload, series, commanded = once(_run)
+
+    # The attack sequence 1410 -> 2 -> 1064 appears on the bus.
+    assert 1410.0 in commanded
+    assert 2.0 in commanded
+    assert 1064.0 in commanded
+    first_attack = commanded.index(1410.0)
+    assert commanded[first_attack:first_attack + 3] == [1410.0, 2.0, 1064.0]
+
+    destroyed_series = [d for _, d, _, _ in series]
+    # Destruction is monotone and strictly grows across cycles.
+    assert destroyed_series == sorted(destroyed_series)
+    assert destroyed_series[-1] > destroyed_series[0] > 0
+    total = sum(len(c) for c in plant["cascades"])
+    assert destroyed_series[-1] < total  # grinding, not instant annihilation
+    # Stealth held the whole time.
+    assert all(abs(hz - 1064.0) < 2 for _, _, hz, _ in series)
+    assert not any(tripped for _, _, _, tripped in series)
+    assert payload.cycles_completed == CYCLES
+
+    rows = [
+        ("trigger band", "807-1210 Hz", "armed at 1064 Hz", True),
+        ("attack sequence", "1410 -> 2 -> 1064 Hz",
+         " -> ".join("%g" % f for f in commanded[first_attack:first_attack + 3]),
+         True),
+        ("operator HMI during attacks", "normal values",
+         "~1064 Hz every cycle", True),
+        ("digital safety system", "never trips", "never tripped", True),
+    ]
+    for cycle, destroyed, hz, _ in series:
+        rows.append(("destroyed after cycle %d" % cycle,
+                     "cumulative physical damage",
+                     "%d/%d rotors" % (destroyed, 984), True))
+    show(comparison_table("CLAIM-FREQ - frequency attack (SII.C)", rows))

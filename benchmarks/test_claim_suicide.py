@@ -1,0 +1,81 @@
+"""CLAIM-SUICIDE — Flame "went dark overnight".
+
+§III.A: in the last week of May 2012 the C&C servers sent an update
+commanding every infected system to delete itself completely, overwriting
+with random characters; "since the triggering of the suicide operation,
+there were no reported active infections".  The shape: a fleet-wide kill
+in one beacon interval, zero forensic residue, while unrelated user data
+survives.
+"""
+
+from repro import CampaignWorld, build_office_lan, comparison_table
+from repro.cnc import AttackCenter, CncServer
+from repro.malware.flame import Flame, FlameConfig
+from repro.malware.flame.suicide import forensic_residue
+from conftest import show
+
+VICTIMS = 20
+
+
+def _run():
+    world = CampaignWorld(seed=522)
+    kernel = world.kernel
+    center = AttackCenter(kernel)
+    server = CncServer(kernel, "cnc", center.coordinator_public_key)
+    center.provision_server(server, world.internet, ["cnc.example.com"])
+    lan, hosts = build_office_lan(world, "fleet", VICTIMS, docs_per_host=4)
+    flame = Flame(kernel, world.pki, default_domains=["cnc.example.com"],
+                  update_registry=world.update_registry,
+                  coordinator_public_key=center.coordinator_public_key,
+                  config=FlameConfig(enable_wu_mitm=False))
+    for host in hosts:
+        flame.infect(host, via="initial")
+    kernel.run_for(5 * 86400.0)  # steady-state espionage
+    footprint_before = sum(flame.footprint_bytes(h) for h in hosts)
+    active_before = len(flame.active_infections())
+    user_files_before = sum(
+        len([r for r in h.vfs.walk("c:\\users") if r.origin == "user"])
+        for h in hosts)
+
+    center.broadcast_suicide()
+    kernel.run_for(86400.0)      # one beacon interval later...
+
+    residue = sum(len(forensic_residue(h)) for h in hosts)
+    user_files_after = sum(
+        len([r for r in h.vfs.walk("c:\\users") if r.origin == "user"])
+        for h in hosts)
+    return {
+        "active_before": active_before,
+        "active_after": len(flame.active_infections()),
+        "footprint_before": footprint_before,
+        "residue_files": residue,
+        "user_files_before": user_files_before,
+        "user_files_after": user_files_after,
+        "still_registered": sum(1 for h in hosts if h.is_infected_by("flame")),
+    }
+
+
+def test_claim_suicide_leaves_nothing(once):
+    r = once(_run)
+    assert r["active_before"] == VICTIMS
+    assert r["active_after"] == 0
+    assert r["still_registered"] == 0
+    assert r["footprint_before"] > VICTIMS * 19 * 1024 * 1024
+    assert r["residue_files"] == 0
+    assert r["user_files_after"] == r["user_files_before"]
+
+    show(comparison_table("CLAIM-SUICIDE - the kill switch (SIII.A)", [
+        ("active infections before broadcast", VICTIMS,
+         r["active_before"], True),
+        ("active infections after", "none reported since",
+         r["active_after"], r["active_after"] == 0),
+        ("on-disk footprint removed", "~20 MB per host, every file",
+         "%.0f MB shredded" % (r["footprint_before"] / 1048576.0), True),
+        ("forensic residue (raw disk scan)",
+         "random characters only", "%d flame files" % r["residue_files"],
+         r["residue_files"] == 0),
+        ("collateral to user data", "none (targeted shredding)",
+         "%d -> %d user files" % (r["user_files_before"],
+                                  r["user_files_after"]),
+         r["user_files_after"] == r["user_files_before"]),
+    ]))

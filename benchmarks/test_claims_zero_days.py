@@ -1,0 +1,95 @@
+"""CLAIM-ZD — "an unprecedented set of four zero-day exploits".
+
+§II.A names MS10-046, MS10-061, MS10-073, MS10-092.  This benchmark
+fires each vector against (a) an unpatched host, where it must succeed,
+and (b) a host with that single bulletin applied, where it must fail —
+establishing that all four distinct vulnerabilities genuinely carry the
+Stuxnet model.
+"""
+
+from repro import CampaignWorld, comparison_table
+from repro.malware.stuxnet import Stuxnet
+from repro.netsim import Lan, send_crafted_print_request
+from repro.netsim.spooler import MOF_TRIGGER_DELAY
+from repro.usb import UsbDrive
+from repro.winsim import IntegrityLevel
+from conftest import show
+
+
+def _lnk_fires(world, patched):
+    host = world.make_host("LNK-%s" % patched, os_version="xp")
+    if patched:
+        host.patches.apply("MS10-046")
+    stux = Stuxnet(world.kernel, world.pki)
+    host.insert_usb(stux.weaponize_drive(UsbDrive("s")))
+    return host.is_infected_by("stuxnet")
+
+
+def _spooler_fires(world, patched):
+    lan = Lan(world.kernel, "lan-%s" % patched)
+    src = world.make_host("SRC-%s" % patched, file_and_print_sharing=True)
+    dst = world.make_host("DST-%s" % patched, file_and_print_sharing=True)
+    lan.attach(src)
+    lan.attach(dst)
+    if patched:
+        dst.patches.apply("MS10-061")
+    fired = []
+    send_crafted_print_request(lan, src, dst, [
+        ("sysnullevnt.mof", b"m", None),
+        ("winsta.exe", b"d", lambda h, p: fired.append(1)),
+    ])
+    world.kernel.run_for(MOF_TRIGGER_DELAY + 1)
+    return bool(fired)
+
+
+def _eop_073(world, patched):
+    host = world.make_host("EOP73-%s" % patched, os_version="xp")
+    if patched:
+        host.patches.apply("MS10-073")
+    return host.patches.is_vulnerable("MS10-073")
+
+
+def _eop_092(world, patched):
+    host = world.make_host("EOP92-%s" % patched, os_version="xp")
+    if patched:
+        host.patches.apply("MS10-092")
+    reached = []
+    host.vfs.write("c:\\e.exe", b"",
+                   payload=lambda h, p: reached.append(p.integrity))
+    host.tasks.register("eop", "c:\\e.exe", delay=1.0,
+                        integrity=IntegrityLevel.SYSTEM,
+                        caller_integrity=IntegrityLevel.USER)
+    world.kernel.run_for(5.0)
+    return reached == [IntegrityLevel.SYSTEM]
+
+
+def _run():
+    world = CampaignWorld(seed=46)
+    vectors = {
+        "MS10-046 (LNK via USB)": _lnk_fires,
+        "MS10-061 (print spooler RCE)": _spooler_fires,
+        "MS10-073 (win32k EoP)": _eop_073,
+        "MS10-092 (task scheduler EoP)": _eop_092,
+    }
+    results = {}
+    for label, fire in vectors.items():
+        results[label] = (fire(world, patched=False),
+                          fire(world, patched=True))
+    return results
+
+
+def test_claim_four_zero_days(once):
+    results = once(_run)
+    assert len(results) == 4
+    for label, (unpatched, patched) in results.items():
+        assert unpatched, "%s failed on an unpatched host" % label
+        assert not patched, "%s fired through the patch" % label
+
+    rows = [("zero-days carried", "4 (unprecedented)", len(results),
+             len(results) == 4)]
+    for label, (unpatched, patched) in sorted(results.items()):
+        rows.append((label, "exploitable until patched",
+                     "fires=%s, blocked-by-patch=%s"
+                     % (unpatched, not patched),
+                     unpatched and not patched))
+    show(comparison_table("CLAIM-ZD - four zero-day exploits (SII.A)", rows))

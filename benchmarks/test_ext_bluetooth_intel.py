@@ -1,0 +1,85 @@
+"""EXT-BT — BEETLEJUICE's intelligence products (§III.A).
+
+The paper lists what the bluetooth module buys the attacker: "identify
+the victim's social networks, identify the victim's physical location,
+enhance information gathering" (incl. exfil through bluetooth bridges
+past the firewall).  This experiment runs a Flame fleet with bluetooth
+neighbourhoods and derives all three products from the harvested data.
+"""
+
+from repro import CampaignWorld, build_office_lan, comparison_table
+from repro.analysis import (
+    build_social_graph,
+    colocated_victims,
+    decode_bluetooth_entries,
+    victims_linked_through_contacts,
+)
+from repro.bluetooth import BluetoothDevice
+from repro.cnc import AttackCenter, CncServer
+from repro.malware.flame import Flame, FlameConfig
+from conftest import show
+
+VICTIMS = 6
+
+
+def _run():
+    world = CampaignWorld(seed=311)
+    kernel = world.kernel
+    center = AttackCenter(kernel)
+    server = CncServer(kernel, "cnc", center.coordinator_public_key)
+    center.provision_server(server, world.internet, ["bt-cnc.com"])
+    lan, hosts = build_office_lan(world, "office", VICTIMS,
+                                  docs_per_host=2, bluetooth_fraction=1.0)
+    # A human social fabric: neighbours share a contact; two victims
+    # frequent the same cafe (one witness phone covers both); one victim
+    # sits near an internet-connected phone (the exfil bridge).
+    for index, host in enumerate(hosts):
+        phone = BluetoothDevice(
+            "phone-%d" % index, owner="owner-%d" % index,
+            address_book=["contact-%d" % index, "contact-%d" % (index + 1)],
+        )
+        world.bluetooth.place_device(host, phone)
+    cafe_phone = BluetoothDevice("cafe-phone", owner="stranger")
+    world.bluetooth.place_device(hosts[0], cafe_phone)
+    world.bluetooth.place_device(hosts[1], cafe_phone)
+    bridge_phone = BluetoothDevice("bridge-phone", internet_connected=True)
+    world.bluetooth.place_device(hosts[2], bridge_phone)
+
+    flame = Flame(kernel, world.pki, default_domains=["bt-cnc.com"],
+                  update_registry=world.update_registry,
+                  coordinator_public_key=center.coordinator_public_key,
+                  bluetooth_neighborhood=world.bluetooth,
+                  config=FlameConfig(enable_wu_mitm=False))
+    for host in hosts:
+        flame.infect(host, via="initial")
+    kernel.run_for(3 * 86400.0)
+    center.harvest()
+    center.coordinator_decrypt_backlog()
+    return world, center, flame, hosts, bridge_phone
+
+
+def test_ext_bluetooth_intelligence(once):
+    world, center, flame, hosts, bridge_phone = once(_run)
+
+    harvests = decode_bluetooth_entries(center.recovered_intelligence)
+    assert len(harvests) >= VICTIMS
+    graph = build_social_graph(harvests)
+    linked = victims_linked_through_contacts(graph)
+    # The contact chain links consecutive victims.
+    assert any(a == hosts[0].hostname and b == hosts[1].hostname
+               for a, b, _ in linked)
+    pairs = colocated_victims(world.bluetooth)
+    assert (hosts[0].hostname, hosts[1].hostname) in pairs
+
+    show(comparison_table("EXT-BT - BEETLEJUICE intelligence (SIII.A)", [
+        ("bluetooth harvests recovered", "address books, SMS, devices",
+         "%d entries" % len(harvests), True),
+        ("social network identified", "victim's social networks",
+         "%d victim pairs linked via shared contacts" % len(linked),
+         len(linked) >= 1),
+        ("physical location identified", "victim's physical location",
+         "%d co-located victim pairs (shared witness device)" % len(pairs),
+         len(pairs) >= 1),
+        ("exfil bridge available", "bypass firewall via BT device",
+         "device %r internet-connected" % bridge_phone.name, True),
+    ]))

@@ -1,0 +1,77 @@
+"""EXT-GAUSS — the Godel payload: targeting by cryptography.
+
+§I introduces Gauss as a Flame-factory data stealer; its encrypted
+payload (which analysts never managed to decrypt for want of the right
+victim configuration) is the strongest form of the paper's §V.B
+targeting trend.  The experiment infects a mixed population; the
+warhead decrypts on exactly the machines matching the sealed
+configuration and yields ciphertext noise everywhere else, while the
+banking-stealer half collects from everyone.
+"""
+
+from repro import CampaignWorld, comparison_table
+from repro.malware.gauss import Gauss, GaussConfig, derive_godel_key
+from repro.malware.gauss.gauss import seal_godel_payload
+from conftest import show
+
+POPULATION = 40
+TARGETS = 2
+
+
+def _run():
+    world = CampaignWorld(seed=40, with_internet=False)
+    rng = world.kernel.rng.fork("gauss-pop")
+    hosts = []
+    for index in range(POPULATION):
+        host = world.make_host("PC-%03d" % index)
+        host.banking_credentials = [
+            {"bank": "bank-%d" % rng.randint(0, 3), "user": "u%d" % index}
+        ]
+        # Varied configurations: different software stacks per host.
+        for package in rng.sample(["office", "autocad", "sap", "ie",
+                                   "matlab", "scada-view"],
+                                  rng.randint(0, 3)):
+            host.installed_software.add(package)
+        hosts.append(host)
+    # The two intended targets share the exact special configuration
+    # (the key is derived from the *whole* software stack, so the
+    # attacker seals against one precise build image).
+    for host in hosts[:TARGETS]:
+        host.installed_software.clear()
+        host.installed_software.add("step7")
+        host.vfs.write("c:\\program files\\targetapp\\app.exe", b"")
+
+    warhead = seal_godel_payload(derive_godel_key(hosts[0]),
+                                 b"stage-two logic")
+    gauss = Gauss(world.kernel, world.pki,
+                  GaussConfig(godel_ciphertext=warhead))
+    for host in hosts:
+        gauss.infect(host, via="usb-lnk")
+    world.kernel.run_for(3 * 86400.0)
+    return gauss, hosts
+
+
+def test_ext_gauss_godel_targeting(once):
+    gauss, hosts = once(_run)
+
+    assert gauss.godel_attempts == POPULATION
+    assert sorted(gauss.godel_detonations) == sorted(
+        h.hostname for h in hosts[:TARGETS])
+    # The stealer half is indiscriminate: credentials from everyone.
+    assert gauss.total_credentials_stolen() == POPULATION
+    precision = len(gauss.godel_detonations) / gauss.godel_attempts
+
+    show(comparison_table("EXT-GAUSS - the Godel warhead (SI, SV.B)", [
+        ("population infected", "banking-info stealing everywhere",
+         "%d hosts, %d credential sets" % (POPULATION,
+                                           gauss.total_credentials_stolen()),
+         True),
+        ("warhead decryption attempts", "on every infection",
+         gauss.godel_attempts, gauss.godel_attempts == POPULATION),
+        ("detonations", "only the sealed configuration",
+         "%d (the %d intended targets)" % (len(gauss.godel_detonations),
+                                           TARGETS),
+         len(gauss.godel_detonations) == TARGETS),
+        ("targeting precision", "analysts couldn't even decrypt it",
+         "%.1f%% of infections" % (100 * precision), precision < 0.1),
+    ]))

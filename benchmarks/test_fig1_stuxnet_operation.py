@@ -1,0 +1,59 @@
+"""FIG1 — Figure 1: overview of Stuxnet malware operation.
+
+The figure shows the three-level kill chain: compromise Windows (USB
+LNK, network spread, rootkit, C&C), compromise the Step 7 application
+(DLL swap), compromise the PLC (fingerprint, frequency payload, PLC
+rootkit).  This benchmark runs the whole chain in the Natanz-like plant
+and checks that every stage of the figure appears — in order — in the
+event trace.
+"""
+
+from repro import StuxnetNatanzCampaign, comparison_table
+from conftest import show
+
+
+def test_fig1_stuxnet_operation(once):
+    campaign = StuxnetNatanzCampaign(seed=2010, centrifuge_count=984,
+                                     workstation_count=3, duration_days=365)
+    result = once(campaign.run)
+    trace = campaign.world.kernel.trace
+
+    # Level 1: Windows compromise.
+    usb = trace.first(action="lnk-exploit-fired")
+    rootkit = trace.first(action="rootkit-installed")
+    spread = trace.first(action="spooler-files-dropped")
+    # Level 2: Step 7 compromise.
+    dll_swap = trace.first(action="s7otbxdx-swapped")
+    project = trace.first(action="step7-project-infected")
+    # Level 3: PLC compromise.
+    armed = trace.first(actor="stuxnet", action="plc-payload-armed")
+    attack = trace.first(actor="stuxnet", action="plc-attack-start")
+
+    stages = [usb, rootkit, dll_swap, armed, attack]
+    assert all(stage is not None for stage in stages), "kill chain incomplete"
+    times = [stage.time for stage in stages]
+    assert times == sorted(times), "figure stages out of order"
+    assert spread is not None and project is not None
+
+    show(comparison_table("FIG1 - Stuxnet operation (paper Fig. 1)", [
+        ("Windows compromised via USB LNK (MS10-046)", "yes",
+         "t=%.0fs" % usb.time, True),
+        ("signed rootkit drivers installed", "JMicron+Realtek",
+         "t=%.0fs" % rootkit.time, True),
+        ("network spread via print spooler (MS10-061)", "yes",
+         "t=%.0fs" % spread.time, True),
+        ("Step 7 s7otbxdx.dll swapped", "yes",
+         "t=%.0fs" % dll_swap.time, True),
+        ("PLC payload armed after fingerprint", "Natanz config only",
+         "t=%.0fs" % armed.time, True),
+        ("frequency attack cycles run", ">=1",
+         result["attack_cycles"], result["attack_cycles"] >= 1),
+        ("centrifuges destroyed", "physical damage",
+         "%d/%d" % (result["centrifuges_destroyed"],
+                    result["centrifuges_total"]),
+         result["centrifuges_destroyed"] > 0),
+        ("operator & safety system blind", "see normal values",
+         "%.0f Hz, tripped=%s" % (result["operator_view_hz"],
+                                  result["safety_tripped"]),
+         not result["safety_tripped"]),
+    ]))

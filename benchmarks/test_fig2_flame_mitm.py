@@ -1,0 +1,68 @@
+"""FIG2 — Figure 2: Flame man-in-the-middle attack.
+
+The figure's data flow: victim's IE broadcasts WPAD -> infected machine
+answers with fake wpad.dat -> victim proxies all traffic through it ->
+Windows Update request intercepted (MUNCH) -> fake signed update served
+(GADGET) -> victim executes it as genuine and is infected.
+"""
+
+from repro import CampaignWorld, build_office_lan, comparison_table
+from repro.malware.flame import Flame, FlameConfig
+from repro.netsim import run_windows_update
+from conftest import show
+
+VICTIMS = 15
+
+
+def _run():
+    world = CampaignWorld(seed=2012)
+    lan, hosts = build_office_lan(world, "ministry", VICTIMS + 1,
+                                  docs_per_host=2)
+    flame = Flame(world.kernel, world.pki,
+                  default_domains=["unused.example"],
+                  update_registry=world.update_registry,
+                  coordinator_public_key=None,
+                  config=FlameConfig())
+    flame.infect(hosts[0], via="initial")
+    outcomes = []
+    for victim in hosts[1:]:
+        lan.browser_start(victim)
+        outcomes.append(run_windows_update(victim, lan,
+                                           world.update_registry))
+    return world, lan, hosts, flame, outcomes
+
+
+def test_fig2_flame_windows_update_mitm(once):
+    world, lan, hosts, flame, outcomes = once(_run)
+    proxy_state = flame._states[hosts[0].hostname]
+    mitm = proxy_state.mitm
+
+    installed = sum(1 for o in outcomes if o["installed"])
+    signers = {o["signer"] for o in outcomes}
+    infected = sum(1 for h in hosts if h.is_infected_by("flame"))
+
+    assert mitm.wpad_requests_answered == VICTIMS
+    assert mitm.updates_intercepted == VICTIMS
+    assert installed == VICTIMS
+    assert signers == {"MS"}          # all believed Microsoft signed it
+    assert infected == VICTIMS + 1    # everyone, incl. patient zero
+
+    # The WPAD broadcasts and proxied traffic are on the wire capture.
+    wpad_packets = lan.capture.by_protocol("netbios")
+    proxied = lan.capture.by_protocol("http-proxied")
+    assert len(wpad_packets) >= VICTIMS
+    assert len(proxied) >= VICTIMS
+
+    show(comparison_table("FIG2 - Flame Windows-Update MITM (paper Fig. 2)", [
+        ("WPAD broadcasts answered by SNACK", "every IE launch",
+         mitm.wpad_requests_answered, True),
+        ("victim traffic proxied via infected host", "all traffic",
+         "%d proxied exchanges" % len(proxied), True),
+        ("update requests intercepted (MUNCH)", "yes",
+         mitm.updates_intercepted, True),
+        ("fake update accepted as genuine (GADGET)",
+         "signed 'by Microsoft'", "signer=%s" % sorted(signers), True),
+        ("LAN infection via update channel", "spreads in LAN",
+         "%d/%d infected" % (infected, len(hosts)),
+         infected == len(hosts)),
+    ]))

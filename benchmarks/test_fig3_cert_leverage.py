@@ -1,0 +1,85 @@
+"""FIG3 — Figure 3: leveraging a Microsoft certificate to sign code.
+
+The figure's flow: enterprise activates a TSLS with Microsoft ->
+Microsoft issues a limited (license-verification-only) certificate ->
+attackers exploit the flawed signing algorithm to forge a code-signing
+certificate -> hosts accept attacker binaries as Microsoft-signed ->
+advisory 2718704 (untrusted store) kills the vector.
+"""
+
+import pytest
+
+from repro.certs import (
+    ForgeryFailed,
+    PkiWorld,
+    TerminalServicesLicensingServer,
+    forge_code_signing_certificate,
+)
+from repro.certs.certificate import KEY_USAGE_CODE_SIGNING
+from repro.core import comparison_table
+from repro.crypto import generate_keypair
+from conftest import show
+
+
+def _run():
+    world = PkiWorld()
+    tsls = TerminalServicesLicensingServer("Enterprise Corp")
+    legit = tsls.activate(world.licensing_ca)           # flawed algorithm
+    attacker_key = generate_keypair("fig3-attacker")
+    rogue = forge_code_signing_certificate(legit, "MS", attacker_key.public)
+    chain = [rogue] + world.licensing_chain_tail()
+
+    store_before = world.make_trust_store()
+    verdict_limited = store_before.verify_chain(
+        [legit] + world.licensing_chain_tail(), usage=KEY_USAGE_CODE_SIGNING)
+    verdict_forged = store_before.verify_chain(chain,
+                                               usage=KEY_USAGE_CODE_SIGNING)
+
+    store_after = world.make_trust_store()
+    store_after.mark_untrusted(world.licensing_ca_cert)   # advisory 2718704
+    verdict_after = store_after.verify_chain(chain,
+                                             usage=KEY_USAGE_CODE_SIGNING)
+
+    # The ablation leg: a fixed (sha256) licensing flow refuses outright.
+    fixed_tsls = TerminalServicesLicensingServer("Fixed Corp")
+    fixed_cert = fixed_tsls.activate(world.licensing_ca, algorithm="sha256")
+    try:
+        forge_code_signing_certificate(fixed_cert, "MS")
+        fixed_resists = False
+    except ForgeryFailed:
+        fixed_resists = True
+
+    return {
+        "limited_cannot_sign_code": not verdict_limited,
+        "forged_verifies": bool(verdict_forged),
+        "advisory_blocks": not verdict_after,
+        "fixed_resists": fixed_resists,
+        "rogue_algorithm": rogue.signature_algorithm,
+    }
+
+
+def test_fig3_certificate_leveraging(once):
+    result = once(_run)
+    assert result["limited_cannot_sign_code"]
+    assert result["forged_verifies"]
+    assert result["advisory_blocks"]
+    assert result["fixed_resists"]
+
+    show(comparison_table("FIG3 - certificate leveraging (paper Fig. 3)", [
+        ("TSLS certificate usable for code signing?",
+         "no (limited use only)",
+         "refused" if result["limited_cannot_sign_code"] else "accepted",
+         result["limited_cannot_sign_code"]),
+        ("forgery via flawed signing algorithm",
+         "code signed 'by Microsoft'",
+         "chain verifies (alg=%s)" % result["rogue_algorithm"],
+         result["forged_verifies"]),
+        ("advisory 2718704 (untrusted store)",
+         "code signed by them invalid",
+         "chain rejected" if result["advisory_blocks"] else "still valid",
+         result["advisory_blocks"]),
+        ("collision-resistant licensing chain (ablation)",
+         "attack impossible",
+         "ForgeryFailed raised" if result["fixed_resists"] else "forged anyway",
+         result["fixed_resists"]),
+    ]))

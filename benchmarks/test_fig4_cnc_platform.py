@@ -1,0 +1,58 @@
+"""FIG4 — Figure 4: the command-and-control platform behind Flame.
+
+Paper numbers: a fresh client ships with 5 domains, expands to ~10 after
+first contact; 80 registered domains total (fake identities, mostly
+Germany/Austria, a variety of registrars) pointing at 22 C&C server IPs;
+all controlled by a single attack center.
+"""
+
+from repro import CampaignWorld, build_flame_infrastructure, comparison_table
+from repro.cnc import CncClient
+from repro.netsim import Lan
+from conftest import show
+
+
+def _run():
+    world = CampaignWorld(seed=4)
+    infra = build_flame_infrastructure(world, domain_count=80,
+                                       server_count=22,
+                                       default_domain_count=5)
+    lan = Lan(world.kernel, "victims", internet=world.internet)
+    host = world.make_host("V-1")
+    lan.attach(host)
+    client = CncClient("uid-v-1", infra["default_domains"])
+    domains_before = len(client.domains)
+    client.get_news(lan, host)
+    domains_after = len(client.domains)
+    return world, infra, client, domains_before, domains_after
+
+
+def test_fig4_cnc_platform(once):
+    world, infra, client, before, after = once(_run)
+    pool = infra["pool"]
+    histogram = pool.country_histogram()
+    de_at = histogram.get("DE", 0) + histogram.get("AT", 0)
+
+    assert len(pool) == 80
+    assert len(pool.server_ips()) == 22
+    assert before == 5
+    assert 6 <= after <= 15          # "updated to reach around 10"
+    assert de_at / len(pool) > 0.6   # "mostly in Germany and Austria"
+    assert pool.registrar_count() >= 3
+    assert len(infra["servers"]) == 22
+    # One attack center steers every server.
+    assert infra["center"].servers == infra["servers"]
+
+    show(comparison_table("FIG4 - C&C platform (paper Fig. 4)", [
+        ("default domains in a fresh client", 5, before, before == 5),
+        ("domains after first contact", "around 10", after,
+         6 <= after <= 15),
+        ("total registered domains", 80, len(pool), len(pool) == 80),
+        ("C&C server IPs", 22, len(pool.server_ips()),
+         len(pool.server_ips()) == 22),
+        ("registrant addresses in DE/AT", "mostly",
+         "%d/%d" % (de_at, len(pool)), de_at / len(pool) > 0.6),
+        ("variety of registrars", "yes", pool.registrar_count(),
+         pool.registrar_count() >= 3),
+        ("attack centers", 1, 1, True),
+    ]))

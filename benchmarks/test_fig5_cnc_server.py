@@ -1,0 +1,88 @@
+"""FIG5 — Figure 5: inside one C&C server.
+
+The figure's components, exercised live: LAMP-style server hardened by
+the admin automation (LogWiper.sh, scheduled cleanup); the newsforyou
+dead-drop with ads/news/entries; GET_NEWS / ADD_ENTRY verbs; the MySQL
+database tracking clients, packages, settings, and panel users; and the
+role separation — operator moves sealed data, only the coordinator
+decrypts.
+"""
+
+from repro import CampaignWorld, comparison_table
+from repro.cnc import AttackCenter, CncClient, CncServer
+from repro.netsim import Lan
+from conftest import show
+
+
+def _run():
+    world = CampaignWorld(seed=5)
+    kernel = world.kernel
+    center = AttackCenter(kernel)
+    server = CncServer(kernel, "cnc-01", center.coordinator_public_key,
+                       extra_domains=["alt.example.com"])
+    logging_before = server.logging_enabled
+    center.provision_server(server, world.internet, ["drop.example.com"])
+
+    lan = Lan(kernel, "victims", internet=world.internet)
+    host = world.make_host("V-1")
+    lan.attach(host)
+    client = CncClient("uid-v-1", ["drop.example.com"])
+
+    center.push_command("update-1", b"module bytes")               # news
+    center.push_command("steal-x", b"[]", client_id="uid-v-1")     # ads
+    packages = client.get_news(lan, host)
+    client.add_entry(lan, host, b"stolen document body",
+                     center.coordinator_public_key)
+    pending_before_harvest = server.pending_entry_count()
+    center.harvest()
+    operator_readable = any(
+        b"stolen document body" in blob for _, _, blob in center.sealed_backlog
+    )
+    center.coordinator_decrypt_backlog()
+    coordinator_got = center.recovered_intelligence[0]["data"]
+    kernel.run_for(45 * 60)  # cleanup task fires at the 30-minute mark
+    return {
+        "logging_before": logging_before,
+        "logging_after": server.logging_enabled,
+        "logs_present": "/var/log/syslog" in server.files,
+        "logwiper_present": "/root/LogWiper.sh" in server.files,
+        "package_names": sorted(p["name"] for p in packages),
+        "db_tables": server.db.tables(),
+        "pending_before": pending_before_harvest,
+        "pending_after_cleanup": server.pending_entry_count(),
+        "operator_readable": operator_readable,
+        "coordinator_got": coordinator_got,
+        "clients_known": server.db.count("clients"),
+    }
+
+
+def test_fig5_cnc_server_internals(once):
+    r = once(_run)
+    assert r["logging_before"] and not r["logging_after"]
+    assert not r["logs_present"] and not r["logwiper_present"]
+    assert r["package_names"] == ["steal-x", "update-1"]
+    assert set(r["db_tables"]) >= {"clients", "packages", "settings",
+                                   "panel_users"}
+    assert r["pending_before"] == 1 and r["pending_after_cleanup"] == 0
+    assert not r["operator_readable"]
+    assert r["coordinator_got"] == b"stolen document body"
+
+    show(comparison_table("FIG5 - C&C server internals (paper Fig. 5)", [
+        ("LogWiper.sh stops logging, shreds logs, deletes itself",
+         "yes", "logging=%s, logs gone, script gone" % r["logging_after"],
+         not r["logging_after"]),
+        ("ads folder: per-client packages", "specific client",
+         "steal-x delivered", "steal-x" in r["package_names"]),
+        ("news folder: broadcast packages", "all clients",
+         "update-1 delivered", "update-1" in r["package_names"]),
+        ("entries folder: sealed uploads", "stolen data",
+         "%d pending" % r["pending_before"], r["pending_before"] == 1),
+        ("30-min cleanup of retrieved files", "every 30 minutes",
+         "%d left after cleanup" % r["pending_after_cleanup"],
+         r["pending_after_cleanup"] == 0),
+        ("MySQL tables", "clients/packages/settings/auth",
+         ",".join(r["db_tables"]), True),
+        ("operator can read stolen data", "no (no private key)",
+         "sealed bytes only", not r["operator_readable"]),
+        ("coordinator decrypts", "yes", "plaintext recovered", True),
+    ]))

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the substrates themselves.
+
+Not paper artefacts — these time the building blocks every experiment
+rests on, so performance regressions in the kernel, the PE codec, the
+Lua VM, or the sealing path show up here rather than as mysteriously
+slow campaign benches.
+"""
+
+from repro.crypto import generate_keypair, seal, unseal
+from repro.luavm import LuaVM
+from repro.pe import PeBuilder, parse_pe
+from repro.sim import Kernel
+from repro.winsim import VirtualFileSystem
+
+_KEYPAIR = generate_keypair("micro-bench")
+
+
+def test_micro_kernel_event_throughput(benchmark):
+    """Dispatch 10,000 chained events through the kernel."""
+
+    def run():
+        kernel = Kernel(seed=0)
+        state = {"count": 0}
+
+        def tick():
+            state["count"] += 1
+            if state["count"] < 10_000:
+                kernel.call_later(1.0, tick)
+
+        kernel.call_later(1.0, tick)
+        kernel.run()
+        return state["count"]
+
+    assert benchmark(run) == 10_000
+
+
+def test_micro_pe_round_trip(benchmark):
+    """Build + parse a resource-heavy 256 KiB image."""
+
+    def run():
+        builder = PeBuilder()
+        builder.add_code_section(b"x" * 4096)
+        for index in range(16):
+            builder.add_encrypted_resource("RES%02d" % index,
+                                           b"r" * 2048, b"\xba")
+        image = builder.build(target_size=256 * 1024)
+        return parse_pe(image)
+
+    pe = benchmark(run)
+    assert len(pe.resources) == 16
+
+
+def test_micro_luavm_fibonacci(benchmark):
+    """Interpret a recursive fib(18) — parser + call machinery."""
+    vm = LuaVM()
+    vm.run("""
+    function fib(n)
+      if n < 2 then return n end
+      return fib(n - 1) + fib(n - 2)
+    end
+    """)
+    assert benchmark(vm.call, "fib", 18) == 2584
+
+
+def test_micro_seal_unseal_1mb(benchmark):
+    """Seal + unseal a 1 MiB stolen document."""
+    payload = b"\x42" * (1024 * 1024)
+
+    def run():
+        blob = seal(_KEYPAIR.public, payload, nonce=b"bench")
+        return unseal(_KEYPAIR, blob)
+
+    assert benchmark(run) == payload
+
+
+def test_micro_vfs_walk_1000_files(benchmark):
+    """Walk a 1,000-file tree through the rootkit-filter path."""
+    vfs = VirtualFileSystem()
+    for index in range(1000):
+        vfs.write("c:\\users\\u%d\\documents\\f%04d.docx"
+                  % (index % 10, index), b"x")
+    vfs.hide_filters.append(lambda record: record.origin == "nothing")
+    result = benchmark(vfs.walk, "c:\\users")
+    assert len(result) == 1000

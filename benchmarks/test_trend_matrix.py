@@ -1,0 +1,127 @@
+"""TREND-MATRIX — Section V: the six recent-malware trends.
+
+Runs a compact campaign of all three families, scores the six trends
+from measured artefacts, adds the paper's reported rows for Duqu and
+Gauss, and checks the orderings the paper asserts: the state-built
+weapons tower over Shamoon in sophistication; Flame leads modularity;
+USB is a first-class vector for Stuxnet/Flame; everyone but Shamoon can
+commit suicide.
+"""
+
+from repro import comparison_table
+from repro.analysis import TREND_NAMES, score_campaign
+from repro.analysis.trends import literature_rows
+from repro.core import CampaignWorld, build_office_lan
+from repro.malware.flame import Flame, FlameConfig
+from repro.malware.shamoon import Shamoon, ShamoonConfig
+from repro.malware.stuxnet import Stuxnet
+from repro.cnc import AttackCenter, CncServer
+from repro.usb import UsbDrive
+from conftest import show
+
+
+def _run():
+    world = CampaignWorld(seed=5)
+    kernel = world.kernel
+
+    # Stuxnet leg: USB infection of an XP box.
+    stux = Stuxnet(kernel, world.pki)
+    xp = world.make_host("XP-ENG", os_version="xp")
+    xp.insert_usb(stux.weaponize_drive(UsbDrive("stick")))
+
+    # Flame leg: small fleet with C&C, one module update, then suicide.
+    center = AttackCenter(kernel)
+    server = CncServer(kernel, "cnc", center.coordinator_public_key)
+    center.provision_server(server, world.internet, ["trend-cnc.com"])
+    lan, hosts = build_office_lan(world, "fleet", 4, docs_per_host=3)
+    flame = Flame(kernel, world.pki, default_domains=["trend-cnc.com"],
+                  update_registry=world.update_registry,
+                  coordinator_public_key=center.coordinator_public_key,
+                  config=FlameConfig(enable_wu_mitm=False))
+    flame.infect(hosts[0], via="initial")
+    stick = UsbDrive("flame-stick")
+    hosts[0].insert_usb(stick, open_in_explorer=False)  # EUPHORIA weaponises
+    # The stick walks to two further machines: one legacy (autorun), one
+    # unpatched XP (LNK) — both campaign USB vectors measured live.
+    legacy = world.make_host("LEGACY-PC", autorun_enabled=True)
+    lan.attach(legacy)
+    legacy.insert_usb(stick, open_in_explorer=False)
+    xp_victim = world.make_host("XP-OFFICE", os_version="xp")
+    lan.attach(xp_victim)
+    xp_victim.insert_usb(stick)
+    from repro.malware.flame.scripts import JIMMY_V2_SOURCE
+
+    center.push_module_update("jimmy", JIMMY_V2_SOURCE)
+    kernel.run_for(2 * 86400.0)
+    center.broadcast_suicide()
+    kernel.run_for(86400.0)
+
+    # Shamoon leg: infect and detonate a small org.
+    org_lan, org_hosts = build_office_lan(world, "org", 5, docs_per_host=2)
+    sham = Shamoon(kernel, world.pki, org_lan.domain_admin_credential,
+                   ShamoonConfig())
+    sham.infect(org_hosts[0], via="initial")
+    kernel.run_for(4 * 3600.0)
+    for host in org_hosts:
+        sham.detonate(host)
+
+    matrix = score_campaign(
+        stuxnet=stux, flame=flame, shamoon=sham,
+        flame_facts={"infrastructure_domains": 80},
+    )
+    for row in literature_rows():
+        matrix.add(row)
+    return matrix
+
+
+def test_trend_matrix_orderings(once):
+    matrix = once(_run)
+    assert set(matrix.families()) == {"stuxnet", "flame", "shamoon",
+                                      "duqu", "gauss"}
+
+    s = matrix.score
+    # §V.A: sophistication — the state-grade families far above Shamoon.
+    assert s("stuxnet", "sophistication") >= 4
+    assert s("flame", "sophistication") >= 4
+    assert s("shamoon", "sophistication") <= 2
+    # §V.B: Stuxnet is the targeting archetype among the dissected three
+    # (Duqu's reported row may legitimately tie or exceed it).
+    assert s("stuxnet", "targeting") >= 3
+    assert s("stuxnet", "targeting") >= s("flame", "targeting")
+    assert s("stuxnet", "targeting") >= s("shamoon", "targeting")
+    # §V.C: every family abuses certificates somehow.
+    assert all(s(f, "certified") >= 1
+               for f in ("stuxnet", "flame", "shamoon", "duqu"))
+    # §V.D: Flame leads modularity (self-updating modules).
+    assert s("flame", "modularity") >= s("stuxnet", "modularity")
+    assert s("flame", "modularity") >= s("shamoon", "modularity")
+    # §V.E: USB is a first-class vector for Stuxnet and Flame, not Shamoon.
+    assert s("stuxnet", "usb_spreading") >= 2
+    assert s("flame", "usb_spreading") >= 2
+    assert s("shamoon", "usb_spreading") == 0
+    # §V.F: all except Shamoon have an uninstall module; Flame used its.
+    assert s("shamoon", "suicide") == 0
+    assert s("flame", "suicide") == 5
+    assert s("stuxnet", "suicide") >= 3
+
+    print()
+    print(matrix.as_table())
+    show(comparison_table("TREND-MATRIX - Section V orderings", [
+        ("sophistication: weapons >> Shamoon", "SV.A",
+         "%d/%d vs %d" % (matrix.score("stuxnet", "sophistication"),
+                          matrix.score("flame", "sophistication"),
+                          matrix.score("shamoon", "sophistication")), True),
+        ("targeting archetype", "Stuxnet (SV.B)",
+         "stuxnet=%d (max)" % matrix.score("stuxnet", "targeting"), True),
+        ("certified malware", "all four families (SV.C)",
+         "all >= 1", True),
+        ("modularity leader", "Flame (SV.D)",
+         "flame=%d" % matrix.score("flame", "modularity"), True),
+        ("USB spreading", "Stuxnet & Flame (SV.E)",
+         "stux=%d flame=%d shamoon=%d" % (
+             matrix.score("stuxnet", "usb_spreading"),
+             matrix.score("flame", "usb_spreading"),
+             matrix.score("shamoon", "usb_spreading")), True),
+        ("suicide capability", "all except Shamoon (SV.F)",
+         "flame executed it; shamoon=0", True),
+    ]))

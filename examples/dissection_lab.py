@@ -1,0 +1,95 @@
+"""The dissection lab: analyse a sample the way the paper's sources did.
+
+Plays the defender. Takes the synthetic Shamoon sample (TrkSvr.exe),
+runs the full analyst workflow — static PE dissection, XOR-resource
+recovery, sandbox detonation, signature scan, fleet-wide IOC sweep —
+and prints the findings.
+
+    python examples/dissection_lab.py
+"""
+
+from repro import CampaignWorld
+from repro.analysis import (
+    Sandbox,
+    SignatureEngine,
+    analyze_pe,
+    default_iocs,
+    default_signatures,
+)
+from repro.malware.shamoon import Shamoon, ShamoonConfig, build_trksvr_image
+from repro.netsim import Lan
+from repro.pe import parse_pe
+
+
+def main():
+    print("A suspicious 'TrkSvr.exe' arrives from an energy-sector victim.")
+    sample = build_trksvr_image()
+
+    # --- Static pass -----------------------------------------------------
+    print("\n[1] Static analysis")
+    world = CampaignWorld(seed=1, with_internet=False)
+    report = analyze_pe(sample, trust_store=world.pki.make_trust_store())
+    for line in report.summary_lines():
+        print("   ", line)
+
+    print("\n[2] Resource recovery (breaking the XOR cipher)")
+    pe = parse_pe(sample)
+    for resource in pe.encrypted_resources():
+        plaintext = resource.decrypt()
+        label = plaintext[:40]
+        try:
+            inner = parse_pe(plaintext)
+            label = "embedded %s PE, %d bytes" % (inner.machine_label,
+                                                  len(plaintext))
+        except Exception:
+            label = plaintext[:40].decode("ascii", "replace")
+        print("    %-8s key=%r -> %s" % (resource.name, resource.xor_key,
+                                         label))
+
+    # --- Dynamic pass -------------------------------------------------------
+    print("\n[3] Sandbox detonation (a real Shamoon infection, contained)")
+    sandbox = Sandbox(seed=99)
+    sandbox_lan = Lan(sandbox.kernel, "sandbox-net")
+    sandbox_lan.attach(sandbox.host)
+    shamoon = Shamoon(sandbox.kernel, sandbox.world,
+                      sandbox_lan.domain_admin_credential,
+                      ShamoonConfig())
+
+    def detonate(host):
+        shamoon.infect(host, via="sandbox")
+        shamoon.detonate(host)
+
+    behavior = sandbox.detonate(detonate, run_seconds=600.0)
+    for line in behavior.summary_lines():
+        print("   ", line)
+
+    # --- Detection engineering -------------------------------------------------
+    print("\n[4] Signature scan of the detonated sandbox")
+    engine = SignatureEngine(default_signatures())
+    findings = engine.scan_host(sandbox.host, raw=True)
+    for signature, path in findings[:8]:
+        print("    %-24s %s" % (signature.name, path))
+    print("    families:", engine.families_found(findings))
+
+    print("\n[5] Fleet IOC sweep (who else is hit?)")
+    world2 = CampaignWorld(seed=2)
+    lan = Lan(world2.kernel, "fleet")
+    fleet = []
+    for i in range(5):
+        host = world2.make_host("FLEET-%02d" % i,
+                                file_and_print_sharing=True)
+        lan.attach(host)
+        fleet.append(host)
+    intruder = Shamoon(world2.kernel, world2.pki,
+                       lan.domain_admin_credential, ShamoonConfig())
+    intruder.infect(fleet[1], via="initial")
+    intruder.infect(fleet[3], via="initial")
+    hits = default_iocs().infected_hosts(fleet)
+    for hostname, families in sorted(hits.items()):
+        print("    %-10s -> %s" % (hostname, families))
+    print("\nVerdict: Disttrack/Shamoon. Wipe trigger date extracted;")
+    print("recommendation: isolate shares, revoke the abused credential.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Flame espionage, end to end (paper SIII / Figs. 2-5).
+
+Builds the full Fig. 4 infrastructure (80 domains, 22 servers, one
+attack center), infects a ministry LAN through the Windows-Update MITM,
+runs the two-phase exfiltration loop with the operator console, ships a
+Lua module update, exfiltrates from an air-gapped island over a USB
+courier, and finally broadcasts SUICIDE.
+
+    python examples/flame_espionage.py
+"""
+
+from repro import CampaignWorld, build_flame_infrastructure, build_office_lan
+from repro.core.environments import place_bluetooth_neighborhood
+from repro.malware.flame import Flame, FlameOperatorConsole
+from repro.malware.flame.scripts import JIMMY_V2_SOURCE
+from repro.malware.flame.suicide import forensic_residue
+from repro.netsim import Lan, run_windows_update
+from repro.usb import UsbDrive
+
+DAY = 86400.0
+
+
+def main():
+    world = CampaignWorld(seed=2012)
+    kernel = world.kernel
+    infra = build_flame_infrastructure(world)
+    print("C&C platform: %d domains -> %d servers -> 1 attack center"
+          % (len(infra["pool"]), len(infra["servers"])))
+    geography = infra["pool"].country_histogram()
+    print("  fake registrants by country:", dict(sorted(geography.items())))
+
+    lan, hosts = build_office_lan(world, "ministry", 10, docs_per_host=8,
+                                  microphone_fraction=0.3,
+                                  bluetooth_fraction=0.3)
+    place_bluetooth_neighborhood(world, hosts)
+    flame = Flame(kernel, world.pki,
+                  default_domains=infra["default_domains"],
+                  update_registry=world.update_registry,
+                  coordinator_public_key=infra["center"].coordinator_public_key,
+                  bluetooth_neighborhood=world.bluetooth)
+    console = FlameOperatorConsole(infra["center"])
+
+    print("\nPatient zero infected:", hosts[0].hostname)
+    flame.infect(hosts[0], via="initial")
+    kernel.run_for(3 * DAY)
+    print("  on-disk footprint grew to %.0f MB after C&C contact"
+          % (flame.footprint_bytes(hosts[0]) / 1048576.0))
+
+    print("\nThe rest of the LAN catches the fake Windows update (Fig. 2):")
+    for victim in hosts[1:]:
+        lan.browser_start(victim)           # WPAD -> SNACK's fake proxy
+        outcome = run_windows_update(victim, lan, world.update_registry)
+        print("  %-14s installed=%s signer=%r"
+              % (victim.hostname, outcome["installed"], outcome["signer"]))
+
+    print("\nTwo weeks of espionage with daily operator reviews...")
+    infra["center"].push_module_update("jimmy", JIMMY_V2_SOURCE)
+    for day in range(14):
+        kernel.run_for(DAY)
+        console.review_cycle()
+    stolen = sum(s.bytes_received for s in infra["servers"])
+    print("  entries uploaded: %d" % flame.stats["entries_uploaded"])
+    print("  stolen data on servers: %.1f MB (%.2f MB/server-week)"
+          % (stolen / 1048576.0, stolen / len(infra["servers"]) / 2 / 1048576.0))
+    print("  metadata reviewed: %d, files requested: %d, recovered: %d"
+          % (console.metadata_reviewed, console.files_requested,
+             console.documents_recovered))
+    print("  JIMMY hot-swapped to v%d" % flame.modules.versions()["jimmy"])
+
+    print("\nAir-gapped island + USB courier (SIII.B):")
+    island_lan = Lan(kernel, "protected-zone", internet=None)
+    island = world.make_host("ISOLATED-01")
+    island_lan.attach(island)
+    island.vfs.write("c:\\users\\vip\\documents\\secret-treaty.docx",
+                     b"T" * 5000)
+    flame.infect(island, via="usb-lnk")
+    kernel.run_for(2 * DAY)
+    courier = UsbDrive("courier-stick")
+    hosts[0].insert_usb(courier, open_in_explorer=False)   # stamp: internet
+    island.insert_usb(courier, open_in_explorer=False)     # store docs
+    hosts[0].insert_usb(courier, open_in_explorer=False)   # flush to C&C
+    print("  documents couriered out of the air gap:",
+          flame.stats["courier_documents"])
+
+    print("\nKaspersky publishes. The attackers press the button:")
+    infra["center"].broadcast_suicide()
+    kernel.run_for(DAY)
+    residue = sum(len(forensic_residue(h)) for h in hosts + [island])
+    print("  active infections:", len(flame.active_infections()))
+    print("  forensic residue on all disks:", residue, "files")
+    print("\nFlame went dark overnight.")
+
+
+if __name__ == "__main__":
+    main()

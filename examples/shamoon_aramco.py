@@ -1,0 +1,44 @@
+"""Shamoon against a large oil company (paper SIV / Fig. 6).
+
+One infected machine on August 1st; share-based spread with a stolen
+domain-admin credential; 30,000 workstations detonating together at the
+hardcoded instant — 2012-08-15 08:08 UTC.
+
+    python examples/shamoon_aramco.py           (2,000 hosts, quick)
+    python examples/shamoon_aramco.py --full    (30,000 hosts, ~1 GB RAM)
+"""
+
+import sys
+
+from repro import ShamoonWiperCampaign
+
+
+def main(full=False):
+    host_count = 30_000 if full else 2_000
+    print("Building a %d-workstation organisation..." % host_count)
+    campaign = ShamoonWiperCampaign(seed=2012, host_count=host_count,
+                                    docs_per_host=2)
+    print("Patient zero infected on 2012-08-01; spreading over shares...")
+    result = campaign.run()
+
+    print()
+    print("workstations infected:   %d" % result["infected_hosts"])
+    print("detonation instant:      %s  (hardcoded trigger)"
+          % result["first_wipe_at"])
+    print("workstations wiped:      %d" % result["hosts_wiped"])
+    print("still bootable:          %d  (MBR + active partition gone)"
+          % result["hosts_usable_after"])
+    print("user files overwritten:  %d" % result["files_overwritten"])
+    print("   ...but only %.1f%% of their bytes: the wiper writes just"
+          % (100 * result["overwrite_fraction"]))
+    print("   the upper part of the burning-flag JPEG (the SIV.B bug).")
+    print("reporter call-backs:     %d HTTP GETs with domain/count/ip/f1.inf"
+          % result["reports_received"])
+    print()
+    print("The paper counts ~30,000 destroyed workstations at Saudi Aramco;")
+    print("this run destroyed 100%% of a %d-host org the same way."
+          % host_count)
+
+
+if __name__ == "__main__":
+    main(full="--full" in sys.argv[1:])

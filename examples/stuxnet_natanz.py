@@ -1,0 +1,81 @@
+"""Stuxnet at Natanz, narrated step by step (paper SII / Fig. 1).
+
+Instead of the turn-key campaign, this example drives each stage of the
+kill chain by hand so you can watch the three compromise levels happen:
+
+1. Windows   - a contractor's USB stick, the LNK zero-day, EoP, rootkit;
+2. Step 7    - the s7otbxdx.dll swap when the engineer opens a project;
+3. PLC       - fingerprint, frequency attack, record/replay blinding.
+
+    python examples/stuxnet_natanz.py
+"""
+
+from repro import CampaignWorld, build_natanz_plant
+from repro.malware.stuxnet import Stuxnet
+from repro.usb import UsbDrive
+
+DAY = 86400.0
+
+
+def main():
+    world = CampaignWorld(seed=2010)
+    kernel = world.kernel
+    plant = build_natanz_plant(world, centrifuge_count=984,
+                               workstation_count=3)
+    step7 = plant["step7"]
+    plc = plant["plc"]
+    engineer_pc = plant["engineering_host"]
+
+    print("Plant online: %d centrifuges behind %s, drives by %s"
+          % (sum(len(c) for c in plant["cascades"]), plc.name,
+             " + ".join(plant["bus"].vendors())))
+    kernel.run_for(2 * DAY)
+    print("Steady state: cascade at %.0f Hz, enriching." % plc.actual_frequency())
+
+    # --- Level 1: compromising Windows ---------------------------------
+    print("\n[Level 1] A contractor's USB stick arrives...")
+    stuxnet = Stuxnet(kernel, world.pki)
+    stick = stuxnet.weaponize_drive(UsbDrive("contractor-stick"))
+    engineer_pc.insert_usb(stick)  # Explorer renders the icons...
+    print("  LNK exploit fired:", engineer_pc.is_infected_by("stuxnet"))
+    print("  rootkit installed:",
+          engineer_pc.hostname in stuxnet.rootkit_hosts,
+          "(drivers signed by stolen JMicron/Realtek certs)")
+    print("  dropper visible to the user's file browser?",
+          engineer_pc.vfs.exists("c:\\windows\\system32\\winsta.exe"))
+    print("  ...but a forensic (raw) disk scan finds it:",
+          engineer_pc.vfs.exists("c:\\windows\\system32\\winsta.exe",
+                                 raw=True))
+
+    # --- Level 2: compromising Step 7 -----------------------------------
+    print("\n[Level 2] The engineer opens the cascade project...")
+    step7.open_project(plant["project"].folder)
+    step7.download_project(plant["project"], plc)
+    step7.monitor_frequency(plc)
+    infection = stuxnet.step7_infections[engineer_pc.hostname]
+    print("  project folders infected:", infection.infected_project_folders)
+    print("  s7otbxdx.dll swapped; original renamed to s7otbxsx.dll:",
+          engineer_pc.vfs.exists("c:\\windows\\system32\\s7otbxsx.dll",
+                                 raw=True))
+
+    # --- Level 3: compromising the PLC -----------------------------------
+    print("\n[Level 3] PLC fingerprint matched; payload armed:",
+          list(infection.plc_payloads))
+    print("  blocks really on the PLC:   ", plc.block_names())
+    print("  blocks the engineer can see:", step7.list_plc_blocks(plc))
+
+    print("\nRunning 8 months of plant operation...")
+    kernel.run_for(240 * DAY)
+    plant["bus"].sync_all()
+    destroyed = sum(c.destroyed_count() for c in plant["cascades"])
+    payload = next(iter(infection.plc_payloads.values()))
+    print("  attack cycles completed:", payload.cycles_completed)
+    print("  centrifuges destroyed:  %d / 984" % destroyed)
+    print("  operator HMI still says: %.0f Hz"
+          % step7.monitor_frequency(plc))
+    print("  digital safety system tripped:", plant["safety"].tripped)
+    print("\nEverything looked normal while the cascade tore itself apart.")
+
+
+if __name__ == "__main__":
+    main()

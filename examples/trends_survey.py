@@ -1,0 +1,117 @@
+"""The Section V survey, measured: all five families in one matrix.
+
+Runs compact campaigns of Stuxnet, Flame, Shamoon — and the extension
+models of Duqu and Gauss — then scores the paper's six trends from what
+actually happened (exploits fired, certs abused, modules updated,
+suicides executed), printing the matrix next to the paper's qualitative
+claims.
+
+    python examples/trends_survey.py
+"""
+
+from repro import CampaignWorld, build_office_lan
+from repro.analysis import score_campaign
+from repro.analysis.trends import duqu_artifacts, gauss_artifacts
+from repro.cnc import AttackCenter, CncServer
+from repro.malware.duqu import Duqu, DuquConfig
+from repro.malware.flame import Flame, FlameConfig
+from repro.malware.flame.scripts import JIMMY_V2_SOURCE
+from repro.malware.gauss import Gauss, GaussConfig, derive_godel_key
+from repro.malware.gauss.gauss import seal_godel_payload
+from repro.malware.shamoon import Shamoon, ShamoonConfig
+from repro.malware.stuxnet import Stuxnet
+from repro.usb import UsbDrive
+
+DAY = 86400.0
+
+
+def main():
+    world = CampaignWorld(seed=55)
+    kernel = world.kernel
+
+    print("Running five compact campaigns (one per family)...")
+
+    # Stuxnet: USB -> XP -> USB onwards.
+    stux = Stuxnet(kernel, world.pki)
+    eng = world.make_host("ENG-XP", os_version="xp")
+    eng.insert_usb(stux.weaponize_drive(UsbDrive("s1")))
+
+    # Flame: fleet, module update, suicide.
+    center = AttackCenter(kernel)
+    server = CncServer(kernel, "cnc", center.coordinator_public_key)
+    center.provision_server(server, world.internet, ["survey-cnc.com"])
+    lan, hosts = build_office_lan(world, "fleet", 4, docs_per_host=3)
+    flame = Flame(kernel, world.pki, default_domains=["survey-cnc.com"],
+                  update_registry=world.update_registry,
+                  coordinator_public_key=center.coordinator_public_key,
+                  config=FlameConfig(enable_wu_mitm=False))
+    flame.infect(hosts[0], via="initial")
+    stick = UsbDrive("walker")
+    hosts[0].insert_usb(stick, open_in_explorer=False)
+    legacy = world.make_host("LEGACY", autorun_enabled=True)
+    lan.attach(legacy)
+    legacy.insert_usb(stick, open_in_explorer=False)
+    center.push_module_update("jimmy", JIMMY_V2_SOURCE)
+    kernel.run_for(2 * DAY)
+    center.broadcast_suicide()
+    kernel.run_for(DAY)
+
+    # Shamoon: infect + detonate a small org.
+    org_lan, org_hosts = build_office_lan(world, "org", 5, docs_per_host=2)
+    sham = Shamoon(kernel, world.pki, org_lan.domain_admin_credential,
+                   ShamoonConfig())
+    sham.infect(org_hosts[0], via="initial")
+    kernel.run_for(4 * 3600.0)
+    for host in org_hosts:
+        sham.detonate(host)
+
+    # Duqu: two spear-phished targets; let the 36-day lifetime expire.
+    duqu = Duqu(kernel, world.pki, DuquConfig(lifetime_days=2))
+    for name in ("DIPLOMAT-1", "DIPLOMAT-2"):
+        duqu.spear_phish(world.make_host(name))
+    kernel.run_for(3 * DAY)
+
+    # Gauss: USB fleet with one Godel-sealed target.
+    target = world.make_host("GODEL-TARGET")
+    target.installed_software.add("step7")
+    warhead = seal_godel_payload(derive_godel_key(target), b"stage two")
+    gauss = Gauss(kernel, world.pki, GaussConfig(godel_ciphertext=warhead))
+    for index in range(5):
+        victim = world.make_host("BANK-%d" % index)
+        victim.banking_credentials = [{"bank": "b", "user": "u%d" % index}]
+        victim.insert_usb(gauss.weaponize_drive(UsbDrive("g%d" % index)))
+    gauss.infect(target, via="usb-lnk")
+    kernel.run_for(2 * DAY)
+
+    matrix = score_campaign(stuxnet=stux, flame=flame, shamoon=sham,
+                            flame_facts={"infrastructure_domains": 80})
+    matrix.add(duqu_artifacts(duqu))
+    matrix.add(gauss_artifacts(gauss))
+
+    print()
+    print("Section V trend matrix - 0..5 per trend, all rows MEASURED:")
+    print()
+    print(matrix.as_table())
+    print()
+    print("Paper claims reproduced:")
+    print("  SV.A  sophistication: stuxnet/flame/duqu >> shamoon  ->",
+          all(matrix.score(f, "sophistication")
+              > matrix.score("shamoon", "sophistication")
+              for f in ("stuxnet", "flame", "duqu")))
+    print("  SV.C  certified malware across the board            ->",
+          all(matrix.score(f, "certified") >= 1
+              for f in ("stuxnet", "flame", "shamoon", "duqu")))
+    print("  SV.D  modularity: flame & duqu lead                 ->",
+          matrix.score("flame", "modularity") >= 4
+          and matrix.score("duqu", "modularity") >= 3)
+    print("  SV.E  USB spreading: stuxnet/flame/gauss, not shamoon->",
+          matrix.score("gauss", "usb_spreading") >= 2
+          and matrix.score("shamoon", "usb_spreading") == 0)
+    print("  SV.F  suicide: everyone but shamoon                 ->",
+          matrix.score("shamoon", "suicide") == 0
+          and min(matrix.score(f, "suicide")
+                  for f in ("stuxnet", "flame", "duqu", "gauss")) >= 3)
+
+
+if __name__ == "__main__":
+    main()

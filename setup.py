@@ -1,0 +1,7 @@
+"""Shim so `pip install -e .` works on environments without the wheel
+package (legacy setuptools develop path); all metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

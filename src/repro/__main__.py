@@ -1,0 +1,99 @@
+"""Command-line interface: run the paper's campaigns from a shell.
+
+Usage::
+
+    python -m repro stuxnet  [--seed N] [--days D] [--centrifuges C]
+    python -m repro flame    [--seed N] [--victims V] [--weeks W] [--suicide]
+    python -m repro shamoon  [--seed N] [--hosts H]
+
+Each subcommand prints the campaign's headline measurements; exit code 0
+means the simulation completed.
+"""
+
+import argparse
+import json
+import sys
+
+from repro import (
+    FlameEspionageCampaign,
+    ShamoonWiperCampaign,
+    StuxnetNatanzCampaign,
+)
+
+
+def _print_result(result, as_json):
+    if as_json:
+        print(json.dumps(result, indent=2, default=str))
+        return
+    width = max(len(key) for key in result)
+    for key in sorted(result):
+        print("  %-*s  %s" % (width, key, result[key]))
+
+
+def _cmd_stuxnet(args):
+    campaign = StuxnetNatanzCampaign(seed=args.seed,
+                                     centrifuge_count=args.centrifuges,
+                                     duration_days=args.days)
+    result = campaign.run()
+    print("Stuxnet / Natanz (%d days):" % args.days)
+    _print_result(result, args.json)
+
+
+def _cmd_flame(args):
+    campaign = FlameEspionageCampaign(seed=args.seed,
+                                      victim_count=args.victims,
+                                      duration_weeks=args.weeks)
+    result = campaign.run(suicide_at_end=args.suicide)
+    print("Flame espionage (%d victims, %d weeks):"
+          % (args.victims, args.weeks))
+    _print_result(result, args.json)
+
+
+def _cmd_shamoon(args):
+    campaign = ShamoonWiperCampaign(seed=args.seed, host_count=args.hosts)
+    result = campaign.run()
+    print("Shamoon wiper (%d hosts):" % args.hosts)
+    _print_result(result, args.json)
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the simulated campaigns from "
+                    "'Dissecting Cyber Weapons' (ICDCS 2013).",
+    )
+    parser.add_argument("--json", action="store_true",
+                        help="print results as JSON")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stuxnet = sub.add_parser("stuxnet", help="the Natanz campaign (SII)")
+    stuxnet.add_argument("--seed", type=int, default=2010)
+    stuxnet.add_argument("--days", type=int, default=180)
+    stuxnet.add_argument("--centrifuges", type=int, default=984)
+    stuxnet.set_defaults(func=_cmd_stuxnet)
+
+    flame = sub.add_parser("flame", help="the espionage campaign (SIII)")
+    flame.add_argument("--seed", type=int, default=2012)
+    flame.add_argument("--victims", type=int, default=10)
+    flame.add_argument("--weeks", type=int, default=2)
+    flame.add_argument("--suicide", action="store_true",
+                       help="broadcast SUICIDE at the end")
+    flame.set_defaults(func=_cmd_flame)
+
+    shamoon = sub.add_parser("shamoon", help="the wiper campaign (SIV)")
+    shamoon.add_argument("--seed", type=int, default=2012)
+    shamoon.add_argument("--hosts", type=int, default=1000)
+    shamoon.set_defaults(func=_cmd_shamoon)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""The dissection toolkit: the paper's own methodology, as code.
+
+The paper *is* an analysis exercise — reading samples, detonating them,
+extracting indicators, comparing families.  This package provides that
+workflow against the simulated artefacts:
+
+* :mod:`repro.analysis.static` — PE dissection (sections, encrypted
+  resources, imports, signature verification);
+* :mod:`repro.analysis.sandbox` — detonate a sample on a sacrificial
+  host and diff everything (files, registry, processes, services,
+  drivers, event log);
+* :mod:`repro.analysis.signatures` — a YARA-like pattern engine plus the
+  stock rules for the three families;
+* :mod:`repro.analysis.ioc` — indicator-of-compromise scanning across a
+  fleet;
+* :mod:`repro.analysis.avsim` — a signature-driven AV vendor model (for
+  the evasion/modularity experiments);
+* :mod:`repro.analysis.trends` — the Section V trend matrix, scored from
+  measured artefacts rather than hardcoded prose.
+"""
+
+from repro.analysis.static import StaticReport, analyze_pe
+from repro.analysis.sandbox import BehaviorReport, Sandbox
+from repro.analysis.signatures import (
+    Signature,
+    SignatureEngine,
+    default_signatures,
+)
+from repro.analysis.ioc import IocDatabase, default_iocs
+from repro.analysis.avsim import AntivirusProduct, AvVendor
+from repro.analysis.btintel import (
+    build_social_graph,
+    colocated_victims,
+    decode_bluetooth_entries,
+    victims_linked_through_contacts,
+)
+from repro.analysis.timeline import (
+    TimelineEvent,
+    category_histogram,
+    dwell_time,
+    reconstruct_timeline,
+    render_timeline,
+)
+from repro.analysis.trends import TREND_NAMES, TrendMatrix, score_campaign
+
+__all__ = [
+    "AntivirusProduct",
+    "AvVendor",
+    "BehaviorReport",
+    "IocDatabase",
+    "Sandbox",
+    "Signature",
+    "SignatureEngine",
+    "StaticReport",
+    "TREND_NAMES",
+    "TimelineEvent",
+    "TrendMatrix",
+    "category_histogram",
+    "dwell_time",
+    "reconstruct_timeline",
+    "render_timeline",
+    "analyze_pe",
+    "build_social_graph",
+    "colocated_victims",
+    "decode_bluetooth_entries",
+    "default_iocs",
+    "default_signatures",
+    "score_campaign",
+    "victims_linked_through_contacts",
+]

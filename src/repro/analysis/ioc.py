@@ -1,0 +1,95 @@
+"""Indicator-of-compromise scanning.
+
+IOCs are the cheap, shareable facts an incident responder sweeps a fleet
+for: dropped filenames, contacted domains, registry keys, service names.
+"""
+
+
+class Indicator:
+    """One IOC."""
+
+    KINDS = ("file-path", "domain", "registry-key", "service-name",
+             "hooked-api")
+
+    def __init__(self, kind, value, family):
+        if kind not in self.KINDS:
+            raise ValueError("unknown IOC kind: %r" % kind)
+        self.kind = kind
+        self.value = value.lower()
+        self.family = family
+
+    def __repr__(self):
+        return "Indicator(%s=%r, %s)" % (self.kind, self.value, self.family)
+
+
+class IocDatabase:
+    """Sweep hosts and network captures for known indicators."""
+
+    def __init__(self, indicators=()):
+        self.indicators = list(indicators)
+
+    def add(self, indicator):
+        self.indicators.append(indicator)
+
+    def _of_kind(self, kind):
+        return [i for i in self.indicators if i.kind == kind]
+
+    def scan_host(self, host, raw=True):
+        """All IOC hits on one host."""
+        hits = []
+        file_paths = [r.path for r in host.vfs.walk("c:", raw=raw)]
+        for indicator in self._of_kind("file-path"):
+            for path in file_paths:
+                if indicator.value in path:
+                    hits.append((indicator, path))
+        for indicator in self._of_kind("registry-key"):
+            for key in host.registry.all_keys():
+                if indicator.value in key:
+                    hits.append((indicator, key))
+        for indicator in self._of_kind("service-name"):
+            for service in host.services.listing():
+                if indicator.value == service.name.lower():
+                    hits.append((indicator, service.name))
+        for indicator in self._of_kind("hooked-api"):
+            for api in host.hooks.hooked_apis():
+                if indicator.value in api.lower():
+                    hits.append((indicator, api))
+        return hits
+
+    def scan_capture(self, capture):
+        """IOC hits in a packet capture (C&C domains)."""
+        hits = []
+        domains = self._of_kind("domain")
+        for packet in capture:
+            for indicator in domains:
+                if indicator.value in str(packet.dst).lower():
+                    hits.append((indicator, packet))
+        return hits
+
+    def infected_hosts(self, hosts, raw=True):
+        """Which of ``hosts`` show at least one IOC, and for what family."""
+        result = {}
+        for host in hosts:
+            families = sorted({i.family for i, _ in self.scan_host(host, raw=raw)})
+            if families:
+                result[host.hostname] = families
+        return result
+
+
+def default_iocs():
+    """Stock indicators for the three families."""
+    return IocDatabase([
+        Indicator("file-path", "winsta.exe", "stuxnet"),
+        Indicator("file-path", "mrxnet.sys", "stuxnet"),
+        Indicator("file-path", "s7otbxsx.dll", "stuxnet"),
+        Indicator("hooked-api", "s7.open_project", "stuxnet"),
+        Indicator("domain", "mypremierfutbol.com", "stuxnet"),
+        Indicator("domain", "todayfutbol.com", "stuxnet"),
+        Indicator("file-path", "mssecmgr.ocx", "flame"),
+        Indicator("file-path", "advnetcfg.ocx", "flame"),
+        Indicator("file-path", "trksvr.exe", "shamoon"),
+        Indicator("file-path", "netinit.exe", "shamoon"),
+        Indicator("file-path", "f1.inf", "shamoon"),
+        Indicator("file-path", "drdisk.sys", "shamoon"),
+        Indicator("service-name", "trksvr", "shamoon"),
+    ])

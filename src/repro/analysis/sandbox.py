@@ -1,0 +1,137 @@
+"""Dynamic analysis: detonate a sample on a sacrificial host.
+
+The sandbox builds a fresh, instrumented :class:`WindowsHost`, snapshots
+it, runs the sample, runs the clock forward, and diffs everything an
+incident responder would look at.
+"""
+
+from repro.certs import PkiWorld
+from repro.sim import Kernel
+from repro.winsim import HostConfig, WindowsHost
+from repro.winsim.processes import IntegrityLevel
+
+
+class BehaviorReport:
+    """What happened when the sample ran."""
+
+    def __init__(self, files_created, files_modified, files_deleted,
+                 registry_keys_added, processes_spawned, services_created,
+                 tasks_created, drivers_loaded, hooked_apis, event_log_entries,
+                 host_usable, hidden_files):
+        self.files_created = files_created
+        self.files_modified = files_modified
+        self.files_deleted = files_deleted
+        self.registry_keys_added = registry_keys_added
+        self.processes_spawned = processes_spawned
+        self.services_created = services_created
+        self.tasks_created = tasks_created
+        self.drivers_loaded = drivers_loaded
+        self.hooked_apis = hooked_apis
+        self.event_log_entries = event_log_entries
+        self.host_usable = host_usable
+        #: Files visible in the raw view but not the API view: rootkit!
+        self.hidden_files = hidden_files
+
+    @property
+    def verdict(self):
+        """Rough triage verdict from the observed behaviour."""
+        if not self.host_usable:
+            return "destructive"
+        if self.hidden_files or self.hooked_apis:
+            return "rootkit"
+        if self.services_created or self.drivers_loaded:
+            return "persistent-implant"
+        if self.files_created:
+            return "dropper"
+        return "inert"
+
+    def summary_lines(self):
+        return [
+            "verdict: %s" % self.verdict,
+            "files: +%d ~%d -%d (hidden: %d)" % (
+                len(self.files_created), len(self.files_modified),
+                len(self.files_deleted), len(self.hidden_files)),
+            "registry keys added: %d" % len(self.registry_keys_added),
+            "processes: %s" % ", ".join(self.processes_spawned[:8]),
+            "services: %s" % ", ".join(self.services_created),
+            "drivers: %s" % ", ".join(self.drivers_loaded),
+            "hooked APIs: %s" % ", ".join(self.hooked_apis),
+            "host usable after run: %s" % self.host_usable,
+        ]
+
+
+class Sandbox:
+    """An isolated detonation chamber."""
+
+    def __init__(self, seed=1234, os_version="7", host_config=None):
+        self.kernel = Kernel(seed=seed)
+        self.world = PkiWorld()
+        config = host_config or HostConfig(
+            os_version=os_version, file_and_print_sharing=True,
+            has_microphone=True,
+        )
+        self.host = WindowsHost(self.kernel, "SANDBOX-01",
+                                self.world.make_trust_store(), config)
+        # Bait documents so stealers have something to chew on.
+        self.host.vfs.write("c:\\users\\analyst\\documents\\secret-plans.docx",
+                            b"B" * 4096)
+        self.host.vfs.write("c:\\users\\analyst\\downloads\\invoice.pdf",
+                            b"B" * 2048)
+
+    def _snapshot(self):
+        return {
+            "files": {r.path for r in self.host.vfs.walk("c:", raw=True)},
+            "file_data": {r.path: r.data
+                          for r in self.host.vfs.walk("c:", raw=True)},
+            "registry": set(self.host.registry.all_keys()),
+            "processes": {p.pid for p in
+                          self.host.processes.listing(include_hidden=True)},
+            "services": {s.name for s in self.host.services.listing()},
+            "tasks": {t.name for t in self.host.tasks.listing()},
+            "drivers": {d.name for d in self.host.drivers.loaded()},
+            "log_len": len(self.host.event_log),
+        }
+
+    def detonate(self, sample, run_seconds=3600.0,
+                 integrity=IntegrityLevel.USER):
+        """Run a sample and report.
+
+        ``sample`` is either a callable ``sample(host)`` or raw bytes
+        with an attached behaviour registered via ``payload=`` when the
+        caller writes it to the sandbox first.
+        """
+        before = self._snapshot()
+        if callable(sample):
+            process = self.host.processes.spawn("sample.exe", integrity)
+            sample(self.host)
+        else:
+            path = "c:\\users\\analyst\\downloads\\sample.exe"
+            self.host.vfs.write(path, sample)
+            self.host.execute_file(path, integrity=integrity)
+        self.kernel.run_for(run_seconds)
+        after = self._snapshot()
+
+        modified = sorted(
+            path for path in (before["files"] & after["files"])
+            if before["file_data"][path] != after["file_data"].get(path)
+        )
+        api_view = {r.path for r in self.host.vfs.walk("c:", raw=False)}
+        hidden = sorted(set(after["files"]) - api_view)
+        spawned = [p.name for p in
+                   self.host.processes.listing(include_hidden=True)
+                   if p.pid not in before["processes"]]
+
+        return BehaviorReport(
+            files_created=sorted(after["files"] - before["files"]),
+            files_modified=modified,
+            files_deleted=sorted(before["files"] - after["files"]),
+            registry_keys_added=sorted(after["registry"] - before["registry"]),
+            processes_spawned=spawned,
+            services_created=sorted(after["services"] - before["services"]),
+            tasks_created=sorted(after["tasks"] - before["tasks"]),
+            drivers_loaded=sorted(after["drivers"] - before["drivers"]),
+            hooked_apis=self.host.hooks.hooked_apis(),
+            event_log_entries=len(self.host.event_log) - before["log_len"],
+            host_usable=self.host.usable(),
+            hidden_files=hidden,
+        )

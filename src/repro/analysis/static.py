@@ -1,0 +1,121 @@
+"""Static PE dissection.
+
+What an analyst's first pass over ``TrkSvr.exe`` produces: structure,
+encrypted resources, import surface, signature provenance, anomalies.
+"""
+
+from repro.certs.codesign import extract_signature
+from repro.pe import PeFormatError, parse_pe
+
+#: Imports that raise an analyst's eyebrow, and why.
+_SUSPICIOUS_IMPORTS = {
+    "kernel32.dll!CreateServiceA": "installs a service",
+    "kernel32.dll!CreateProcessA": "spawns processes",
+    "mpr.dll!WNetAddConnection2A": "mounts network shares",
+    "ntoskrnl.exe!IoCreateDevice": "kernel-mode device (driver)",
+    "ntoskrnl.exe!ZwWriteFile": "raw kernel file IO",
+    "ntoskrnl.exe!ZwQueryDirectoryFile": "directory enumeration (hiding?)",
+}
+
+
+class StaticReport:
+    """Findings from one static pass."""
+
+    def __init__(self, parsed, machine, size, sections, resources,
+                 encrypted_resources, imports, suspicious_imports,
+                 signature, signature_valid, signer, anomalies):
+        self.parsed = parsed
+        self.machine = machine
+        self.size = size
+        self.sections = sections
+        self.resources = resources
+        self.encrypted_resources = encrypted_resources
+        self.imports = imports
+        self.suspicious_imports = suspicious_imports
+        self.signature = signature
+        self.signature_valid = signature_valid
+        self.signer = signer
+        self.anomalies = anomalies
+
+    @property
+    def suspicion_score(self):
+        """Rough 0..10 triage score an analyst would assign."""
+        score = 0
+        score += min(len(self.encrypted_resources) * 2, 4)
+        score += min(len(self.suspicious_imports), 3)
+        score += len(self.anomalies)
+        if self.signature is not None and not self.signature_valid:
+            score += 2
+        return min(score, 10)
+
+    def summary_lines(self):
+        lines = [
+            "machine: %s, size: %d bytes" % (self.machine, self.size),
+            "sections: %s" % ", ".join(self.sections),
+            "resources: %d (%d encrypted)" % (len(self.resources),
+                                              len(self.encrypted_resources)),
+            "signed by: %s (valid: %s)" % (self.signer, self.signature_valid),
+            "suspicion: %d/10" % self.suspicion_score,
+        ]
+        lines.extend("anomaly: %s" % a for a in self.anomalies)
+        return lines
+
+
+def analyze_pe(image_bytes, trust_store=None, at_time=0):
+    """Run the static pass over PE bytes.
+
+    Never raises on malformed input: an unparseable image comes back as
+    a maximally suspicious report, because that is itself a finding.
+    """
+    try:
+        pe = parse_pe(image_bytes)
+    except PeFormatError as exc:
+        return StaticReport(
+            parsed=False, machine="unknown", size=len(image_bytes),
+            sections=[], resources=[], encrypted_resources=[], imports=[],
+            suspicious_imports={}, signature=None, signature_valid=False,
+            signer=None, anomalies=["unparseable image: %s" % exc],
+        )
+
+    anomalies = []
+    encrypted = [r.name for r in pe.encrypted_resources()]
+    if encrypted:
+        anomalies.append("XOR-encrypted resources: %s" % ", ".join(encrypted))
+    pad = next((s for s in pe.sections if s.name == ".pad"), None)
+    if pad is not None and pad.size > len(image_bytes) // 2:
+        anomalies.append("padding dominates image (size inflation)")
+    for resource in pe.resources:
+        if resource.data[:2] == b"MZ" or (resource.xor_key and
+                                          resource.decrypt()[:2] == b"MZ"):
+            anomalies.append("embedded executable in resource %r" % resource.name)
+
+    imports = pe.imported_functions()
+    suspicious = {name: _SUSPICIOUS_IMPORTS[name]
+                  for name in imports if name in _SUSPICIOUS_IMPORTS}
+
+    signature = extract_signature(pe)
+    signature_valid = False
+    signer = None
+    if signature is not None:
+        signer = signature.signer_subject
+        if trust_store is not None:
+            signature_valid = bool(
+                trust_store.verify_code_signature(image_bytes, pe, at_time=at_time)
+            )
+        if signature.algorithm == "weakmd5":
+            anomalies.append("signature uses collision-prone hash (weakmd5)")
+
+    return StaticReport(
+        parsed=True,
+        machine=pe.machine_label,
+        size=len(image_bytes),
+        sections=[s.name for s in pe.sections],
+        resources=[r.name for r in pe.resources],
+        encrypted_resources=encrypted,
+        imports=imports,
+        suspicious_imports=suspicious,
+        signature=signature,
+        signature_valid=signature_valid,
+        signer=signer,
+        anomalies=anomalies,
+    )

@@ -1,0 +1,13 @@
+"""Bluetooth neighbourhood: the BEETLEJUICE substrate.
+
+§III.A: "Flame is the first Windows malware using bluetooth ... this
+module enumerates devices around the infected machine and turns itself
+into a 'beacon'", enabling social-network mapping, physical tracking,
+and exfiltration "through bluetooth connected devices which will bypass
+firewall and network controls".
+"""
+
+from repro.bluetooth.device import BluetoothDevice
+from repro.bluetooth.radio import BluetoothNeighborhood
+
+__all__ = ["BluetoothDevice", "BluetoothNeighborhood"]

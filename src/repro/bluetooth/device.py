@@ -1,0 +1,40 @@
+"""Personal bluetooth devices near simulated hosts."""
+
+
+class BluetoothDevice:
+    """A phone/headset/laptop in radio range of some host.
+
+    Carries the data BEETLEJUICE harvests (address book, SMS) plus an
+    ``internet_connected`` flag: a paired phone with a data plan can
+    bridge stolen data straight past the victim network's firewall.
+    """
+
+    KINDS = ("phone", "laptop", "headset", "tablet")
+
+    def __init__(self, name, kind="phone", owner=None, address=None,
+                 discoverable=True, internet_connected=False,
+                 address_book=(), sms_messages=()):
+        if kind not in self.KINDS:
+            raise ValueError("unknown device kind: %r" % kind)
+        self.name = name
+        self.kind = kind
+        self.owner = owner
+        self.address = address or "bt:%s" % name.lower().replace(" ", "-")
+        self.discoverable = discoverable
+        self.internet_connected = internet_connected
+        self.address_book = list(address_book)
+        self.sms_messages = list(sms_messages)
+        #: Bytes pushed through this device by a BT exfil bridge.
+        self.bridged_bytes = 0
+
+    def bridge(self, payload_size):
+        """Relay ``payload_size`` bytes to the internet, if able."""
+        if not self.internet_connected:
+            return False
+        self.bridged_bytes += payload_size
+        return True
+
+    def __repr__(self):
+        return "BluetoothDevice(%r, %s, owner=%r)" % (
+            self.name, self.kind, self.owner,
+        )

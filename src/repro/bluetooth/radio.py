@@ -1,0 +1,79 @@
+"""Radio-range bookkeeping and discovery/beacon operations."""
+
+
+class BluetoothNeighborhood:
+    """Who is in radio range of whom.
+
+    The environment builder places devices near hosts; BEETLEJUICE then
+    enumerates, beacons, and bridges through them.  Beacon sightings are
+    recorded per device so the physical-tracking claim (an attacker can
+    localise a victim by which devices saw its beacon) is measurable.
+    """
+
+    def __init__(self, kernel):
+        self._kernel = kernel
+        self._nearby = {}
+        #: hostname -> True while that host announces itself.
+        self._beaconing = {}
+        #: (device.address, hostname, time) sighting log.
+        self.beacon_sightings = []
+
+    def place_device(self, host, device):
+        """Put ``device`` in radio range of ``host``."""
+        self._nearby.setdefault(host.hostname, []).append(device)
+        return device
+
+    def remove_device(self, host, device):
+        devices = self._nearby.get(host.hostname, [])
+        if device in devices:
+            devices.remove(device)
+            return True
+        return False
+
+    def devices_near(self, host, discoverable_only=True):
+        """Enumerate devices in range (what an inquiry scan returns)."""
+        devices = self._nearby.get(host.hostname, [])
+        if discoverable_only:
+            return [d for d in devices if d.discoverable]
+        return list(devices)
+
+    def start_beacon(self, host):
+        """Make the host's adapter discoverable and log who can see it."""
+        if not host.config.has_bluetooth:
+            return []
+        self._beaconing[host.hostname] = True
+        witnesses = self.devices_near(host, discoverable_only=False)
+        for device in witnesses:
+            self.beacon_sightings.append(
+                (device.address, host.hostname, self._kernel.clock.now)
+            )
+        return witnesses
+
+    def stop_beacon(self, host):
+        self._beaconing.pop(host.hostname, None)
+
+    def is_beaconing(self, host):
+        return self._beaconing.get(host.hostname, False)
+
+    def sightings_of(self, host):
+        """All (device, time) pairs that observed this host's beacon."""
+        return [
+            (address, time)
+            for address, hostname, time in self.beacon_sightings
+            if hostname == host.hostname
+        ]
+
+    def bridge_exfiltrate(self, host, payload_size):
+        """Push data out through any internet-connected nearby device.
+
+        Returns the device used, or None — the firewall-bypass path the
+        paper's footnote 5 describes.
+        """
+        for device in self.devices_near(host, discoverable_only=False):
+            if device.bridge(payload_size):
+                self._kernel.trace.record(
+                    host.hostname, "bluetooth-exfil", device.name,
+                    size=payload_size,
+                )
+                return device
+        return None

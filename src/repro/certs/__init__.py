@@ -1,0 +1,66 @@
+"""Simulated public-key infrastructure.
+
+Certificates are the connective tissue of the paper's Section V.C
+("Certified Malwares"):
+
+* Stuxnet installs rootkit drivers signed with **stolen** JMicron and
+  Realtek certificates;
+* Flame **forges** a code-signing certificate from a Microsoft Terminal
+  Services licensing certificate that chained through a flawed (weak-hash)
+  signing algorithm (Fig. 3);
+* Shamoon reuses a **legitimately signed** Eldos raw-disk driver as-is;
+* Microsoft's advisory 2718704 response is modelled by the untrusted-
+  certificate store.
+
+All three abuse modes run for real against this module's chain
+verification — nothing is asserted by fiat.
+"""
+
+from repro.certs.certificate import (
+    Certificate,
+    KEY_USAGE_CA,
+    KEY_USAGE_CODE_SIGNING,
+    KEY_USAGE_LICENSE_VERIFICATION,
+    KEY_USAGE_SERVER_AUTH,
+)
+from repro.certs.authority import CertificateAuthority
+from repro.certs.codesign import CodeSignature, sign_image, extract_signature
+from repro.certs.store import TrustStore, VerificationResult
+from repro.certs.tsls import (
+    ForgeryFailed,
+    TerminalServicesLicensingServer,
+    forge_code_signing_certificate,
+)
+from repro.certs.wellknown import (
+    ELDOS,
+    JMICRON,
+    MICROSOFT_LICENSING_CA,
+    MICROSOFT_ROOT,
+    MICROSOFT_UPDATE_SIGNER,
+    PkiWorld,
+    REALTEK,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "CodeSignature",
+    "ELDOS",
+    "ForgeryFailed",
+    "JMICRON",
+    "MICROSOFT_LICENSING_CA",
+    "MICROSOFT_ROOT",
+    "MICROSOFT_UPDATE_SIGNER",
+    "PkiWorld",
+    "REALTEK",
+    "KEY_USAGE_CA",
+    "KEY_USAGE_CODE_SIGNING",
+    "KEY_USAGE_LICENSE_VERIFICATION",
+    "KEY_USAGE_SERVER_AUTH",
+    "TerminalServicesLicensingServer",
+    "TrustStore",
+    "VerificationResult",
+    "extract_signature",
+    "forge_code_signing_certificate",
+    "sign_image",
+]

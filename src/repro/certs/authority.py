@@ -1,0 +1,85 @@
+"""Certificate authorities: root creation and certificate issuance."""
+
+import itertools
+
+from repro.certs.certificate import (
+    Certificate,
+    KEY_USAGE_CA,
+)
+from repro.crypto.rsa import generate_keypair
+
+#: One century of virtual seconds — effectively "never expires" for the
+#: 2010-2012 campaign window the simulation covers.
+_DEFAULT_LIFETIME = 100 * 365 * 86400
+
+
+class CertificateAuthority:
+    """A CA that can issue (and thereby vouch for) certificates.
+
+    The signature algorithm is configured per-issuance: Microsoft's
+    Terminal Services licensing chain historically kept signing with a
+    weak hash long after it was broken, which is what
+    ``algorithm="weakmd5"`` models.
+    """
+
+    def __init__(self, name, key_bits=512):
+        self.name = name
+        self.keypair = generate_keypair("ca:%s" % name, bits=key_bits)
+        self._serials = itertools.count(1)
+        self.root_certificate = self._make_root()
+        self.issued = []
+
+    def _make_root(self):
+        cert = Certificate(
+            subject=self.name,
+            issuer=self.name,
+            serial=self._next_serial(),
+            public_key=self.keypair.public,
+            usages={KEY_USAGE_CA},
+            not_before=0,
+            not_after=_DEFAULT_LIFETIME,
+            signature_algorithm="sha256",
+        )
+        cert.signature = self.keypair.sign(cert.tbs_bytes(), "sha256")
+        return cert
+
+    def _next_serial(self):
+        return "%s-%06d" % (self.name.replace(" ", "_"), next(self._serials))
+
+    def issue(self, subject, public_key, usages, not_before=0, not_after=None,
+              algorithm="sha256"):
+        """Issue a certificate binding ``subject`` to ``public_key``.
+
+        Returns the signed :class:`Certificate`.  ``algorithm`` selects
+        the signature hash — choosing ``"weakmd5"`` creates the very
+        weakness the Flame forgery exploits.
+        """
+        if not_after is None:
+            not_after = not_before + _DEFAULT_LIFETIME
+        cert = Certificate(
+            subject=subject,
+            issuer=self.name,
+            serial=self._next_serial(),
+            public_key=public_key,
+            usages=usages,
+            not_before=not_before,
+            not_after=not_after,
+            signature_algorithm=algorithm,
+        )
+        cert.signature = self.keypair.sign(cert.tbs_bytes(), algorithm)
+        self.issued.append(cert)
+        return cert
+
+    def issue_with_new_key(self, subject, usages, key_bits=512, **kwargs):
+        """Issue a certificate over a freshly derived key pair.
+
+        Returns ``(certificate, keypair)`` — the holder keeps the private
+        half.  Key derivation is deterministic in ``subject`` so repeated
+        simulations agree.
+        """
+        keypair = generate_keypair("subject:%s:%s" % (self.name, subject), bits=key_bits)
+        cert = self.issue(subject, keypair.public, usages, **kwargs)
+        return cert, keypair
+
+    def __repr__(self):
+        return "CertificateAuthority(%r, issued=%d)" % (self.name, len(self.issued))

@@ -1,0 +1,160 @@
+"""X.509-like certificates for the simulated PKI."""
+
+from repro.crypto.hashes import WEAK_DIGEST_SIZE
+from repro.crypto.rsa import RsaPublicKey
+from repro.pe.format import ByteReader, pack_bytes, pack_str, pack_u32
+
+KEY_USAGE_CA = "ca"
+KEY_USAGE_CODE_SIGNING = "code-signing"
+#: The limited usage Microsoft grants a Terminal Services Licensing Server:
+#: "a limited use certificate allowing only to verify the ownership of the
+#: TSLS" (§III.A).
+KEY_USAGE_LICENSE_VERIFICATION = "license-verification"
+KEY_USAGE_SERVER_AUTH = "server-auth"
+
+_KNOWN_USAGES = {
+    KEY_USAGE_CA,
+    KEY_USAGE_CODE_SIGNING,
+    KEY_USAGE_LICENSE_VERIFICATION,
+    KEY_USAGE_SERVER_AUTH,
+}
+
+
+class Certificate:
+    """A signed binding of a subject name to a public key.
+
+    The to-be-signed (TBS) bytes end with an attacker-controllable
+    ``collision_pad`` field.  Real certificates have an empty pad; a
+    forged certificate carries the 16-byte block that makes its TBS bytes
+    collide (under the weak hash) with a legitimately signed TBS — the
+    exact shape of the Flame chosen-prefix collision.
+    """
+
+    def __init__(self, subject, issuer, serial, public_key, usages,
+                 not_before, not_after, signature_algorithm="sha256",
+                 signature=None, collision_pad=b""):
+        unknown = set(usages) - _KNOWN_USAGES
+        if unknown:
+            raise ValueError("unknown key usages: %s" % sorted(unknown))
+        if not_after <= not_before:
+            raise ValueError("certificate validity window is empty")
+        self.subject = subject
+        self.issuer = issuer
+        self.serial = serial
+        self.public_key = public_key
+        self.usages = frozenset(usages)
+        self.not_before = not_before
+        self.not_after = not_after
+        self.signature_algorithm = signature_algorithm
+        self.signature = signature
+        self.collision_pad = bytes(collision_pad)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def is_self_signed(self):
+        return self.subject == self.issuer
+
+    def allows(self, usage):
+        """True when the certificate's key usage permits ``usage``."""
+        return usage in self.usages
+
+    def valid_at(self, when):
+        """True when virtual time ``when`` is inside the validity window."""
+        return self.not_before <= when <= self.not_after
+
+    # -- signing surface -----------------------------------------------------
+
+    def tbs_bytes(self):
+        """The to-be-signed encoding the issuer's signature covers.
+
+        The fixed fields are padded to a 16-byte boundary before the
+        collision pad is appended, so that a forger can use
+        :func:`repro.crypto.forge_collision_block` directly.
+        """
+        key = self.public_key
+        fixed = b"".join(
+            [
+                pack_str(self.subject),
+                pack_str(self.issuer),
+                pack_str(self.serial),
+                pack_bytes(key.modulus.to_bytes((key.modulus.bit_length() + 7) // 8, "big")),
+                pack_u32(key.exponent),
+                pack_str(",".join(sorted(self.usages))),
+                pack_u32(int(self.not_before)),
+                pack_u32(int(self.not_after)),
+                pack_str(self.signature_algorithm),
+            ]
+        )
+        if len(fixed) % WEAK_DIGEST_SIZE:
+            fixed += b"\x00" * (WEAK_DIGEST_SIZE - len(fixed) % WEAK_DIGEST_SIZE)
+        return fixed + self.collision_pad
+
+    def verify_signature(self, issuer_public_key):
+        """Check this certificate's signature against the issuer's key."""
+        if self.signature is None:
+            return False
+        return issuer_public_key.verify(
+            self.tbs_bytes(), self.signature, self.signature_algorithm
+        )
+
+    # -- wire format ---------------------------------------------------------
+
+    def to_bytes(self):
+        """Serialise for embedding in code-signature blobs."""
+        sig = self.signature if self.signature is not None else 0
+        sig_bytes = sig.to_bytes((sig.bit_length() + 7) // 8 or 1, "big")
+        return b"".join(
+            [
+                pack_bytes(self.tbs_bytes()),
+                pack_str(self.subject),
+                pack_str(self.issuer),
+                pack_str(self.serial),
+                pack_bytes(self.public_key.modulus.to_bytes(
+                    (self.public_key.modulus.bit_length() + 7) // 8, "big")),
+                pack_u32(self.public_key.exponent),
+                pack_str(",".join(sorted(self.usages))),
+                pack_u32(int(self.not_before)),
+                pack_u32(int(self.not_after)),
+                pack_str(self.signature_algorithm),
+                pack_bytes(sig_bytes),
+                pack_bytes(self.collision_pad),
+            ]
+        )
+
+    @classmethod
+    def from_bytes(cls, blob):
+        reader = ByteReader(blob)
+        reader.length_prefixed_bytes()  # redundant TBS copy; fields rebuild it
+        subject = reader.length_prefixed_str()
+        issuer = reader.length_prefixed_str()
+        serial = reader.length_prefixed_str()
+        modulus = int.from_bytes(reader.length_prefixed_bytes(), "big")
+        exponent = reader.u32()
+        usages_text = reader.length_prefixed_str()
+        usages = set(usages_text.split(",")) if usages_text else set()
+        not_before = reader.u32()
+        not_after = reader.u32()
+        algorithm = reader.length_prefixed_str()
+        signature = int.from_bytes(reader.length_prefixed_bytes(), "big")
+        collision_pad = reader.length_prefixed_bytes()
+        return cls(
+            subject=subject,
+            issuer=issuer,
+            serial=serial,
+            public_key=RsaPublicKey(modulus, exponent),
+            usages=usages,
+            not_before=not_before,
+            not_after=not_after,
+            signature_algorithm=algorithm,
+            signature=signature or None,
+            collision_pad=collision_pad,
+        )
+
+    def __repr__(self):
+        return "Certificate(%r <- %r, usages=%s, alg=%s)" % (
+            self.subject,
+            self.issuer,
+            sorted(self.usages),
+            self.signature_algorithm,
+        )

@@ -1,0 +1,85 @@
+"""Authenticode-like code signing over synthetic PE images."""
+
+from repro.certs.certificate import Certificate
+from repro.pe.format import ByteReader, pack_bytes, pack_str, pack_u16
+
+
+class CodeSignature:
+    """A detached signature blob embedded at the tail of a PE image.
+
+    Contains the leaf-first certificate chain, the digest algorithm, and
+    the RSA signature the leaf key made over the image's signed span.
+    """
+
+    def __init__(self, chain, algorithm, signature):
+        if not chain:
+            raise ValueError("signature must carry at least the leaf certificate")
+        self.chain = list(chain)
+        self.algorithm = algorithm
+        self.signature = signature
+
+    @property
+    def leaf(self):
+        return self.chain[0]
+
+    @property
+    def signer_subject(self):
+        return self.leaf.subject
+
+    def to_bytes(self):
+        # Pad the signature to the leaf modulus width so blob size is
+        # independent of the particular signature value; file-size
+        # targeting (Shamoon's 900 KB) depends on this.
+        width = (self.leaf.public_key.modulus.bit_length() + 7) // 8
+        sig_bytes = self.signature.to_bytes(width, "big")
+        parts = [pack_u16(len(self.chain))]
+        parts.extend(pack_bytes(cert.to_bytes()) for cert in self.chain)
+        parts.append(pack_str(self.algorithm))
+        parts.append(pack_bytes(sig_bytes))
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, blob):
+        reader = ByteReader(blob)
+        chain = [
+            Certificate.from_bytes(reader.length_prefixed_bytes())
+            for _ in range(reader.u16())
+        ]
+        algorithm = reader.length_prefixed_str()
+        signature = int.from_bytes(reader.length_prefixed_bytes(), "big")
+        return cls(chain, algorithm, signature)
+
+    def __repr__(self):
+        return "CodeSignature(by=%r, alg=%s, chain=%d)" % (
+            self.signer_subject,
+            self.algorithm,
+            len(self.chain),
+        )
+
+
+def sign_image(builder, keypair, chain, algorithm="sha256", target_size=None):
+    """Sign the image a :class:`~repro.pe.PeBuilder` describes.
+
+    The builder is serialised once *without* a signature to obtain the
+    signed span, the leaf key signs those bytes, and the final image with
+    the signature blob appended is returned.
+    """
+    builder.set_signature_blob(None)
+    if target_size is not None:
+        # Pre-pad so the final (signed) file lands exactly on the target
+        # size: signature blobs have a fixed width (see CodeSignature).
+        probe = CodeSignature(chain, algorithm, signature=0)
+        overhead = len(b"SIGN") + 4 + len(probe.to_bytes())
+        body = builder.build(target_size=target_size - overhead)
+    else:
+        body = builder.build(target_size=None)
+    signature = keypair.sign(body, algorithm)
+    blob = CodeSignature(chain, algorithm, signature).to_bytes()
+    return body + b"SIGN" + pack_bytes(blob)
+
+
+def extract_signature(pe_file):
+    """Pull the :class:`CodeSignature` out of a parsed PE, or None."""
+    if pe_file.signature_blob is None:
+        return None
+    return CodeSignature.from_bytes(pe_file.signature_blob)

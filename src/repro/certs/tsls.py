@@ -1,0 +1,107 @@
+"""Terminal Services licensing and the Flame certificate forgery (Fig. 3).
+
+The paper's Figure 3 narrative, made executable:
+
+1. An enterprise activates a Terminal Services Licensing Server (TSLS) by
+   contacting Microsoft, which issues "a limited use certificate allowing
+   only to verify the ownership of the TSLS".
+2. That licensing chain signs with a flawed algorithm (modelled by the
+   collision-forgeable ``weakmd5`` digest).
+3. "Flame designers managed to use the certificate to sign code using a
+   flawed signing algorithm": the attacker constructs a *rogue*
+   code-signing certificate whose to-be-signed bytes collide with the
+   legitimate certificate's, then transplants Microsoft's signature onto
+   it.  Windows hosts now accept attacker-signed binaries as genuine
+   Microsoft updates.
+"""
+
+from repro.certs.certificate import (
+    Certificate,
+    KEY_USAGE_CODE_SIGNING,
+    KEY_USAGE_LICENSE_VERIFICATION,
+)
+from repro.crypto.hashes import forge_collision_block, is_collision_forgeable, weak_digest
+from repro.crypto.rsa import generate_keypair
+
+
+class ForgeryFailed(Exception):
+    """Raised when a certificate forgery attempt cannot succeed."""
+
+
+class TerminalServicesLicensingServer:
+    """A TSLS instance an enterprise runs to hand out RDP licenses."""
+
+    def __init__(self, organization):
+        self.organization = organization
+        self.keypair = generate_keypair("tsls:%s" % organization)
+        self.certificate = None
+        self.licenses_issued = 0
+
+    @property
+    def activated(self):
+        return self.certificate is not None
+
+    def activate(self, licensing_authority, algorithm="weakmd5", at_time=0):
+        """Contact Microsoft's licensing CA and obtain the limited cert.
+
+        ``algorithm`` defaults to the historically flawed one; passing
+        ``"sha256"`` models a fixed licensing chain (the ablation case).
+        """
+        self.certificate = licensing_authority.issue(
+            subject="TSLS %s" % self.organization,
+            public_key=self.keypair.public,
+            usages={KEY_USAGE_LICENSE_VERIFICATION},
+            not_before=at_time,
+            algorithm=algorithm,
+        )
+        return self.certificate
+
+    def issue_client_license(self, client_name):
+        """Issue an RDP client license — the server's *intended* purpose."""
+        if not self.activated:
+            raise RuntimeError("TSLS must be activated before issuing licenses")
+        self.licenses_issued += 1
+        return {
+            "client": client_name,
+            "server": self.organization,
+            "license_id": self.licenses_issued,
+        }
+
+
+def forge_code_signing_certificate(legitimate_cert, attacker_subject,
+                                   attacker_public_key=None):
+    """Forge a code-signing certificate from a limited licensing cert.
+
+    Builds a new certificate with the attacker's key and the
+    code-signing usage, computes the collision block that makes its TBS
+    bytes hash (under the weak algorithm) to the same digest as the
+    legitimate certificate's TBS bytes, and transplants the legitimate
+    signature.  Raises :class:`ForgeryFailed` when the chain signs with a
+    collision-resistant algorithm — the attack genuinely does not work
+    there, which the Fig. 3 benchmark demonstrates.
+    """
+    algorithm = legitimate_cert.signature_algorithm
+    if not is_collision_forgeable(algorithm):
+        raise ForgeryFailed(
+            "licensing chain signs with %r; no collision attack available"
+            % algorithm
+        )
+    if legitimate_cert.signature is None:
+        raise ForgeryFailed("legitimate certificate carries no signature")
+    if attacker_public_key is None:
+        attacker_public_key = generate_keypair("forger:%s" % attacker_subject).public
+
+    rogue = Certificate(
+        subject=attacker_subject,
+        issuer=legitimate_cert.issuer,
+        serial=legitimate_cert.serial,
+        public_key=attacker_public_key,
+        usages={KEY_USAGE_CODE_SIGNING},
+        not_before=legitimate_cert.not_before,
+        not_after=legitimate_cert.not_after,
+        signature_algorithm=algorithm,
+    )
+    target = weak_digest(legitimate_cert.tbs_bytes())
+    rogue.collision_pad = forge_collision_block(rogue.tbs_bytes(), target)
+    rogue.signature = legitimate_cert.signature
+    return rogue

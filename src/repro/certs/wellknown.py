@@ -1,0 +1,101 @@
+"""The standard PKI world every simulated Windows host is born into.
+
+Builds the cast of certificate authorities and vendor certificates the
+paper's campaign plays out against:
+
+* **Microsoft Root Authority** — trusted by every host; anchors both the
+  Windows Update signing chain and the (flawed) Terminal Services
+  licensing intermediate.
+* **Commodo Commercial CA** — a VeriSign-like commercial CA that issued
+  the JMicron and Realtek code-signing certificates Stuxnet stole, and
+  the Eldos certificate on the legitimate raw-disk driver Shamoon reuses.
+"""
+
+from repro.certs.authority import CertificateAuthority
+from repro.certs.certificate import (
+    KEY_USAGE_CA,
+    KEY_USAGE_CODE_SIGNING,
+)
+from repro.certs.store import TrustStore
+from repro.crypto.rsa import generate_keypair
+
+MICROSOFT_ROOT = "Microsoft Root Authority"
+MICROSOFT_UPDATE_SIGNER = "Microsoft Windows Update Publisher"
+MICROSOFT_LICENSING_CA = "Microsoft Enforced Licensing Intermediate PCA"
+COMMERCIAL_ROOT = "Commodo Commercial Root CA"
+
+#: Vendors whose code-signing certificates appear in the campaign.
+JMICRON = "JMicron Technology Corp."
+REALTEK = "Realtek Semiconductor Corp."
+ELDOS = "EldoS Corporation"
+
+
+class PkiWorld:
+    """Everything certificate-shaped the simulation shares.
+
+    Construct once per scenario; hand :meth:`make_trust_store` results to
+    each simulated host.  Vendor key pairs are held here too — "stealing
+    a certificate" in the Stuxnet model means obtaining a vendor's
+    ``(certificate, keypair)`` tuple from this registry.
+    """
+
+    def __init__(self):
+        self.microsoft_root = CertificateAuthority(MICROSOFT_ROOT)
+        self.commercial_root = CertificateAuthority(COMMERCIAL_ROOT)
+
+        # Windows Update's own signer: chains directly to the MS root.
+        self.update_signer_cert, self.update_signer_key = (
+            self.microsoft_root.issue_with_new_key(
+                MICROSOFT_UPDATE_SIGNER, {KEY_USAGE_CODE_SIGNING}
+            )
+        )
+
+        # The licensing intermediate still signs with the weak algorithm —
+        # this is the flaw Fig. 3 turns into a code-signing forgery.
+        self.licensing_ca = CertificateAuthority(MICROSOFT_LICENSING_CA)
+        self.licensing_ca_cert = self.microsoft_root.issue(
+            MICROSOFT_LICENSING_CA,
+            self.licensing_ca.keypair.public,
+            usages={KEY_USAGE_CA},
+            algorithm="weakmd5",
+        )
+
+        self._vendor_credentials = {}
+        for vendor in (JMICRON, REALTEK, ELDOS):
+            cert, keypair = self.commercial_root.issue_with_new_key(
+                vendor, {KEY_USAGE_CODE_SIGNING}
+            )
+            self._vendor_credentials[vendor] = (cert, keypair)
+
+    def vendor_credentials(self, vendor):
+        """(certificate, keypair) for a vendor — the theft surface."""
+        try:
+            return self._vendor_credentials[vendor]
+        except KeyError:
+            raise KeyError("unknown vendor: %r" % vendor) from None
+
+    def vendor_chain(self, vendor):
+        """Leaf-first chain for a vendor certificate."""
+        cert, _ = self.vendor_credentials(vendor)
+        return [cert]
+
+    def update_signing_chain(self):
+        """Chain Windows Update binaries are legitimately signed with."""
+        return [self.update_signer_cert]
+
+    def licensing_chain_tail(self):
+        """The intermediate the forged Flame certificate chains through."""
+        return [self.licensing_ca_cert]
+
+    def make_trust_store(self):
+        """A fresh per-host trust store with the standard roots."""
+        return TrustStore(
+            trusted_roots=[
+                self.microsoft_root.root_certificate,
+                self.commercial_root.root_certificate,
+            ]
+        )
+
+    def make_keypair(self, label):
+        """Derive an arbitrary key pair inside this world (test helper)."""
+        return generate_keypair("world:%s" % label)

@@ -1,0 +1,28 @@
+"""Command-and-control infrastructure (Figs. 4 and 5).
+
+The full platform the paper maps behind Flame: ~80 registered domains
+(fake identities, mostly German/Austrian addresses, many registrars)
+pointing at 22 server IPs; each server a hardened LAMP box whose Apache
+dead-drops data through the ``newsforyou/{ads,news,entries}`` folders;
+all of it steered by a single attack center whose admin, operator, and
+coordinator roles deliberately partition knowledge (only the coordinator
+holds the private key that opens stolen data).
+"""
+
+from repro.cnc.domains import DomainPool, DomainRegistration
+from repro.cnc.database import MiniDatabase
+from repro.cnc.server import CncServer, ADS_FOLDER, ENTRIES_FOLDER, NEWS_FOLDER
+from repro.cnc.protocol import CncClient
+from repro.cnc.attack_center import AttackCenter
+
+__all__ = [
+    "ADS_FOLDER",
+    "AttackCenter",
+    "CncClient",
+    "CncServer",
+    "DomainPool",
+    "DomainRegistration",
+    "ENTRIES_FOLDER",
+    "MiniDatabase",
+    "NEWS_FOLDER",
+]

@@ -1,0 +1,77 @@
+"""MiniDatabase: the MySQL stand-in on each C&C server.
+
+§III.B "Database": "the server maintains a MySQL database. The database
+stores data about: connecting clients, packages to send to the clients,
+encryption settings, authentication to access the control panel."
+"""
+
+
+class MiniDatabase:
+    """Tiny schemaless table store with predicate queries."""
+
+    def __init__(self):
+        self._tables = {}
+        self._next_rowid = 1
+
+    def create_table(self, name):
+        self._tables.setdefault(name, [])
+
+    def tables(self):
+        return sorted(self._tables)
+
+    def insert(self, table, **row):
+        self.create_table(table)
+        row = dict(row)
+        row["_rowid"] = self._next_rowid
+        self._next_rowid += 1
+        self._tables[table].append(row)
+        return row["_rowid"]
+
+    def select(self, table, **equals):
+        """Rows where every given column equals the given value."""
+        rows = self._tables.get(table, [])
+        out = []
+        for row in rows:
+            if all(row.get(column) == value for column, value in equals.items()):
+                out.append(dict(row))
+        return out
+
+    def select_one(self, table, **equals):
+        rows = self.select(table, **equals)
+        return rows[0] if rows else None
+
+    def update(self, table, where, changes):
+        """Apply ``changes`` to rows matching the ``where`` equals-dict."""
+        count = 0
+        for row in self._tables.get(table, []):
+            if all(row.get(c) == v for c, v in where.items()):
+                row.update(changes)
+                count += 1
+        return count
+
+    def delete(self, table, **equals):
+        rows = self._tables.get(table, [])
+        keep = []
+        removed = 0
+        for row in rows:
+            if all(row.get(c) == v for c, v in equals.items()):
+                removed += 1
+            else:
+                keep.append(row)
+        self._tables[table] = keep
+        return removed
+
+    def delete_where(self, table, predicate):
+        """Delete rows matching an arbitrary predicate (cleanup tasks)."""
+        rows = self._tables.get(table, [])
+        keep = [row for row in rows if not predicate(row)]
+        removed = len(rows) - len(keep)
+        self._tables[table] = keep
+        return removed
+
+    def count(self, table, **equals):
+        return len(self.select(table, **equals))
+
+    def drop_all(self):
+        """Destroy every table (server suicide)."""
+        self._tables = {}

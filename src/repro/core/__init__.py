@@ -1,0 +1,34 @@
+"""Campaign orchestration: the public top of the library.
+
+Environments build the worlds the paper's attacks play out in (an
+air-gapped enrichment plant, a ministry LAN, a 30,000-host oil company);
+campaigns wire malware into those worlds, run the clock, and return the
+measurements the benchmark harness prints.
+"""
+
+from repro.core.environments import (
+    CampaignWorld,
+    build_flame_infrastructure,
+    build_natanz_plant,
+    build_office_lan,
+    seed_user_documents,
+)
+from repro.core.campaign import (
+    FlameEspionageCampaign,
+    ShamoonWiperCampaign,
+    StuxnetNatanzCampaign,
+)
+from repro.core.reporting import comparison_table, format_row
+
+__all__ = [
+    "CampaignWorld",
+    "FlameEspionageCampaign",
+    "ShamoonWiperCampaign",
+    "StuxnetNatanzCampaign",
+    "build_flame_infrastructure",
+    "build_natanz_plant",
+    "build_office_lan",
+    "comparison_table",
+    "format_row",
+    "seed_user_documents",
+]

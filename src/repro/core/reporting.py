@@ -1,0 +1,28 @@
+"""Paper-vs-measured report formatting for the benchmark harness."""
+
+
+def format_row(label, paper_value, measured_value, verdict=None):
+    """One aligned row: what the paper says vs what the simulation did."""
+    mark = ""
+    if verdict is not None:
+        mark = "  [%s]" % ("OK" if verdict else "DIVERGES")
+    return "%-46s paper: %-28s measured: %-28s%s" % (
+        label, str(paper_value), str(measured_value), mark,
+    )
+
+
+def comparison_table(title, rows):
+    """Render a titled block of :func:`format_row` rows.
+
+    ``rows`` is an iterable of (label, paper, measured[, verdict]).
+    """
+    lines = ["", "=" * 100, title, "-" * 100]
+    for row in rows:
+        if len(row) == 4:
+            label, paper, measured, verdict = row
+        else:
+            label, paper, measured = row
+            verdict = None
+        lines.append(format_row(label, paper, measured, verdict))
+    lines.append("=" * 100)
+    return "\n".join(lines)

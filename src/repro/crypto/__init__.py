@@ -1,0 +1,46 @@
+"""Toy cryptography substrate.
+
+Nothing here is real-world secure, deliberately: the point is to model the
+*roles* cryptography plays in the paper's campaign —
+
+* Shamoon hides its wiper/reporter resources behind a **simple XOR
+  cipher** (§IV);
+* Flame seals stolen data with a **public key** whose private half only
+  the attack coordinator holds (§III.B);
+* the Flame GADGET module forges a code-signing certificate by exploiting
+  a **collision-forgeable hash** in an old signing algorithm (Fig. 3).
+
+The forgeable hash (:func:`weak_digest` / :func:`forge_collision_block`)
+is a linear toy function: it exists so the certificate-forgery experiment
+can actually *execute* the attack rather than assert it.
+"""
+
+from repro.crypto.ciphers import Rc4Cipher, xor_decrypt, xor_encrypt
+from repro.crypto.hashes import (
+    WEAK_DIGEST_SIZE,
+    digest,
+    forge_collision_block,
+    is_collision_forgeable,
+    sha256_digest,
+    weak_digest,
+)
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.crypto.sealed import SealedBlob, seal, unseal
+
+__all__ = [
+    "WEAK_DIGEST_SIZE",
+    "Rc4Cipher",
+    "RsaKeyPair",
+    "RsaPublicKey",
+    "SealedBlob",
+    "digest",
+    "forge_collision_block",
+    "generate_keypair",
+    "is_collision_forgeable",
+    "seal",
+    "sha256_digest",
+    "unseal",
+    "weak_digest",
+    "xor_decrypt",
+    "xor_encrypt",
+]

@@ -1,0 +1,87 @@
+"""Hash functions, including a deliberately forgeable one.
+
+Flame's GADGET module could sign fake Windows updates because Microsoft's
+Terminal Services licensing certificates chained through "a flawed signing
+algorithm" — MD5, against which the attackers mounted a chosen-prefix
+collision (§III.A, Fig. 3).  Running a real MD5 collision search is out of
+scope (and out of CPU budget), so the simulated PKI offers two signature
+hash algorithms:
+
+* ``"sha256"`` — a real, collision-resistant hash (via :mod:`hashlib`);
+* ``"weakmd5"`` — a toy *linear* 128-bit checksum for which anyone can
+  compute, in constant time, a 16-byte block that makes an arbitrary
+  message collide with an arbitrary target digest.
+
+Signing with ``weakmd5`` is therefore exactly as broken as the paper needs
+it to be: the forgery experiment executes the collision for real instead
+of stubbing it.
+"""
+
+import hashlib
+
+#: Size in bytes of a :func:`weak_digest` output.
+WEAK_DIGEST_SIZE = 16
+
+_WEAK_MODULUS = 1 << (8 * WEAK_DIGEST_SIZE)
+
+
+def sha256_digest(data):
+    """Collision-resistant digest (real SHA-256)."""
+    return hashlib.sha256(data).digest()
+
+
+def weak_digest(data):
+    """Linear 128-bit toy checksum: the sum of 16-byte blocks mod 2^128.
+
+    Linearity is the (intentional) flaw: appending one crafted block can
+    steer the digest to any target value.
+    """
+    state = len(data) % _WEAK_MODULUS
+    for offset in range(0, len(data), WEAK_DIGEST_SIZE):
+        block = data[offset : offset + WEAK_DIGEST_SIZE]
+        block = block.ljust(WEAK_DIGEST_SIZE, b"\x00")
+        state = (state + int.from_bytes(block, "big")) % _WEAK_MODULUS
+    return state.to_bytes(WEAK_DIGEST_SIZE, "big")
+
+
+def forge_collision_block(prefix, target_digest):
+    """Return a 16-byte block B with ``weak_digest(prefix + B) == target``.
+
+    The returned block is the "collision" a chosen-prefix attack would
+    search for against a weak real-world hash.  ``prefix`` must already be
+    block-aligned (pad with zeros first if it is not); this mirrors the
+    alignment games real collision attacks play.
+    """
+    if len(prefix) % WEAK_DIGEST_SIZE != 0:
+        raise ValueError(
+            "prefix must be a multiple of %d bytes; pad it first"
+            % WEAK_DIGEST_SIZE
+        )
+    if len(target_digest) != WEAK_DIGEST_SIZE:
+        raise ValueError("target digest must be %d bytes" % WEAK_DIGEST_SIZE)
+    current = int.from_bytes(weak_digest(prefix), "big")
+    # Appending one block adds (block value + 16) to the running state:
+    # the block's integer value plus the length increase of 16 bytes.
+    target = int.from_bytes(target_digest, "big")
+    needed = (target - current - WEAK_DIGEST_SIZE) % _WEAK_MODULUS
+    return needed.to_bytes(WEAK_DIGEST_SIZE, "big")
+
+
+_DIGESTS = {
+    "sha256": sha256_digest,
+    "weakmd5": weak_digest,
+}
+
+
+def digest(algorithm, data):
+    """Dispatch to a named digest algorithm ('sha256' or 'weakmd5')."""
+    try:
+        function = _DIGESTS[algorithm]
+    except KeyError:
+        raise ValueError("unknown digest algorithm: %r" % algorithm) from None
+    return function(data)
+
+
+def is_collision_forgeable(algorithm):
+    """True for algorithms an attacker can forge collisions against."""
+    return algorithm == "weakmd5"

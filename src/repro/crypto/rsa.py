@@ -1,0 +1,166 @@
+"""Schoolbook RSA for the simulated PKI and C&C data sealing.
+
+Flame's stolen data is "encrypted using a public key available on the
+server" whose private half only the attack coordinator holds (§III.B);
+certificates in :mod:`repro.certs` carry RSA signatures over a named
+digest.  Keys are small (default 512-bit modulus) because the simulation
+needs speed, not security.
+"""
+
+import hashlib
+
+from repro.crypto.hashes import digest as _digest
+
+
+def _miller_rabin(candidate, witnesses):
+    """Deterministic-enough Miller-Rabin test with the given witnesses."""
+    if candidate < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if candidate % small == 0:
+            return candidate == small
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in witnesses:
+        a %= candidate
+        if a in (0, 1, candidate - 1):
+            continue
+        x = pow(a, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def _derive_prime(seed_material, bits):
+    """Deterministically derive a ``bits``-bit prime from seed material.
+
+    We stretch the seed with SHA-256 counters, set the top two bits and
+    the low bit, and walk forward to the next prime.  Deterministic key
+    generation keeps whole simulations reproducible from a single seed.
+    """
+    counter = 0
+    while True:
+        stream = b""
+        while len(stream) * 8 < bits:
+            stream += hashlib.sha256(
+                b"%s|%d|%d" % (seed_material, counter, len(stream))
+            ).digest()
+        candidate = int.from_bytes(stream[: (bits + 7) // 8], "big")
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        candidate &= (1 << bits) - 1
+        for _ in range(4096):
+            if _miller_rabin(candidate, _MR_WITNESSES):
+                return candidate
+            candidate += 2
+        counter += 1
+
+
+class RsaPublicKey:
+    """RSA public half: verify signatures, seal (encrypt) small payloads."""
+
+    def __init__(self, modulus, exponent=65537):
+        self.modulus = modulus
+        self.exponent = exponent
+
+    @property
+    def bits(self):
+        return self.modulus.bit_length()
+
+    def fingerprint(self):
+        """Short stable identifier for this key."""
+        material = b"%d:%d" % (self.modulus, self.exponent)
+        return hashlib.sha256(material).hexdigest()[:16]
+
+    def verify(self, data, signature, algorithm="sha256"):
+        """True if ``signature`` is a valid signature of ``data``.
+
+        The scheme is textbook "hash-then-exponentiate": the signature is
+        valid when sig^e mod n equals the digest of the data.  Crucially,
+        the *security* of the scheme is the security of the digest — a
+        signature made over a ``weakmd5`` collision of the data verifies
+        just as happily, which is the flaw Fig. 3 exploits.
+        """
+        expected = int.from_bytes(_digest(algorithm, data), "big") % self.modulus
+        return pow(signature, self.exponent, self.modulus) == expected
+
+    def encrypt(self, plaintext):
+        """Seal a small payload (must fit in the modulus)."""
+        value = int.from_bytes(b"\x01" + plaintext, "big")
+        if value >= self.modulus:
+            raise ValueError(
+                "plaintext too large for %d-bit modulus" % self.bits
+            )
+        return pow(value, self.exponent, self.modulus)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, RsaPublicKey)
+            and self.modulus == other.modulus
+            and self.exponent == other.exponent
+        )
+
+    def __hash__(self):
+        return hash((self.modulus, self.exponent))
+
+    def __repr__(self):
+        return "RsaPublicKey(bits=%d, fp=%s)" % (self.bits, self.fingerprint())
+
+
+class RsaKeyPair:
+    """Full RSA key pair: everything the public key does, plus sign/unseal."""
+
+    def __init__(self, p, q, exponent=65537):
+        if p == q:
+            raise ValueError("p and q must differ")
+        self._p = p
+        self._q = q
+        modulus = p * q
+        phi = (p - 1) * (q - 1)
+        self._d = pow(exponent, -1, phi)
+        self.public = RsaPublicKey(modulus, exponent)
+
+    @property
+    def modulus(self):
+        return self.public.modulus
+
+    def sign(self, data, algorithm="sha256"):
+        """Sign the digest of ``data`` under the named algorithm."""
+        value = int.from_bytes(_digest(algorithm, data), "big") % self.modulus
+        return pow(value, self._d, self.modulus)
+
+    def decrypt(self, ciphertext):
+        """Unseal a payload produced by :meth:`RsaPublicKey.encrypt`."""
+        value = pow(ciphertext, self._d, self.modulus)
+        raw = value.to_bytes((value.bit_length() + 7) // 8, "big")
+        if not raw.startswith(b"\x01"):
+            raise ValueError("decryption failed: bad framing")
+        return raw[1:]
+
+
+def generate_keypair(label, bits=512):
+    """Deterministically generate a key pair from a string label.
+
+    Two calls with the same label yield the same key, so a simulation can
+    reconstruct "the coordinator's key" anywhere without shared state.
+    """
+    if bits < 128:
+        raise ValueError("modulus below 128 bits cannot frame payloads")
+    half = bits // 2
+    label_bytes = label.encode("utf-8") if isinstance(label, str) else label
+    p = _derive_prime(b"p:" + label_bytes, half)
+    q = _derive_prime(b"q:" + label_bytes, bits - half)
+    if p == q:
+        q = _derive_prime(b"q2:" + label_bytes, bits - half)
+    return RsaKeyPair(p, q)

@@ -1,0 +1,63 @@
+"""Hybrid public-key sealing for stolen data.
+
+§III.B: "The data stolen ... is encrypted using a public key available on
+the server. The corresponding private key is only known by the attack
+coordinator in the attack center. Even the admin and operator do not know
+the private key and hence do not have access to the stolen data."
+
+RSA can only seal a modulus-sized payload, so (as real systems do) a
+random session key is sealed with RSA and the body is encrypted with a
+stream cipher under that key.
+"""
+
+import hashlib
+
+from repro.crypto.ciphers import xor_stream
+from repro.pe.format import ByteReader, pack_bytes
+
+
+class SealedBlob:
+    """An encrypted payload only the private-key holder can open."""
+
+    def __init__(self, sealed_key, ciphertext):
+        self.sealed_key = sealed_key
+        self.ciphertext = ciphertext
+
+    @property
+    def size(self):
+        return len(self.ciphertext)
+
+    def to_bytes(self):
+        key_bytes = self.sealed_key.to_bytes(
+            (self.sealed_key.bit_length() + 7) // 8 or 1, "big"
+        )
+        return pack_bytes(key_bytes) + pack_bytes(self.ciphertext)
+
+    @classmethod
+    def from_bytes(cls, blob):
+        reader = ByteReader(blob)
+        sealed_key = int.from_bytes(reader.length_prefixed_bytes(), "big")
+        ciphertext = reader.length_prefixed_bytes()
+        return cls(sealed_key, ciphertext)
+
+    def __repr__(self):
+        return "SealedBlob(%d bytes)" % self.size
+
+
+def seal(public_key, plaintext, nonce=b""):
+    """Seal ``plaintext`` to ``public_key``.
+
+    The session key is derived deterministically from the plaintext and
+    a caller-supplied nonce so simulations stay reproducible; it is still
+    only recoverable via the private key.
+    """
+    session_key = hashlib.sha256(b"session|" + nonce + b"|" + plaintext).digest()[:16]
+    ciphertext = xor_stream(plaintext, session_key)
+    sealed_key = public_key.encrypt(session_key)
+    return SealedBlob(sealed_key, ciphertext)
+
+
+def unseal(keypair, blob):
+    """Open a :class:`SealedBlob` with the coordinator's private key."""
+    session_key = keypair.decrypt(blob.sealed_key)
+    return xor_stream(blob.ciphertext, session_key)

@@ -1,0 +1,120 @@
+"""Tokenizer for the Lua subset."""
+
+from repro.luavm.errors import LuaSyntaxError
+
+KEYWORDS = {
+    "and", "break", "do", "else", "elseif", "end", "false", "for",
+    "function", "if", "local", "nil", "not", "or", "return", "then",
+    "true", "while",
+}
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_MULTI_OPS = ("==", "~=", "<=", ">=", "..")
+_SINGLE_OPS = set("+-*/%<>=(){}[],;.#:")
+
+
+class Token:
+    """One lexical token."""
+
+    __slots__ = ("kind", "value", "line")
+
+    # kinds: name, number, string, keyword, op, eof
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def matches(self, kind, value=None):
+        return self.kind == kind and (value is None or self.value == value)
+
+    def __repr__(self):
+        return "Token(%s, %r, line %d)" % (self.kind, self.value, self.line)
+
+
+def tokenize(source):
+    """Turn source text into a token list ending with an ``eof`` token."""
+    tokens = []
+    pos = 0
+    line = 1
+    length = len(source)
+
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        # Comments: -- to end of line.
+        if source.startswith("--", pos):
+            newline = source.find("\n", pos)
+            pos = length if newline == -1 else newline
+            continue
+        # Strings.
+        if ch in "'\"":
+            end = pos + 1
+            chunks = []
+            while end < length and source[end] != ch:
+                if source[end] == "\\" and end + 1 < length:
+                    escape = source[end + 1]
+                    chunks.append(
+                        {"n": "\n", "t": "\t", "\\": "\\", "'": "'", '"': '"'}
+                        .get(escape, escape)
+                    )
+                    end += 2
+                    continue
+                if source[end] == "\n":
+                    raise LuaSyntaxError("unterminated string", line)
+                chunks.append(source[end])
+                end += 1
+            if end >= length:
+                raise LuaSyntaxError("unterminated string", line)
+            tokens.append(Token("string", "".join(chunks), line))
+            pos = end + 1
+            continue
+        # Numbers (integers and decimals).
+        if ch.isdigit() or (ch == "." and pos + 1 < length and source[pos + 1].isdigit()):
+            end = pos
+            seen_dot = False
+            while end < length and (source[end].isdigit() or (source[end] == "." and not seen_dot)):
+                # ".." is the concat operator, not a decimal point.
+                if source[end] == ".":
+                    if source.startswith("..", end):
+                        break
+                    seen_dot = True
+                end += 1
+            text = source[pos:end]
+            value = float(text) if "." in text else int(text)
+            tokens.append(Token("number", value, line))
+            pos = end
+            continue
+        # Names and keywords.
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            word = source[pos:end]
+            kind = "keyword" if word in KEYWORDS else "name"
+            tokens.append(Token(kind, word, line))
+            pos = end
+            continue
+        # Operators.
+        matched = None
+        for op in _MULTI_OPS:
+            if source.startswith(op, pos):
+                matched = op
+                break
+        if matched is not None:
+            tokens.append(Token("op", matched, line))
+            pos += len(matched)
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token("op", ch, line))
+            pos += 1
+            continue
+        raise LuaSyntaxError("unexpected character %r" % ch, line)
+
+    tokens.append(Token("eof", None, line))
+    return tokens

@@ -1,0 +1,356 @@
+"""Recursive-descent parser producing tuple-shaped AST nodes.
+
+Node shapes (first element is the tag):
+
+Statements::
+
+    ("local", name, expr_or_None)
+    ("assign", target, expr)          target: ("name", n) | ("index", obj, key)
+    ("call_stmt", call_expr)
+    ("function", name_path, params, body)   name_path: list of names (a.b.c)
+    ("local_function", name, params, body)
+    ("if", [(cond, block), ...], else_block_or_None)
+    ("while", cond, block)
+    ("fornum", var, start, stop, step_or_None, block)
+    ("return", expr_or_None)
+    ("break",)
+
+Expressions::
+
+    ("nil",) ("true",) ("false",)
+    ("number", v) ("string", v)
+    ("name", n)
+    ("index", obj_expr, key_expr)
+    ("call", fn_expr, [args])
+    ("method", obj_expr, name, [args])
+    ("binop", op, left, right)
+    ("unop", op, operand)
+    ("function_expr", params, body)
+    ("table", [(key_expr_or_None, value_expr), ...])
+"""
+
+from repro.luavm.errors import LuaSyntaxError
+from repro.luavm.lexer import tokenize
+
+
+class Parser:
+    def __init__(self, tokens):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self):
+        return self._tokens[self._pos]
+
+    def _advance(self):
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind, value=None):
+        return self._peek().matches(kind, value)
+
+    def _accept(self, kind, value=None):
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind, value=None):
+        token = self._accept(kind, value)
+        if token is None:
+            got = self._peek()
+            raise LuaSyntaxError(
+                "expected %s %r, got %s %r" % (kind, value, got.kind, got.value),
+                got.line,
+            )
+        return token
+
+    # -- blocks and statements -----------------------------------------------
+
+    _BLOCK_ENDERS = {"end", "else", "elseif"}
+
+    def parse_chunk(self):
+        block = self._block()
+        self._expect("eof")
+        return block
+
+    def _block(self):
+        statements = []
+        while True:
+            token = self._peek()
+            if token.kind == "eof":
+                break
+            if token.kind == "keyword" and token.value in self._BLOCK_ENDERS:
+                break
+            if token.matches("op", ";"):
+                self._advance()
+                continue
+            statements.append(self._statement())
+            if statements[-1][0] in ("return", "break"):
+                break
+        return statements
+
+    def _statement(self):
+        token = self._peek()
+        if token.matches("keyword", "local"):
+            return self._local_statement()
+        if token.matches("keyword", "function"):
+            return self._function_statement()
+        if token.matches("keyword", "if"):
+            return self._if_statement()
+        if token.matches("keyword", "while"):
+            return self._while_statement()
+        if token.matches("keyword", "for"):
+            return self._for_statement()
+        if token.matches("keyword", "return"):
+            self._advance()
+            next_token = self._peek()
+            ends = next_token.kind == "eof" or (
+                next_token.kind == "keyword"
+                and next_token.value in self._BLOCK_ENDERS
+            )
+            return ("return", None if ends else self._expression())
+        if token.matches("keyword", "break"):
+            self._advance()
+            return ("break",)
+        if token.matches("keyword", "do"):
+            self._advance()
+            block = self._block()
+            self._expect("keyword", "end")
+            return ("if", [(("true",), block)], None)
+        return self._expr_statement()
+
+    def _local_statement(self):
+        self._expect("keyword", "local")
+        if self._accept("keyword", "function"):
+            name = self._expect("name").value
+            params, body = self._function_body()
+            return ("local_function", name, params, body)
+        name = self._expect("name").value
+        expr = None
+        if self._accept("op", "="):
+            expr = self._expression()
+        return ("local", name, expr)
+
+    def _function_statement(self):
+        self._expect("keyword", "function")
+        path = [self._expect("name").value]
+        while self._accept("op", "."):
+            path.append(self._expect("name").value)
+        params, body = self._function_body()
+        return ("function", path, params, body)
+
+    def _function_body(self):
+        self._expect("op", "(")
+        params = []
+        if not self._check("op", ")"):
+            params.append(self._expect("name").value)
+            while self._accept("op", ","):
+                params.append(self._expect("name").value)
+        self._expect("op", ")")
+        body = self._block()
+        self._expect("keyword", "end")
+        return params, body
+
+    def _if_statement(self):
+        self._expect("keyword", "if")
+        arms = []
+        cond = self._expression()
+        self._expect("keyword", "then")
+        arms.append((cond, self._block()))
+        else_block = None
+        while True:
+            if self._accept("keyword", "elseif"):
+                cond = self._expression()
+                self._expect("keyword", "then")
+                arms.append((cond, self._block()))
+                continue
+            if self._accept("keyword", "else"):
+                else_block = self._block()
+            self._expect("keyword", "end")
+            break
+        return ("if", arms, else_block)
+
+    def _while_statement(self):
+        self._expect("keyword", "while")
+        cond = self._expression()
+        self._expect("keyword", "do")
+        block = self._block()
+        self._expect("keyword", "end")
+        return ("while", cond, block)
+
+    def _for_statement(self):
+        self._expect("keyword", "for")
+        var = self._expect("name").value
+        self._expect("op", "=")
+        start = self._expression()
+        self._expect("op", ",")
+        stop = self._expression()
+        step = None
+        if self._accept("op", ","):
+            step = self._expression()
+        self._expect("keyword", "do")
+        block = self._block()
+        self._expect("keyword", "end")
+        return ("fornum", var, start, stop, step, block)
+
+    def _expr_statement(self):
+        expr = self._suffixed_expression()
+        if self._accept("op", "="):
+            if expr[0] not in ("name", "index"):
+                raise LuaSyntaxError("invalid assignment target", self._peek().line)
+            value = self._expression()
+            return ("assign", expr, value)
+        if expr[0] not in ("call", "method"):
+            raise LuaSyntaxError("syntax error: expression is not a statement",
+                                 self._peek().line)
+        return ("call_stmt", expr)
+
+    # -- expressions (precedence climbing) -----------------------------------------
+
+    def _expression(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self._accept("keyword", "or"):
+            left = ("binop", "or", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._cmp_expr()
+        while self._accept("keyword", "and"):
+            left = ("binop", "and", left, self._cmp_expr())
+        return left
+
+    _CMP_OPS = ("==", "~=", "<", "<=", ">", ">=")
+
+    def _cmp_expr(self):
+        left = self._concat_expr()
+        while self._peek().kind == "op" and self._peek().value in self._CMP_OPS:
+            op = self._advance().value
+            left = ("binop", op, left, self._concat_expr())
+        return left
+
+    def _concat_expr(self):
+        left = self._add_expr()
+        if self._accept("op", ".."):
+            # Right-associative, as in Lua.
+            return ("binop", "..", left, self._concat_expr())
+        return left
+
+    def _add_expr(self):
+        left = self._mul_expr()
+        while self._peek().kind == "op" and self._peek().value in ("+", "-"):
+            op = self._advance().value
+            left = ("binop", op, left, self._mul_expr())
+        return left
+
+    def _mul_expr(self):
+        left = self._unary_expr()
+        while self._peek().kind == "op" and self._peek().value in ("*", "/", "%"):
+            op = self._advance().value
+            left = ("binop", op, left, self._unary_expr())
+        return left
+
+    def _unary_expr(self):
+        if self._accept("keyword", "not"):
+            return ("unop", "not", self._unary_expr())
+        if self._accept("op", "-"):
+            return ("unop", "-", self._unary_expr())
+        if self._accept("op", "#"):
+            return ("unop", "#", self._unary_expr())
+        return self._suffixed_expression()
+
+    def _suffixed_expression(self):
+        expr = self._primary_expression()
+        while True:
+            if self._accept("op", "."):
+                name = self._expect("name").value
+                expr = ("index", expr, ("string", name))
+            elif self._accept("op", "["):
+                key = self._expression()
+                self._expect("op", "]")
+                expr = ("index", expr, key)
+            elif self._check("op", "("):
+                expr = ("call", expr, self._call_args())
+            elif self._accept("op", ":"):
+                name = self._expect("name").value
+                expr = ("method", expr, name, self._call_args())
+            elif self._peek().kind == "string" and expr[0] in ("name", "index", "call", "method"):
+                # Lua sugar: f "literal".
+                expr = ("call", expr, [("string", self._advance().value)])
+            else:
+                return expr
+
+    def _call_args(self):
+        self._expect("op", "(")
+        args = []
+        if not self._check("op", ")"):
+            args.append(self._expression())
+            while self._accept("op", ","):
+                args.append(self._expression())
+        self._expect("op", ")")
+        return args
+
+    def _primary_expression(self):
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return ("number", token.value)
+        if token.kind == "string":
+            self._advance()
+            return ("string", token.value)
+        if token.matches("keyword", "nil"):
+            self._advance()
+            return ("nil",)
+        if token.matches("keyword", "true"):
+            self._advance()
+            return ("true",)
+        if token.matches("keyword", "false"):
+            self._advance()
+            return ("false",)
+        if token.matches("keyword", "function"):
+            self._advance()
+            params, body = self._function_body()
+            return ("function_expr", params, body)
+        if token.kind == "name":
+            self._advance()
+            return ("name", token.value)
+        if token.matches("op", "("):
+            self._advance()
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        if token.matches("op", "{"):
+            return self._table_constructor()
+        raise LuaSyntaxError("unexpected token %r" % (token.value,), token.line)
+
+    def _table_constructor(self):
+        self._expect("op", "{")
+        items = []
+        while not self._check("op", "}"):
+            if self._check("op", "["):
+                self._advance()
+                key = self._expression()
+                self._expect("op", "]")
+                self._expect("op", "=")
+                items.append((key, self._expression()))
+            elif (self._peek().kind == "name"
+                  and self._tokens[self._pos + 1].matches("op", "=")):
+                key = ("string", self._advance().value)
+                self._advance()  # '='
+                items.append((key, self._expression()))
+            else:
+                items.append((None, self._expression()))
+            if not self._accept("op", ",") and not self._accept("op", ";"):
+                break
+        self._expect("op", "}")
+        return ("table", items)
+
+
+def parse(source):
+    """Parse source text to a block (list of statement nodes)."""
+    return Parser(tokenize(source)).parse_chunk()

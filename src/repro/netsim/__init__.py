@@ -1,0 +1,48 @@
+"""Simulated network: LANs, the internet, and campaign-relevant protocols.
+
+The protocols modelled here are exactly the ones the paper's attack
+narratives need: DNS and NetBIOS/WPAD name resolution (Flame's SNACK
+man-in-the-middle, Fig. 2), HTTP (C&C traffic, Shamoon's reporter), SMB
+shares and a psexec-style remote execute (Shamoon's LAN spread), the
+print-spooler protocol (Stuxnet's MS10-061 vector), and Windows Update
+(Flame's MUNCH/GADGET hijack).
+
+Delivery is synchronous within a call but every exchange is recorded as
+a :class:`Packet` in the owning network's capture, which is what the
+intrusion-detection and figure-regeneration tooling read.
+"""
+
+from repro.netsim.packet import Packet, PacketCapture
+from repro.netsim.http import HttpRequest, HttpResponse, HttpServer
+from repro.netsim.dns import DnsServer
+from repro.netsim.network import Internet, Lan, NetworkError, NoRouteError
+from repro.netsim.wpad import WpadConfig
+from repro.netsim.smb import SmbError, smb_accessible, smb_copy_and_execute, smb_list_shares
+from repro.netsim.spooler import send_crafted_print_request
+from repro.netsim.windowsupdate import (
+    WINDOWS_UPDATE_DOMAIN,
+    WindowsUpdateService,
+    run_windows_update,
+)
+
+__all__ = [
+    "DnsServer",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpServer",
+    "Internet",
+    "Lan",
+    "NetworkError",
+    "NoRouteError",
+    "Packet",
+    "PacketCapture",
+    "SmbError",
+    "WINDOWS_UPDATE_DOMAIN",
+    "WindowsUpdateService",
+    "WpadConfig",
+    "run_windows_update",
+    "send_crafted_print_request",
+    "smb_accessible",
+    "smb_copy_and_execute",
+    "smb_list_shares",
+]

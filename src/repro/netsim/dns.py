@@ -1,0 +1,57 @@
+"""DNS for the simulated internet.
+
+Besides plain name → address records, the server supports *sinkholing* —
+the takedown countermeasure researchers actually applied to Flame's C&C
+domains — which the domain-rotation ablation measures.
+"""
+
+
+class DnsServer:
+    """Flat authoritative DNS with sinkhole support."""
+
+    def __init__(self):
+        self._records = {}
+        self._sinkholed = {}
+        self.query_log = []
+
+    @staticmethod
+    def _canonical(name):
+        return name.strip().lower().rstrip(".")
+
+    def register(self, name, address):
+        """Create/replace an A record."""
+        self._records[self._canonical(name)] = address
+
+    def unregister(self, name):
+        return self._records.pop(self._canonical(name), None) is not None
+
+    def sinkhole(self, name, sinkhole_address="sinkhole.research.net"):
+        """Point an existing name at a research sinkhole.
+
+        Returns True if the name existed.  Resolutions keep succeeding —
+        but to the sinkhole, so infected clients reveal themselves
+        instead of reaching their C&C.
+        """
+        canonical = self._canonical(name)
+        if canonical not in self._records:
+            return False
+        self._sinkholed[canonical] = sinkhole_address
+        return True
+
+    def is_sinkholed(self, name):
+        return self._canonical(name) in self._sinkholed
+
+    def resolve(self, name, client=None):
+        """Resolve a name; returns the address or None (NXDOMAIN)."""
+        canonical = self._canonical(name)
+        self.query_log.append((canonical, client))
+        if canonical in self._sinkholed:
+            return self._sinkholed[canonical]
+        return self._records.get(canonical)
+
+    def registered_names(self):
+        return sorted(self._records)
+
+    def queries_for(self, name):
+        canonical = self._canonical(name)
+        return [q for q in self.query_log if q[0] == canonical]

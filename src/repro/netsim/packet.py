@@ -1,0 +1,58 @@
+"""Packet records and capture buffers."""
+
+
+class Packet:
+    """One captured exchange on a network segment."""
+
+    __slots__ = ("time", "src", "dst", "protocol", "summary", "size")
+
+    def __init__(self, time, src, dst, protocol, summary, size=0):
+        self.time = time
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.summary = summary
+        self.size = size
+
+    def __repr__(self):
+        return "[t=%8.1f] %s %s -> %s: %s" % (
+            self.time, self.protocol, self.src, self.dst, self.summary,
+        )
+
+
+class PacketCapture:
+    """Append-only capture with protocol filtering.
+
+    This is both the IDS tap and the raw material for regenerating the
+    data-flow figures.
+    """
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._packets = []
+
+    def record(self, src, dst, protocol, summary, size=0):
+        packet = Packet(self._clock.now, src, dst, protocol, summary, size)
+        self._packets.append(packet)
+        return packet
+
+    def __len__(self):
+        return len(self._packets)
+
+    def __iter__(self):
+        return iter(self._packets)
+
+    def by_protocol(self, protocol):
+        return [p for p in self._packets if p.protocol == protocol]
+
+    def between(self, src=None, dst=None):
+        return [
+            p for p in self._packets
+            if (src is None or p.src == src) and (dst is None or p.dst == dst)
+        ]
+
+    def total_bytes(self, protocol=None):
+        return sum(
+            p.size for p in self._packets
+            if protocol is None or p.protocol == protocol
+        )

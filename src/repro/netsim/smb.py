@@ -1,0 +1,87 @@
+"""SMB shares and psexec-style remote execution.
+
+Shamoon's LAN spread (§IV.A): "Tries to infect other systems in the same
+LAN by attempting to copy itself in windows shared folders of targets
+... the malware will attempt to remotely open and close a list of files
+to determine if it has access. If it has access it will copy and execute
+itself using psexec.exe."
+"""
+
+from repro.winsim.processes import IntegrityLevel
+from repro.winsim.vfs import FileNotFound
+
+
+class SmbError(Exception):
+    """Raised on SMB access failures."""
+
+
+def _check_access(lan, src_host, dst_host, credential):
+    if dst_host.nic is None or dst_host.nic[0] is not lan:
+        raise SmbError("target %r not on LAN %r" % (dst_host.hostname, lan.name))
+    if not dst_host.config.file_and_print_sharing:
+        return False
+    if credential not in dst_host.accepted_credentials:
+        return False
+    return True
+
+
+def smb_accessible(lan, src_host, dst_host, credential,
+                   probe_paths=("c:\\windows\\system32\\kernel32.dll",)):
+    """The open/close access probe Shamoon runs before spreading.
+
+    Remotely opens and closes files on the target; True when the share
+    accepts the credential and the files are reachable.
+    """
+    lan.capture.record(src_host.hostname, dst_host.hostname, "smb",
+                       "access probe (open/close %d files)" % len(probe_paths))
+    if not _check_access(lan, src_host, dst_host, credential):
+        return False
+    for path in probe_paths:
+        if not dst_host.vfs.exists(path):
+            return False
+    return True
+
+
+def smb_list_shares(lan, src_host, dst_host, credential):
+    """Enumerate share names on the target."""
+    lan.capture.record(src_host.hostname, dst_host.hostname, "smb", "list shares")
+    if not _check_access(lan, src_host, dst_host, credential):
+        raise SmbError("access denied to %r" % dst_host.hostname)
+    return sorted(dst_host.shares)
+
+
+def smb_copy_file(lan, src_host, dst_host, credential, data, remote_path,
+                  payload=None, origin=None):
+    """Copy bytes (and behavioural payload) to a path on the target."""
+    lan.capture.record(src_host.hostname, dst_host.hostname, "smb",
+                       "copy to %s" % remote_path, size=len(data))
+    if not _check_access(lan, src_host, dst_host, credential):
+        raise SmbError("access denied to %r" % dst_host.hostname)
+    return dst_host.vfs.write(remote_path, data, payload=payload, origin=origin)
+
+
+def smb_read_file(lan, src_host, dst_host, credential, remote_path):
+    """Read a remote file over the share."""
+    lan.capture.record(src_host.hostname, dst_host.hostname, "smb",
+                       "read %s" % remote_path)
+    if not _check_access(lan, src_host, dst_host, credential):
+        raise SmbError("access denied to %r" % dst_host.hostname)
+    try:
+        return dst_host.vfs.read(remote_path)
+    except FileNotFound:
+        raise SmbError("remote file missing: %s" % remote_path)
+
+
+def smb_copy_and_execute(lan, src_host, dst_host, credential, data, remote_path,
+                         payload=None, origin=None,
+                         integrity=IntegrityLevel.ADMIN):
+    """The psexec pattern: copy an executable to the target and run it.
+
+    Returns the remote process.  psexec runs the service-side binary
+    with administrative rights, hence the default integrity.
+    """
+    smb_copy_file(lan, src_host, dst_host, credential, data, remote_path,
+                  payload=payload, origin=origin)
+    lan.capture.record(src_host.hostname, dst_host.hostname, "smb",
+                       "psexec %s" % remote_path)
+    return dst_host.execute_file(remote_path, integrity=integrity, raw=True)

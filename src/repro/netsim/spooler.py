@@ -1,0 +1,62 @@
+"""The print-spooler remote-code-execution vector (MS10-061).
+
+From §II.A: Stuxnet "proceeds by sending a specially crafted print
+request of two documents. Due to a flaw in the print spooler, the
+documents can be printed to files in the Windows %system% directory.
+Then, under certain conditions, the first file (sysnullevnt.mof) will be
+used to register providers and events and also to launch the second file
+(dropper: winsta.exe) whose execution results in the infection of the
+system."
+"""
+
+from repro.winsim.patches import MS10_061_SPOOLER
+from repro.winsim.processes import IntegrityLevel
+
+#: Delay before the MOF event-consumer machinery launches the dropped
+#: binary ("under certain conditions" — WMI evaluates consumers lazily).
+MOF_TRIGGER_DELAY = 30.0
+
+
+def send_crafted_print_request(lan, src_host, dst_host, documents):
+    """Fire the MS10-061 exploit at ``dst_host``.
+
+    ``documents`` is a sequence of ``(filename, data, payload)`` tuples —
+    for the Stuxnet vector, exactly two: ``sysnullevnt.mof`` and the
+    dropper ``winsta.exe``.  Returns True when the target accepted the
+    crafted request (files landed in %system%); the dropped binary then
+    executes after :data:`MOF_TRIGGER_DELAY` seconds of virtual time.
+    """
+    lan.capture.record(src_host.hostname, dst_host.hostname, "spooler",
+                       "crafted print request (%d documents)" % len(documents))
+    if not dst_host.config.file_and_print_sharing:
+        return False
+    if not dst_host.patches.is_vulnerable(MS10_061_SPOOLER):
+        dst_host.event_log.info(
+            "print-spooler", "malformed print request rejected (MS10-061 applied)"
+        )
+        return False
+
+    dropped = []
+    for filename, data, payload in documents:
+        path = dst_host.system_dir + "\\" + filename
+        dst_host.vfs.write(path, data, payload=payload,
+                           origin="spooler-exploit:%s" % src_host.hostname)
+        dropped.append(path)
+    dst_host.trace("spooler-files-dropped", detail_files=list(dropped))
+
+    mof_paths = [p for p in dropped if p.endswith(".mof")]
+    binary_paths = [p for p in dropped if not p.endswith(".mof")]
+    if mof_paths and binary_paths:
+        target = binary_paths[0]
+
+        def fire():
+            if dst_host.vfs.exists(target, raw=True):
+                dst_host.trace("mof-launched-dropper", target=target)
+                dst_host.execute_file(target, integrity=IntegrityLevel.SYSTEM,
+                                      raw=True)
+
+        dst_host.kernel.call_later(
+            MOF_TRIGGER_DELAY, fire,
+            "mof-trigger:%s" % dst_host.hostname,
+        )
+    return True

@@ -1,0 +1,116 @@
+"""Windows Update: the genuine service and the client-side check.
+
+The Flame MUNCH/GADGET hijack (Fig. 2) rides this flow: a victim whose
+traffic is proxied through an infected machine asks Windows Update for
+binaries; the proxy substitutes a fake update.  The client-side routine
+here enforces the rule the paper states — "Windows OS computers launch
+Windows update binaries without any restrictions provided that the
+update is genuine, that is, signed by a Microsoft certificate."
+"""
+
+from repro.netsim.http import HttpResponse, HttpServer
+from repro.pe import PeBuilder, PeFormatError, parse_pe
+from repro.certs.codesign import sign_image
+from repro.winsim.processes import IntegrityLevel
+
+WINDOWS_UPDATE_DOMAIN = "update.windows.com"
+UPDATE_PATH = "/v6/selfupdate"
+
+
+class WindowsUpdateService:
+    """Microsoft's genuine update infrastructure on the simulated internet."""
+
+    def __init__(self, pki_world, internet):
+        self._pki = pki_world
+        self.server = HttpServer("windows-update")
+        self.server.route(UPDATE_PATH, self._serve_update)
+        self.update_payload = None  # genuine updates carry no behaviour
+        self._image = self._build_genuine_update()
+        internet.register_site(WINDOWS_UPDATE_DOMAIN, self.server)
+        # The connectivity-probe aliases Stuxnet checks also resolve here.
+        internet.register_site("www.windowsupdate.com", self.server)
+
+    def _build_genuine_update(self):
+        builder = PeBuilder()
+        builder.add_code_section(b"genuine windows update payload")
+        return sign_image(
+            builder,
+            self._pki.update_signer_key,
+            self._pki.update_signing_chain(),
+        )
+
+    @property
+    def genuine_image(self):
+        return self._image
+
+    def _serve_update(self, request):
+        return HttpResponse(200, self._image,
+                            headers={"content-type": "application/x-msdownload"})
+
+
+def run_windows_update(host, lan, update_registry=None):
+    """One client update check, with full signature validation.
+
+    Fetches the update binary over the host's (possibly hijacked) HTTP
+    path, parses it, verifies the code signature against the host's
+    trust store, and — only if genuine — executes it.  Returns a dict
+    describing what happened; ``installed`` is True when a binary ran.
+
+    ``update_registry`` maps image bytes to payload callables: the
+    simulation's stand-in for "what this binary does when executed" (the
+    genuine update does nothing; Flame's fake update installs Flame).
+    """
+    outcome = {"installed": False, "verified": False, "signer": None, "reason": None}
+    if not host.config.auto_update_enabled:
+        outcome["reason"] = "automatic updates disabled"
+        return outcome
+    try:
+        response = lan.http_get(host, "http://%s%s" % (WINDOWS_UPDATE_DOMAIN, UPDATE_PATH))
+    except Exception as exc:  # air-gapped or NXDOMAIN
+        outcome["reason"] = "unreachable: %s" % exc
+        return outcome
+    if not response.ok:
+        outcome["reason"] = "http %d" % response.status
+        return outcome
+    image = response.body
+    try:
+        pe = parse_pe(image)
+    except PeFormatError as exc:
+        outcome["reason"] = "unparseable update: %s" % exc
+        return outcome
+    result = host.trust_store.verify_code_signature(image, pe, at_time=host.now())
+    if not result:
+        host.event_log.warning(
+            "windows-update", "update rejected: %s" % result.reason
+        )
+        outcome["reason"] = result.reason
+        return outcome
+    outcome["verified"] = True
+    outcome["signer"] = result.signer
+    host.trace("windows-update-install", detail_signer=result.signer)
+    payload = None
+    if update_registry is not None:
+        payload = update_registry.get(image)
+    process = host.processes.spawn("wuauclt.exe", IntegrityLevel.SYSTEM)
+    if payload is not None:
+        payload(host, process)
+    outcome["installed"] = True
+    return outcome
+
+
+class UpdateRegistry:
+    """Maps served update images to the behaviour they carry.
+
+    Keyed by image bytes (hashable); lets the MITM experiment attach an
+    install-Flame payload to the forged binary while the genuine binary
+    stays inert.
+    """
+
+    def __init__(self):
+        self._payloads = {}
+
+    def register(self, image_bytes, payload):
+        self._payloads[bytes(image_bytes)] = payload
+
+    def get(self, image_bytes):
+        return self._payloads.get(bytes(image_bytes))

@@ -1,0 +1,47 @@
+"""Web Proxy Auto-Discovery plumbing.
+
+The paper (Fig. 2): "When Internet Explorer is launched ... it broadcasts
+a packet through the Web Proxy Auto-Discovery Protocol (WPAD) asking for
+the proxy settings (wpad.dat)" and, when enterprise DNS has no ``wpad``
+record, falls back to NetBIOS broadcast — the hole Flame's SNACK module
+answers through.
+"""
+
+
+class WpadConfig:
+    """Contents of a (possibly malicious) ``wpad.dat``."""
+
+    __slots__ = ("proxy_hostname", "served_by")
+
+    def __init__(self, proxy_hostname, served_by):
+        #: Hostname the browser should proxy all traffic through.
+        self.proxy_hostname = proxy_hostname
+        #: Who answered the WPAD request (forensics cares).
+        self.served_by = served_by
+
+    def __repr__(self):
+        return "WpadConfig(proxy=%r, served_by=%r)" % (
+            self.proxy_hostname, self.served_by,
+        )
+
+
+def discover_proxy(lan, client_host):
+    """Run the IE proxy-discovery dance for ``client_host``.
+
+    1. Ask the LAN's local DNS for ``wpad`` — enterprise networks in the
+       paper's scenarios typically have no such record.
+    2. Fall back to a NetBIOS broadcast; the first host claiming the
+       ``wpad`` name serves the configuration.
+
+    Returns a :class:`WpadConfig` or None.
+    """
+    address = lan.local_dns.resolve("wpad", client=client_host.hostname)
+    if address is not None:
+        server = lan.host_by_ip(address)
+        if server is not None and "wpad" in server.netbios_claims:
+            return server.netbios_claims["wpad"](client_host)
+        return WpadConfig(proxy_hostname=address, served_by="dns")
+    responder, value = lan.netbios_broadcast(client_host, "wpad")
+    if responder is None:
+        return None
+    return value

@@ -1,0 +1,37 @@
+"""Synthetic Portable Executable file format.
+
+The paper dissects Shamoon's main file as "a 900KB Portable Executable
+(PE) file with a number of encrypted resources" (§IV, Fig. 6), and every
+driver-signing check in the Windows simulation operates on PE images.  We
+define a compact but genuinely binary PE-like format with a builder and a
+parser that round-trip: DOS header, COFF header, optional header,
+sections, named resources, an import table, and an Authenticode-like
+trailing signature blob.
+
+The format is intentionally *not* byte-compatible with real PE — this
+library never touches real executables — but it preserves the structural
+features the paper's analysis relies on: machine type (x86/x64), named
+sections, named (optionally encrypted) resources, and embedded digital
+signatures whose validity the simulated OS enforces.
+"""
+
+from repro.pe.format import (
+    MACHINE_AMD64,
+    MACHINE_I386,
+    PeFormatError,
+    machine_name,
+)
+from repro.pe.resources import Resource
+from repro.pe.builder import PeBuilder
+from repro.pe.parser import PeFile, parse_pe
+
+__all__ = [
+    "MACHINE_AMD64",
+    "MACHINE_I386",
+    "PeBuilder",
+    "PeFile",
+    "PeFormatError",
+    "Resource",
+    "machine_name",
+    "parse_pe",
+]

@@ -1,0 +1,176 @@
+"""Builder producing synthetic PE images as bytes."""
+
+from repro.pe.format import (
+    DOS_HEADER_SIZE,
+    DOS_MAGIC,
+    MACHINE_AMD64,
+    MACHINE_I386,
+    PE_MAGIC,
+    PE_OFFSET_FIELD,
+    SECTION_CODE,
+    SECTION_DATA,
+    SIGNATURE_MAGIC,
+    PeFormatError,
+    pack_bytes,
+    pack_str,
+    pack_u16,
+    pack_u32,
+)
+from repro.pe.resources import Resource
+
+_OPT_MAGIC = {MACHINE_I386: 0x010B, MACHINE_AMD64: 0x020B}
+
+
+class PeBuilder:
+    """Assemble a synthetic PE image section by section.
+
+    Example — the skeleton of a Shamoon-like dropper::
+
+        builder = PeBuilder(machine=MACHINE_I386, timestamp=1344816000)
+        builder.add_code_section(b"...dropper logic id...")
+        builder.add_encrypted_resource("PKCS12", wiper_bytes, xor_key=b"\\xba")
+        image = builder.build(target_size=900 * 1024)
+    """
+
+    def __init__(self, machine=MACHINE_I386, timestamp=0, subsystem=2, entry_point=0x1000):
+        if machine not in _OPT_MAGIC:
+            raise PeFormatError("unsupported machine: 0x%04x" % machine)
+        self.machine = machine
+        self.timestamp = timestamp
+        self.subsystem = subsystem
+        self.entry_point = entry_point
+        self._sections = []
+        self._resources = []
+        self._imports = []
+        self._signature_blob = None
+
+    # -- content -----------------------------------------------------------
+
+    def add_section(self, name, data, characteristics=SECTION_DATA):
+        """Add a raw named section.  Names are at most 8 ASCII bytes."""
+        raw_name = name.encode("ascii")
+        if len(raw_name) > 8:
+            raise PeFormatError("section name too long: %r" % name)
+        if any(existing[0] == name for existing in self._sections):
+            raise PeFormatError("duplicate section: %r" % name)
+        self._sections.append((name, bytes(data), characteristics))
+        return self
+
+    def add_code_section(self, data, name=".text"):
+        return self.add_section(name, data, SECTION_CODE)
+
+    def add_resource(self, name, data, language=0x0409):
+        """Add a plain (unencrypted) resource."""
+        self._resources.append(Resource(name, data, language))
+        return self
+
+    def add_encrypted_resource(self, name, plaintext, xor_key, language=0x0409):
+        """Add a resource stored XOR-encrypted, as Shamoon does."""
+        self._resources.append(
+            Resource.encrypted_from_plaintext(name, plaintext, xor_key, language)
+        )
+        return self
+
+    def add_import(self, dll, functions):
+        """Declare an imported DLL and the functions pulled from it."""
+        self._imports.append((dll, list(functions)))
+        return self
+
+    def set_signature_blob(self, blob):
+        """Attach an opaque signature produced by :mod:`repro.certs`."""
+        self._signature_blob = bytes(blob) if blob is not None else None
+        return self
+
+    # -- encoding ----------------------------------------------------------
+
+    def _encode_resources(self):
+        out = [pack_u16(len(self._resources))]
+        for res in self._resources:
+            out.append(pack_str(res.name))
+            out.append(pack_u16(res.language))
+            if res.xor_key is None:
+                out.append(b"\x00")
+            else:
+                out.append(b"\x01")
+                out.append(pack_bytes(res.xor_key))
+            out.append(pack_bytes(res.data))
+        return b"".join(out)
+
+    def _encode_imports(self):
+        out = [pack_u16(len(self._imports))]
+        for dll, functions in self._imports:
+            out.append(pack_str(dll))
+            out.append(pack_u16(len(functions)))
+            for function in functions:
+                out.append(pack_str(function))
+        return b"".join(out)
+
+    def build(self, target_size=None):
+        """Serialise to bytes, optionally zero-padding to ``target_size``.
+
+        Padding is added as a trailing ``.pad`` section *before* the
+        signature blob so that signed images stay verifiable; it lets the
+        Shamoon model reproduce the characteristic 900 KB file size.
+        """
+        sections = list(self._sections)
+        if self._resources:
+            sections.append((".rsrc", self._encode_resources(), SECTION_DATA))
+        if self._imports:
+            sections.append((".idata", self._encode_imports(), SECTION_DATA))
+
+        body = self._assemble(sections)
+        if target_size is not None:
+            signature_size = 0
+            if self._signature_blob is not None:
+                signature_size = len(SIGNATURE_MAGIC) + 4 + len(self._signature_blob)
+            pad = target_size - len(body) - signature_size
+            # The .pad section costs a 20-byte table entry on top of its data.
+            pad -= 20
+            if pad < 0:
+                raise PeFormatError(
+                    "image (%d bytes) already exceeds target size %d"
+                    % (len(body), target_size)
+                )
+            sections.append((".pad", b"\x00" * pad, SECTION_DATA))
+            body = self._assemble(sections)
+
+        if self._signature_blob is None:
+            return body
+        return body + SIGNATURE_MAGIC + pack_bytes(self._signature_blob)
+
+    def _assemble(self, sections):
+        header_size = (
+            DOS_HEADER_SIZE
+            + len(PE_MAGIC)
+            + 10  # COFF: machine u16, nsections u16, timestamp u32, chars u16
+            + 12  # optional header: magic u16, entry u32, subsystem u16, size u32
+            + 20 * len(sections)
+        )
+        table = []
+        blobs = []
+        offset = header_size
+        for name, data, characteristics in sections:
+            table.append(
+                name.encode("ascii").ljust(8, b"\x00")
+                + pack_u32(offset)
+                + pack_u32(len(data))
+                + pack_u32(characteristics)
+            )
+            blobs.append(data)
+            offset += len(data)
+
+        size_of_image = offset
+        dos = DOS_MAGIC + b"\x00" * (PE_OFFSET_FIELD - 2) + pack_u32(DOS_HEADER_SIZE)
+        coff = (
+            pack_u16(self.machine)
+            + pack_u16(len(sections))
+            + pack_u32(self.timestamp)
+            + pack_u16(0x0102)
+        )
+        optional = (
+            pack_u16(_OPT_MAGIC[self.machine])
+            + pack_u32(self.entry_point)
+            + pack_u16(self.subsystem)
+            + pack_u32(size_of_image)
+        )
+        return b"".join([dos, PE_MAGIC, coff, optional] + table + blobs)

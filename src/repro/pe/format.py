@@ -1,0 +1,100 @@
+"""Constants and low-level encoding helpers for the synthetic PE format."""
+
+import struct
+
+#: 32-bit x86 image.
+MACHINE_I386 = 0x014C
+#: 64-bit x86-64 image — Shamoon carries its x64 variant as a resource.
+MACHINE_AMD64 = 0x8664
+
+_MACHINE_NAMES = {MACHINE_I386: "x86", MACHINE_AMD64: "x64"}
+
+DOS_MAGIC = b"MZ"
+PE_MAGIC = b"PE\x00\x00"
+#: Offset (within the DOS header) of the 4-byte pointer to the PE header.
+PE_OFFSET_FIELD = 0x3C
+DOS_HEADER_SIZE = 0x40
+
+SIGNATURE_MAGIC = b"SIGN"
+
+#: Flag bit marking a section as executable code.
+SECTION_CODE = 0x0000_0020
+#: Flag bit marking a section as initialised data.
+SECTION_DATA = 0x0000_0040
+
+
+class PeFormatError(Exception):
+    """Raised when bytes cannot be parsed as a synthetic PE image."""
+
+
+def machine_name(machine):
+    """Human name for a machine constant ('x86', 'x64', or hex)."""
+    return _MACHINE_NAMES.get(machine, "unknown(0x%04x)" % machine)
+
+
+def pack_u16(value):
+    return struct.pack("<H", value)
+
+
+def pack_u32(value):
+    return struct.pack("<I", value)
+
+
+def pack_bytes(data):
+    """Length-prefixed byte string (u32 length)."""
+    return pack_u32(len(data)) + data
+
+
+def pack_str(text):
+    """Length-prefixed UTF-8 string (u16 length)."""
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise PeFormatError("string too long to encode: %d bytes" % len(raw))
+    return pack_u16(len(raw)) + raw
+
+
+class ByteReader:
+    """Cursor over immutable bytes with bounds-checked reads."""
+
+    def __init__(self, data):
+        self._data = data
+        self._pos = 0
+
+    @property
+    def position(self):
+        return self._pos
+
+    @property
+    def remaining(self):
+        return len(self._data) - self._pos
+
+    def seek(self, position):
+        if not 0 <= position <= len(self._data):
+            raise PeFormatError("seek out of bounds: %d" % position)
+        self._pos = position
+
+    def read(self, count):
+        if count < 0 or self._pos + count > len(self._data):
+            raise PeFormatError(
+                "truncated image: wanted %d bytes at offset %d, have %d"
+                % (count, self._pos, len(self._data) - self._pos)
+            )
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u16(self):
+        return struct.unpack("<H", self.read(2))[0]
+
+    def u32(self):
+        return struct.unpack("<I", self.read(4))[0]
+
+    def length_prefixed_bytes(self):
+        return self.read(self.u32())
+
+    def length_prefixed_str(self):
+        raw = self.read(self.u16())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise PeFormatError("malformed string: %s" % exc) from None

@@ -1,0 +1,192 @@
+"""Parser turning bytes back into a structured synthetic PE image."""
+
+from repro.pe.format import (
+    DOS_MAGIC,
+    PE_MAGIC,
+    PE_OFFSET_FIELD,
+    SIGNATURE_MAGIC,
+    ByteReader,
+    PeFormatError,
+    machine_name,
+)
+from repro.pe.resources import Resource
+
+
+class PeSection:
+    """One parsed section: name, file offset, raw data, characteristics."""
+
+    __slots__ = ("name", "offset", "data", "characteristics")
+
+    def __init__(self, name, offset, data, characteristics):
+        self.name = name
+        self.offset = offset
+        self.data = data
+        self.characteristics = characteristics
+
+    @property
+    def size(self):
+        return len(self.data)
+
+    def __repr__(self):
+        return "PeSection(%r, %d bytes @0x%x)" % (self.name, self.size, self.offset)
+
+
+class PeFile:
+    """A fully parsed synthetic PE image.
+
+    ``signed_span`` is the byte range a digital signature covers (all
+    bytes before the trailing signature blob), so signature verification
+    in :mod:`repro.certs` can hash exactly what was signed.
+    """
+
+    def __init__(self, machine, timestamp, subsystem, entry_point, size_of_image,
+                 sections, resources, imports, signature_blob, signed_span):
+        self.machine = machine
+        self.timestamp = timestamp
+        self.subsystem = subsystem
+        self.entry_point = entry_point
+        self.size_of_image = size_of_image
+        self.sections = sections
+        self.resources = resources
+        self.imports = imports
+        self.signature_blob = signature_blob
+        self.signed_span = signed_span
+
+    @property
+    def machine_label(self):
+        return machine_name(self.machine)
+
+    @property
+    def is_signed(self):
+        return self.signature_blob is not None
+
+    def section(self, name):
+        """Return the named section or raise ``KeyError``."""
+        for sec in self.sections:
+            if sec.name == name:
+                return sec
+        raise KeyError("no section named %r" % name)
+
+    def resource(self, name):
+        """Return the named resource or raise ``KeyError``."""
+        for res in self.resources:
+            if res.name == name:
+                return res
+        raise KeyError("no resource named %r" % name)
+
+    def encrypted_resources(self):
+        """Resources stored under a XOR key (Shamoon-style)."""
+        return [res for res in self.resources if res.encrypted]
+
+    def imported_functions(self):
+        """Flat ``dll!function`` list — the dissection tooling keys on it."""
+        return [
+            "%s!%s" % (dll, function)
+            for dll, functions in self.imports
+            for function in functions
+        ]
+
+    def __repr__(self):
+        return "PeFile(%s, %d sections, %d resources, signed=%s)" % (
+            self.machine_label,
+            len(self.sections),
+            len(self.resources),
+            self.is_signed,
+        )
+
+
+def _parse_resources(blob):
+    reader = ByteReader(blob)
+    resources = []
+    for _ in range(reader.u16()):
+        name = reader.length_prefixed_str()
+        language = reader.u16()
+        has_key = reader.read(1)
+        xor_key = None
+        if has_key == b"\x01":
+            xor_key = reader.length_prefixed_bytes()
+        elif has_key != b"\x00":
+            raise PeFormatError("corrupt resource key flag: %r" % has_key)
+        data = reader.length_prefixed_bytes()
+        resources.append(Resource(name, data, language, xor_key=xor_key))
+    return resources
+
+
+def _parse_imports(blob):
+    reader = ByteReader(blob)
+    imports = []
+    for _ in range(reader.u16()):
+        dll = reader.length_prefixed_str()
+        functions = [reader.length_prefixed_str() for _ in range(reader.u16())]
+        imports.append((dll, functions))
+    return imports
+
+
+def parse_pe(image):
+    """Parse ``image`` bytes into a :class:`PeFile`.
+
+    Raises :class:`PeFormatError` on anything malformed — the static
+    analysis tooling treats parse failures as a strong anomaly signal.
+    """
+    reader = ByteReader(image)
+    if reader.read(2) != DOS_MAGIC:
+        raise PeFormatError("missing MZ magic")
+    reader.seek(PE_OFFSET_FIELD)
+    pe_offset = reader.u32()
+    reader.seek(pe_offset)
+    if reader.read(4) != PE_MAGIC:
+        raise PeFormatError("missing PE magic at offset 0x%x" % pe_offset)
+
+    machine = reader.u16()
+    section_count = reader.u16()
+    timestamp = reader.u32()
+    reader.u16()  # characteristics (unused on parse)
+    reader.u16()  # optional-header magic
+    entry_point = reader.u32()
+    subsystem = reader.u16()
+    size_of_image = reader.u32()
+
+    table = []
+    for _ in range(section_count):
+        raw_name = reader.read(8).rstrip(b"\x00")
+        offset = reader.u32()
+        size = reader.u32()
+        characteristics = reader.u32()
+        table.append((raw_name.decode("ascii"), offset, size, characteristics))
+
+    sections = []
+    for name, offset, size, characteristics in table:
+        if offset + size > len(image):
+            raise PeFormatError("section %r extends past end of image" % name)
+        sections.append(PeSection(name, offset, image[offset : offset + size], characteristics))
+
+    resources = []
+    imports = []
+    for sec in sections:
+        if sec.name == ".rsrc":
+            resources = _parse_resources(sec.data)
+        elif sec.name == ".idata":
+            imports = _parse_imports(sec.data)
+
+    body_end = max((offset + size for _, offset, size, _ in table), default=pe_offset + 26)
+    signature_blob = None
+    signed_span = len(image)
+    marker = image.find(SIGNATURE_MAGIC, body_end)
+    if marker != -1:
+        sig_reader = ByteReader(image)
+        sig_reader.seek(marker + len(SIGNATURE_MAGIC))
+        signature_blob = sig_reader.length_prefixed_bytes()
+        signed_span = marker
+
+    return PeFile(
+        machine=machine,
+        timestamp=timestamp,
+        subsystem=subsystem,
+        entry_point=entry_point,
+        size_of_image=size_of_image,
+        sections=sections,
+        resources=resources,
+        imports=imports,
+        signature_blob=signature_blob,
+        signed_span=signed_span,
+    )

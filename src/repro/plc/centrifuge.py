@@ -1,0 +1,118 @@
+"""Centrifuge rotor physics: stress accumulation and failure.
+
+The paper's damage narrative (§II.C): "it modifies the frequency to
+1410Hz then to 2Hz then to 1064Hz. The intended consequence ... is that
+the stresses from the excessive, then slower, speeds cause the aluminium
+centrifugal tubes to expand forcing parts of the centrifuges into
+excessive contact leading to the destruction of the machine."
+
+The model is deliberately simple but preserves that shape: overspeed
+above the rotor's rated ceiling accrues stress proportionally to the
+excess; crawling far below operating speed (passing and dwelling at
+critical/resonant speeds) accrues a steady resonance stress; a rotor
+whose accumulated stress exceeds its capacity is destroyed.  Enrichment
+output accrues only near nominal speed, so damage is measurable both as
+destroyed machines and as lost production.
+"""
+
+#: Design operating frequency of an IR-1-like machine (Hz).
+NOMINAL_FREQUENCY = 1064.0
+#: Above this the rotor accrues overspeed stress.
+OVERSPEED_LIMIT = 1300.0
+#: Below this (while nominally operating) resonance stress accrues.
+RESONANCE_LIMIT = 100.0
+#: Stress units per (Hz over the limit) per second.
+OVERSPEED_STRESS_RATE = 0.0008
+#: Stress units per second while crawling below the resonance limit.
+RESONANCE_STRESS_RATE = 0.012
+#: Enrichment produced per second near nominal speed (arbitrary SWU-ish).
+ENRICHMENT_RATE = 1.0
+#: Band around nominal within which enrichment accrues.
+ENRICHMENT_BAND = (1000.0, 1100.0)
+
+
+class Centrifuge:
+    """One rotor: accumulates stress, produces enrichment, eventually fails."""
+
+    def __init__(self, ident, stress_capacity=100.0):
+        self.ident = ident
+        self.stress_capacity = stress_capacity
+        self.accumulated_stress = 0.0
+        self.destroyed = False
+        self.destroyed_at = None
+        self.enrichment_output = 0.0
+
+    def integrate(self, frequency, duration, now=None):
+        """Apply ``duration`` seconds of operation at ``frequency`` Hz."""
+        if self.destroyed or duration <= 0:
+            return
+        if frequency > OVERSPEED_LIMIT:
+            self.accumulated_stress += (
+                (frequency - OVERSPEED_LIMIT) * OVERSPEED_STRESS_RATE * duration
+            )
+        elif 0 < frequency < RESONANCE_LIMIT:
+            self.accumulated_stress += RESONANCE_STRESS_RATE * duration
+        low, high = ENRICHMENT_BAND
+        if low <= frequency <= high:
+            self.enrichment_output += ENRICHMENT_RATE * duration
+        if self.accumulated_stress >= self.stress_capacity:
+            self.destroyed = True
+            self.destroyed_at = now
+
+    @property
+    def stress_fraction(self):
+        return min(self.accumulated_stress / self.stress_capacity, 1.0)
+
+    def __repr__(self):
+        state = "DESTROYED" if self.destroyed else "%.0f%%" % (100 * self.stress_fraction)
+        return "Centrifuge(%s, stress=%s)" % (self.ident, state)
+
+
+class CentrifugeCascade:
+    """A bank of centrifuges driven by one frequency converter.
+
+    Capacity varies widely per rotor (manufacturing spread), drawn from
+    the simulation RNG so runs are reproducible: one attack cycle kills
+    only the weakest rotors, and repeated cycles grind the cascade down
+    progressively — the paper's multi-month degradation shape.
+    """
+
+    def __init__(self, name, count, rng=None, capacity_range=(95.0, 900.0)):
+        self.name = name
+        self.centrifuges = []
+        low, high = capacity_range
+        for index in range(count):
+            if rng is not None:
+                capacity = rng.uniform(low, high)
+            else:
+                # Deterministic spread without an RNG.
+                capacity = low + (high - low) * ((index * 37) % 100) / 100.0
+            self.centrifuges.append(
+                Centrifuge("%s-%04d" % (name, index), stress_capacity=capacity)
+            )
+
+    def integrate(self, frequency, duration, now=None):
+        for machine in self.centrifuges:
+            machine.integrate(frequency, duration, now=now)
+
+    def destroyed_count(self):
+        return sum(1 for m in self.centrifuges if m.destroyed)
+
+    def intact_count(self):
+        return len(self.centrifuges) - self.destroyed_count()
+
+    def total_enrichment(self):
+        return sum(m.enrichment_output for m in self.centrifuges)
+
+    def destruction_fraction(self):
+        if not self.centrifuges:
+            return 0.0
+        return self.destroyed_count() / len(self.centrifuges)
+
+    def __len__(self):
+        return len(self.centrifuges)
+
+    def __repr__(self):
+        return "CentrifugeCascade(%r, %d/%d destroyed)" % (
+            self.name, self.destroyed_count(), len(self.centrifuges),
+        )

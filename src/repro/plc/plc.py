@@ -1,0 +1,121 @@
+"""The programmable logic controller.
+
+"PLC is a small computer system that operates in real time and plays the
+role of interface between the software application (Step 7) and the
+industrial physical machines ... Once the PLC is configured, the Windows
+computer can be unplugged and PLC will function by itself." (§II.A)
+
+The PLC owns a Profibus bus, stores code blocks, and runs a scan cycle on
+the simulation kernel.  Monitoring reads (what the HMI and the digital
+safety system consume) go through :meth:`reported_frequency`, which
+infected blocks can override — the PLC-rootkit replay trick.
+"""
+
+from repro.plc.blocks import CodeBlock
+from repro.plc.centrifuge import NOMINAL_FREQUENCY
+
+
+class ProgrammableLogicController:
+    """One S7-315-like controller."""
+
+    #: Scan interval in virtual seconds.  Real scan cycles are
+    #: milliseconds; the simulation only needs decisions at the cadence
+    #: the physics changes, and the attack phases last minutes-to-hours.
+    SCAN_INTERVAL = 60.0
+
+    def __init__(self, kernel, name, bus):
+        self.kernel = kernel
+        self.name = name
+        self.bus = bus
+        self._blocks = {}
+        self._scan_task = None
+        self.scan_count = 0
+        #: Setpoint the legitimate control program maintains.
+        self.setpoint = NOMINAL_FREQUENCY
+        #: When set, monitoring reads return this instead of the bus
+        #: truth (the Stuxnet replay-to-operator trick).
+        self.reported_frequency_override = None
+        #: When True the legitimate control program stands down — an
+        #: injected block that runs first has taken over the drives.
+        self.control_suppressed = False
+        self._install_default_program()
+
+    # -- program -------------------------------------------------------------
+
+    def _install_default_program(self):
+        def ob1_logic(plc):
+            # Maintain the enrichment setpoint on every drive.
+            if plc.control_suppressed:
+                return
+            for drive in plc.bus.devices():
+                if abs(drive.read_frequency() - plc.setpoint) > 0.5:
+                    plc.bus.command_frequency(drive.ident, plc.setpoint)
+
+        self.store_block(CodeBlock("OB1", "OB", logic=ob1_logic, origin="engineer"))
+
+    def store_block(self, block):
+        """Write a block into PLC memory (the raw, unhooked path)."""
+        self._blocks[block.name.upper()] = block
+        return block
+
+    def read_block(self, name):
+        """Read a block from PLC memory (raw path); None when absent."""
+        return self._blocks.get(name.upper())
+
+    def delete_block(self, name):
+        return self._blocks.pop(name.upper(), None) is not None
+
+    def block_names(self):
+        return sorted(self._blocks)
+
+    def blocks_with_origin(self, origin):
+        return [b for b in self._blocks.values() if b.origin == origin]
+
+    # -- scan cycle -----------------------------------------------------------
+
+    def power_on(self):
+        """Start the scan cycle on the kernel."""
+        if self._scan_task is None:
+            self._scan_task = self.kernel.every(
+                self.SCAN_INTERVAL, self._scan, "plc-scan:%s" % self.name
+            )
+        return self
+
+    def power_off(self):
+        if self._scan_task is not None:
+            self._scan_task.stop()
+            self._scan_task = None
+
+    @property
+    def running(self):
+        return self._scan_task is not None
+
+    def _scan(self):
+        self.scan_count += 1
+        # Organisation blocks execute each scan, in name order, which
+        # puts an injected "OB0" ahead of the legitimate OB1 — mirroring
+        # how Stuxnet's code runs before the original program.
+        for name in sorted(self._blocks):
+            block = self._blocks[name]
+            if block.kind == "OB" and block.logic is not None:
+                block.logic(self)
+
+    # -- monitoring (what HMI and safety systems read) ---------------------------
+
+    def actual_frequency(self):
+        """Ground truth: mean of the drives' real output frequencies."""
+        devices = self.bus.devices()
+        if not devices:
+            return 0.0
+        return sum(d.read_frequency() for d in devices) / len(devices)
+
+    def reported_frequency(self):
+        """What monitoring consumers are told (rootkit can override)."""
+        if self.reported_frequency_override is not None:
+            return self.reported_frequency_override
+        return self.actual_frequency()
+
+    def __repr__(self):
+        return "PLC(%r, blocks=%s, running=%s)" % (
+            self.name, self.block_names(), self.running,
+        )

@@ -1,0 +1,94 @@
+"""The ``s7otbxdx.dll`` communication library — and its evil twin.
+
+§II.B: "The s7otbxdx.dll is a library file used by Step 7 software to
+communicate with the PLC. The dll file exports several routines to read
+and write code blocks to/from the PLC. By replacing the original version
+of s7otbxdx.dll by its own compromised version, Stuxnet can intercept
+any communication between Step 7 software and the PLC."
+
+§II.C: "Anytime a request from the Step 7 software application tries to
+access an infected block in the PLC, the request is intercepted and
+modified so that Stuxnet infected blocks are not discovered nor
+modified."
+"""
+
+DLL_NAME = "s7otbxdx.dll"
+RENAMED_ORIGINAL = "s7otbxsx.dll"
+
+
+class S7CommunicationLibrary:
+    """The genuine library: transparent block IO against a PLC."""
+
+    name = DLL_NAME
+
+    def list_blocks(self, plc):
+        return plc.block_names()
+
+    def read_block(self, plc, name):
+        """Read one block (a copy, as the real API uploads a snapshot)."""
+        block = plc.read_block(name)
+        return block.copy() if block is not None else None
+
+    def write_block(self, plc, block):
+        return plc.store_block(block)
+
+    def delete_block(self, plc, name):
+        return plc.delete_block(name)
+
+    def monitor_frequency(self, plc):
+        """What the HMI variable table shows the operator."""
+        return plc.reported_frequency()
+
+
+class TrojanizedS7Library:
+    """Stuxnet's compromised ``s7otbxdx.dll``: the PLC rootkit.
+
+    Wraps the genuine library and filters every route by which the
+    engineer could notice or remove blocks tagged with the protected
+    origin label.
+    """
+
+    name = DLL_NAME
+
+    def __init__(self, genuine, protected_origin, on_intercept=None):
+        self._genuine = genuine
+        self._protected_origin = protected_origin
+        self._on_intercept = on_intercept or (lambda operation, name: None)
+
+    def _is_protected(self, block):
+        return block is not None and block.origin == self._protected_origin
+
+    def list_blocks(self, plc):
+        """Hide injected blocks from the block directory."""
+        visible = []
+        for name in self._genuine.list_blocks(plc):
+            if self._is_protected(plc.read_block(name)):
+                self._on_intercept("list", name)
+                continue
+            visible.append(name)
+        return visible
+
+    def read_block(self, plc, name):
+        """Reads of infected blocks return nothing, as if absent."""
+        block = plc.read_block(name)
+        if self._is_protected(block):
+            self._on_intercept("read", name)
+            return None
+        return self._genuine.read_block(plc, name)
+
+    def write_block(self, plc, block):
+        """Writes that would clobber an infected block are swallowed."""
+        existing = plc.read_block(block.name)
+        if self._is_protected(existing):
+            self._on_intercept("write", block.name)
+            return existing
+        return self._genuine.write_block(plc, block)
+
+    def delete_block(self, plc, name):
+        if self._is_protected(plc.read_block(name)):
+            self._on_intercept("delete", name)
+            return False
+        return self._genuine.delete_block(plc, name)
+
+    def monitor_frequency(self, plc):
+        return self._genuine.monitor_frequency(plc)

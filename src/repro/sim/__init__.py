@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation kernel.
+
+Every other subsystem in :mod:`repro` runs on top of this kernel: hosts,
+networks, PLCs, malware, and command-and-control servers all schedule
+callbacks on a shared :class:`Kernel` and record what happened in its
+:class:`TraceLog`.  The kernel is fully deterministic: given the same seed
+and the same schedule of events, two runs produce identical traces, which
+is what lets the benchmark harness regenerate the paper's figures as
+stable event sequences.
+"""
+
+from repro.sim.clock import SimClock, SIM_EPOCH
+from repro.sim.errors import SimulationError, ScheduleInPastError
+from repro.sim.events import Event, EventQueue, Kernel, PeriodicTask
+from repro.sim.rng import DeterministicRandom
+from repro.sim.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "SIM_EPOCH",
+    "DeterministicRandom",
+    "Event",
+    "EventQueue",
+    "Kernel",
+    "PeriodicTask",
+    "ScheduleInPastError",
+    "SimClock",
+    "SimulationError",
+    "TraceLog",
+    "TraceRecord",
+]

@@ -1,0 +1,77 @@
+"""Virtual wall-clock for the simulation.
+
+The campaign the paper describes is anchored to real calendar dates
+(Stuxnet surfaces in 2010, Flame's suicide broadcast lands in late May
+2012, Shamoon's wiper trigger is hardcoded to 2012-08-15 08:08 UTC), so
+the clock speaks both "seconds since simulation start" and real UTC
+datetimes.
+"""
+
+from datetime import datetime, timedelta, timezone
+
+#: Default origin of virtual time.  The campaign window covered by the
+#: paper opens with Stuxnet's discovery in mid-2010.
+SIM_EPOCH = datetime(2010, 1, 1, tzinfo=timezone.utc)
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+class SimClock:
+    """Monotonically advancing virtual clock.
+
+    The clock only moves when the kernel dispatches events; nothing in the
+    library ever reads the host's real time.
+    """
+
+    def __init__(self, epoch=SIM_EPOCH):
+        if epoch.tzinfo is None:
+            epoch = epoch.replace(tzinfo=timezone.utc)
+        self._epoch = epoch
+        self._now = 0.0
+
+    @property
+    def epoch(self):
+        """Datetime corresponding to virtual t=0."""
+        return self._epoch
+
+    @property
+    def now(self):
+        """Current virtual time in seconds since :attr:`epoch`."""
+        return self._now
+
+    @property
+    def now_dt(self):
+        """Current virtual time as an aware UTC datetime."""
+        return self._epoch + timedelta(seconds=self._now)
+
+    def advance_to(self, when):
+        """Move the clock forward to ``when`` seconds.
+
+        Raises ``ValueError`` if that would move the clock backwards.
+        """
+        if when < self._now:
+            raise ValueError(
+                "clock cannot move backwards: %.6f < %.6f" % (when, self._now)
+            )
+        self._now = when
+
+    def seconds_until(self, moment):
+        """Seconds of virtual time from now until the datetime ``moment``.
+
+        Negative if ``moment`` is already in the virtual past.
+        """
+        if moment.tzinfo is None:
+            moment = moment.replace(tzinfo=timezone.utc)
+        return (moment - self.now_dt).total_seconds()
+
+    def to_seconds(self, moment):
+        """Convert an aware datetime to seconds-since-epoch on this clock."""
+        if moment.tzinfo is None:
+            moment = moment.replace(tzinfo=timezone.utc)
+        return (moment - self._epoch).total_seconds()
+
+    def __repr__(self):
+        return "SimClock(now=%.3f, %s)" % (self._now, self.now_dt.isoformat())

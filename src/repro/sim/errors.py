@@ -1,0 +1,17 @@
+"""Exception hierarchy for the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation kernel."""
+
+
+class ScheduleInPastError(SimulationError):
+    """Raised when an event is scheduled before the current virtual time."""
+
+    def __init__(self, now, when):
+        super().__init__(
+            "cannot schedule event at t=%.6f; clock is already at t=%.6f"
+            % (when, now)
+        )
+        self.now = now
+        self.when = when

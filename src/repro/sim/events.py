@@ -1,0 +1,210 @@
+"""Event queue and kernel: the heart of the discrete-event simulation."""
+
+import heapq
+
+from repro.sim.clock import SimClock
+from repro.sim.errors import ScheduleInPastError, SimulationError
+from repro.sim.rng import DeterministicRandom
+from repro.sim.trace import TraceLog
+
+
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, sequence)`` so that simultaneous events
+    dispatch in the order they were scheduled — a property the replayed
+    figure traces rely on.
+    """
+
+    __slots__ = ("time", "sequence", "callback", "label", "cancelled")
+
+    def __init__(self, time, sequence, callback, label):
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self):
+        """Mark the event so the kernel skips it at dispatch time."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self):
+        state = " (cancelled)" if self.cancelled else ""
+        return "Event(t=%.3f, %r)%s" % (self.time, self.label, state)
+
+
+class EventQueue:
+    """Min-heap of pending events ordered by (time, insertion order)."""
+
+    def __init__(self):
+        self._heap = []
+        self._sequence = 0
+
+    def push(self, time, callback, label):
+        event = Event(time, self._sequence, callback, label)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self):
+        """Remove and return the next non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self):
+        """Time of the next live event, or None if the queue is drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self):
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self):
+        return self.peek_time() is not None
+
+
+class PeriodicTask:
+    """A callback rescheduled every ``interval`` seconds until stopped.
+
+    Models the recurring jobs the paper describes: the C&C server's
+    30-minute stolen-file cleanup, a beacon interval, an AV scan sweep.
+    """
+
+    def __init__(self, kernel, interval, callback, label, jitter=0.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive, got %r" % interval)
+        self._kernel = kernel
+        self._interval = interval
+        self._callback = callback
+        self._label = label
+        self._jitter = jitter
+        self._stopped = False
+        self._pending = None
+        self._schedule_next()
+
+    @property
+    def stopped(self):
+        return self._stopped
+
+    def stop(self):
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _schedule_next(self):
+        delay = self._interval
+        if self._jitter:
+            delay += self._kernel.rng.uniform(-self._jitter, self._jitter)
+            delay = max(delay, 1e-9)
+        self._pending = self._kernel.call_later(delay, self._fire, self._label)
+
+    def _fire(self):
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._schedule_next()
+
+
+class Kernel:
+    """Owns the clock, the event queue, the RNG, and the trace log.
+
+    Typical use::
+
+        kernel = Kernel(seed=7)
+        kernel.call_later(60.0, do_something, "usb-insertion")
+        kernel.run()
+        print(kernel.trace.dump())
+    """
+
+    #: Safety valve: a simulation dispatching more events than this is
+    #: assumed to be stuck in a self-rescheduling loop.
+    DEFAULT_MAX_EVENTS = 5_000_000
+
+    def __init__(self, seed=0, epoch=None):
+        self.clock = SimClock() if epoch is None else SimClock(epoch)
+        self.rng = DeterministicRandom(seed)
+        self.trace = TraceLog(self.clock)
+        self._queue = EventQueue()
+        self._dispatched = 0
+
+    @property
+    def now(self):
+        return self.clock.now
+
+    @property
+    def now_dt(self):
+        return self.clock.now_dt
+
+    @property
+    def dispatched_events(self):
+        """Number of events dispatched so far."""
+        return self._dispatched
+
+    @property
+    def pending_events(self):
+        """Number of live events still queued."""
+        return len(self._queue)
+
+    def call_at(self, when, callback, label="event"):
+        """Schedule ``callback`` at absolute virtual time ``when``."""
+        if when < self.clock.now:
+            raise ScheduleInPastError(self.clock.now, when)
+        return self._queue.push(when, callback, label)
+
+    def call_later(self, delay, callback, label="event"):
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise ScheduleInPastError(self.clock.now, self.clock.now + delay)
+        return self._queue.push(self.clock.now + delay, callback, label)
+
+    def call_at_datetime(self, moment, callback, label="event"):
+        """Schedule ``callback`` at an absolute calendar datetime.
+
+        This is how hardcoded trigger dates are armed — e.g. Shamoon's
+        wiper detonating at 2012-08-15 08:08 UTC.
+        """
+        return self.call_at(self.clock.to_seconds(moment), callback, label)
+
+    def every(self, interval, callback, label="periodic", jitter=0.0):
+        """Create a :class:`PeriodicTask` firing every ``interval`` seconds."""
+        return PeriodicTask(self, interval, callback, label, jitter=jitter)
+
+    def run(self, until=None, max_events=DEFAULT_MAX_EVENTS):
+        """Dispatch events until the queue drains (or ``until`` seconds).
+
+        Returns the number of events dispatched by this call.
+        """
+        dispatched = 0
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            self.clock.advance_to(event.time)
+            event.callback()
+            dispatched += 1
+            self._dispatched += 1
+            if dispatched > max_events:
+                raise SimulationError(
+                    "dispatched more than %d events; runaway simulation "
+                    "(last event label: %r)" % (max_events, event.label)
+                )
+        if until is not None and until > self.clock.now:
+            self.clock.advance_to(until)
+        return dispatched
+
+    def run_for(self, duration, max_events=DEFAULT_MAX_EVENTS):
+        """Run for ``duration`` seconds of virtual time from now."""
+        return self.run(until=self.clock.now + duration, max_events=max_events)

@@ -1,0 +1,112 @@
+"""Structured trace log.
+
+Each figure in the paper is an architecture/data-flow diagram; the
+benchmark harness regenerates them by replaying the trace of a simulated
+campaign.  A :class:`TraceRecord` is one arrow in such a diagram: who did
+what to whom, when, with what details.
+"""
+
+
+class TraceRecord:
+    """One immutable entry in the simulation trace."""
+
+    __slots__ = ("time", "actor", "action", "target", "detail")
+
+    def __init__(self, time, actor, action, target=None, detail=None):
+        self.time = time
+        self.actor = actor
+        self.action = action
+        self.target = target
+        self.detail = dict(detail) if detail else {}
+
+    def __repr__(self):
+        target = " -> %s" % self.target if self.target else ""
+        return "[t=%10.2f] %s %s%s %s" % (
+            self.time,
+            self.actor,
+            self.action,
+            target,
+            self.detail or "",
+        )
+
+
+class TraceLog:
+    """Append-only record of everything that happened in a simulation."""
+
+    def __init__(self, clock):
+        self._clock = clock
+        self._records = []
+
+    def record(self, actor, action, target=None, **detail):
+        """Append a record stamped with the current virtual time."""
+        entry = TraceRecord(self._clock.now, actor, action, target, detail)
+        self._records.append(entry)
+        return entry
+
+    def __len__(self):
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __getitem__(self, index):
+        return self._records[index]
+
+    def query(self, actor=None, action=None, target=None, since=None, until=None):
+        """Return records matching every given filter.
+
+        ``actor``/``action``/``target`` match exactly, except that a
+        trailing ``*`` turns the filter into a prefix match (useful for
+        namespaced actions like ``"flame.*"``).
+        """
+
+        def matches(value, pattern):
+            if pattern is None:
+                return True
+            if value is None:
+                return False
+            if pattern.endswith("*"):
+                return value.startswith(pattern[:-1])
+            return value == pattern
+
+        out = []
+        for rec in self._records:
+            if not matches(rec.actor, actor):
+                continue
+            if not matches(rec.action, action):
+                continue
+            if not matches(rec.target, target):
+                continue
+            if since is not None and rec.time < since:
+                continue
+            if until is not None and rec.time > until:
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, **filters):
+        """Number of records matching :meth:`query` filters."""
+        return len(self.query(**filters))
+
+    def actions(self):
+        """Set of distinct action names seen so far."""
+        return {rec.action for rec in self._records}
+
+    def first(self, **filters):
+        """Earliest matching record, or None."""
+        matching = self.query(**filters)
+        return matching[0] if matching else None
+
+    def last(self, **filters):
+        """Latest matching record, or None."""
+        matching = self.query(**filters)
+        return matching[-1] if matching else None
+
+    def timeline(self, **filters):
+        """Matching records as (time, actor, action, target) tuples."""
+        return [(r.time, r.actor, r.action, r.target) for r in self.query(**filters)]
+
+    def dump(self, limit=None):
+        """Human-readable rendering of the trace (or its first ``limit`` rows)."""
+        rows = self._records if limit is None else self._records[:limit]
+        return "\n".join(repr(r) for r in rows)

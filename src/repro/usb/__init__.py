@@ -1,0 +1,29 @@
+"""Removable media: the campaign's favourite infection vector.
+
+Section V.E: "USB drives, in addition to zero-day exploits, are emerging
+as the main infection vector in targeted attacks."  This package models
+the three USB tricks the paper describes:
+
+* a malicious ``autorun.inf`` that fires on insertion (older hosts);
+* crafted LNK files, one per Windows version, that fire when Explorer
+  merely *renders the icons* of the drive (MS10-046 — Stuxnet's primary
+  vector, reused by Flame);
+* Flame's hidden database, which turns a USB stick into a courier that
+  carries stolen documents out of air-gapped networks.
+"""
+
+from repro.usb.drive import UsbDrive, UsbFile
+from repro.usb.autorun import AUTORUN_FILENAME, make_autorun
+from repro.usb.lnk import LNK_BULLETIN, craft_lnk_files
+from repro.usb.hidden_db import HIDDEN_DB_FILENAME, HiddenDatabase
+
+__all__ = [
+    "AUTORUN_FILENAME",
+    "HIDDEN_DB_FILENAME",
+    "HiddenDatabase",
+    "LNK_BULLETIN",
+    "UsbDrive",
+    "UsbFile",
+    "craft_lnk_files",
+    "make_autorun",
+]

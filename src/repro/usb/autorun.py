@@ -1,0 +1,28 @@
+"""Malicious autorun.inf construction."""
+
+from repro.usb.drive import UsbFile
+
+AUTORUN_FILENAME = "autorun.inf"
+
+_TEMPLATE = b"[autorun]\r\nopen=%s\r\naction=Open folder to view files\r\n"
+
+
+def make_autorun(payload, launcher_name="setup.exe"):
+    """Build an ``autorun.inf`` whose open= target runs ``payload``.
+
+    ``payload(host, drive)`` executes on insertion into a host that still
+    has autorun enabled — the older of the two USB vectors, "used also by
+    Stuxnet" per the Flame EUPHORIA description (§III.A).
+    """
+
+    def fire(host, drive):
+        from repro.winsim.processes import IntegrityLevel
+
+        host.processes.spawn(launcher_name, IntegrityLevel.USER)
+        payload(host, drive)
+
+    return UsbFile(
+        AUTORUN_FILENAME,
+        _TEMPLATE % launcher_name.encode("ascii"),
+        on_insert=fire,
+    )

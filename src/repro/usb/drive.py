@@ -1,0 +1,106 @@
+"""The USB drive object and its host-interaction hooks."""
+
+
+class UsbFile:
+    """One file on a USB drive.
+
+    ``on_insert``/``on_render`` are the behavioural hooks: ``on_insert``
+    fires when the drive is plugged into a host with autorun enabled,
+    ``on_render`` when Explorer displays the file's icon (the LNK
+    vector).  Plain documents have neither.
+    """
+
+    __slots__ = ("name", "data", "hidden", "on_insert", "on_render")
+
+    def __init__(self, name, data=b"", hidden=False, on_insert=None, on_render=None):
+        self.name = name.lower()
+        self.data = bytes(data)
+        self.hidden = hidden
+        self.on_insert = on_insert
+        self.on_render = on_render
+
+    @property
+    def size(self):
+        return len(self.data)
+
+    def __repr__(self):
+        return "UsbFile(%r, %d bytes%s)" % (
+            self.name, self.size, ", hidden" if self.hidden else "",
+        )
+
+
+class UsbDrive:
+    """A removable drive that moves between hosts.
+
+    The drive keeps a visit history (which hosts it was plugged into and
+    whether they had internet access at the time) because Flame's
+    air-gap courier logic keys on exactly that.
+    """
+
+    def __init__(self, label):
+        self.label = label
+        self._files = {}
+        self.visit_history = []
+
+    # -- contents -------------------------------------------------------------
+
+    def add_file(self, usb_file):
+        self._files[usb_file.name] = usb_file
+        return usb_file
+
+    def write(self, name, data=b"", hidden=False, on_insert=None, on_render=None):
+        return self.add_file(
+            UsbFile(name, data, hidden=hidden, on_insert=on_insert,
+                    on_render=on_render)
+        )
+
+    def get(self, name):
+        return self._files.get(name.lower())
+
+    def exists(self, name):
+        return name.lower() in self._files
+
+    def delete(self, name):
+        return self._files.pop(name.lower(), None) is not None
+
+    def files(self, include_hidden=False):
+        """What Explorer shows (hidden files excluded by default)."""
+        out = [f for f in self._files.values() if include_hidden or not f.hidden]
+        return sorted(out, key=lambda f: f.name)
+
+    def total_bytes(self):
+        return sum(f.size for f in self._files.values())
+
+    # -- host interaction --------------------------------------------------------
+
+    def on_insert(self, host):
+        """Called by the host when the drive is plugged in."""
+        had_internet = (
+            host.nic is not None and not host.nic[0].air_gapped
+        )
+        self.visit_history.append(
+            {"host": host.hostname, "had_internet": had_internet,
+             "time": host.now()}
+        )
+        if host.config.autorun_enabled:
+            for usb_file in self.files(include_hidden=True):
+                if usb_file.on_insert is not None:
+                    host.trace("autorun-executed", target=usb_file.name,
+                               drive=self.label)
+                    usb_file.on_insert(host, self)
+
+    def on_explorer_open(self, host):
+        """Called when Explorer renders the drive's directory listing."""
+        for usb_file in self.files(include_hidden=False):
+            if usb_file.on_render is not None:
+                usb_file.on_render(host, self)
+
+    def on_remove(self, host):
+        """Called when the drive is unplugged (no-op hook point)."""
+
+    def visited_internet_connected_host(self):
+        """Has this stick ever been in a machine with internet access?"""
+        return any(v["had_internet"] for v in self.visit_history)
+
+    def __repr__(self):
+        return "UsbDrive(%r, %d files)" % (self.label, len(self._files))

@@ -1,0 +1,94 @@
+"""Flame's hidden USB database: the air-gap courier.
+
+§III.B: "Flame uses a hidden database loaded in USB sticks. If a USB
+stick is inserted into an infected system in such environments, Flame
+reads the hidden database (if it does not exist, it will create one),
+and checks if the USB stick has already been in a computer with an
+internet connection. If it is the case, Flame begins storing leaked
+documents in the hidden database."
+"""
+
+import json
+
+HIDDEN_DB_FILENAME = "."  # a dot-named, hidden FAT entry
+
+_MAX_DB_BYTES = 16 * 1024 * 1024  # courier capacity of a period thumb drive
+
+
+class HiddenDatabase:
+    """Structured view over the hidden file on a USB drive."""
+
+    def __init__(self, drive):
+        self._drive = drive
+        self._state = {"seen_internet": False, "documents": [], "beacons": []}
+        existing = drive.get(HIDDEN_DB_FILENAME)
+        if existing is not None and existing.data:
+            self._state = json.loads(existing.data.decode("utf-8"))
+
+    @classmethod
+    def load_or_create(cls, drive):
+        """Read the hidden DB off a drive, creating it when absent."""
+        db = cls(drive)
+        db.flush()
+        return db
+
+    @classmethod
+    def exists_on(cls, drive):
+        return drive.exists(HIDDEN_DB_FILENAME)
+
+    # -- courier state ----------------------------------------------------------
+
+    def mark_internet_connected(self):
+        """Stamp the DB: this stick has touched a connected machine."""
+        self._state["seen_internet"] = True
+        self.flush()
+
+    @property
+    def seen_internet(self):
+        """True when the stick was ever in an internet-connected host.
+
+        The drive's own visit history is the ground truth; the DB keeps a
+        durable stamp so the decision survives between infected hosts.
+        """
+        return self._state["seen_internet"] or (
+            self._drive.visited_internet_connected_host()
+        )
+
+    # -- stolen document storage ---------------------------------------------------
+
+    def store_document(self, source_host, path, content_size, summary):
+        """Queue one leaked document for exfiltration.
+
+        Returns False when the courier is full.
+        """
+        if self.used_bytes() + content_size > _MAX_DB_BYTES:
+            return False
+        self._state["documents"].append(
+            {
+                "source": source_host,
+                "path": path,
+                "size": content_size,
+                "summary": summary,
+            }
+        )
+        self.flush()
+        return True
+
+    def documents(self):
+        return list(self._state["documents"])
+
+    def drain_documents(self):
+        """Remove and return everything queued (done on upload)."""
+        docs = self._state["documents"]
+        self._state["documents"] = []
+        self.flush()
+        return docs
+
+    def used_bytes(self):
+        return sum(d["size"] for d in self._state["documents"])
+
+    # -- persistence ------------------------------------------------------------
+
+    def flush(self):
+        blob = json.dumps(self._state).encode("utf-8")
+        self._drive.write(HIDDEN_DB_FILENAME, blob, hidden=True)

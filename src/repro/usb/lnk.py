@@ -1,0 +1,54 @@
+"""Crafted LNK files exploiting MS10-046.
+
+§II.A: "The vulnerability exists because Windows incorrectly parses
+shortcuts (.LNK files) in such a way that malicious code may be executed
+when the icon of a specially crafted LNK file is displayed," and the
+footnote: "A typical configuration of the USB drive will contain several
+LNK files each one for a particular Windows OS version (e.g. XP, Vista,
+7, Server 2003)."
+"""
+
+from repro.usb.drive import UsbFile
+from repro.winsim.host import OS_VERSIONS
+from repro.winsim.patches import MS10_046_LNK
+from repro.winsim.processes import IntegrityLevel
+
+LNK_BULLETIN = MS10_046_LNK
+
+_LNK_HEADER = b"L\x00\x00\x00\x01\x14\x02\x00"  # shell link magic-alike
+
+
+def craft_lnk_files(payload, os_versions=OS_VERSIONS):
+    """One crafted LNK per targeted Windows version.
+
+    ``payload(host, drive)`` runs at the logged-on user's integrity when
+    a matching, unpatched host renders the icon.  Returns the list of
+    :class:`UsbFile` to place on a drive.
+    """
+
+    def make_render_hook(version):
+        def fire(host, drive):
+            if host.config.os_version != version:
+                return
+            if not host.patches.is_vulnerable(MS10_046_LNK):
+                host.event_log.info(
+                    "shell", "malformed shortcut ignored (MS10-046 applied)"
+                )
+                return
+            host.trace("lnk-exploit-fired", target=drive.label,
+                       os_version=version)
+            host.processes.spawn("explorer-shellcode", IntegrityLevel.USER)
+            payload(host, drive)
+
+        return fire
+
+    files = []
+    for version in os_versions:
+        files.append(
+            UsbFile(
+                "copy of shortcut to %s.lnk" % version,
+                _LNK_HEADER + version.encode("ascii"),
+                on_render=make_render_hook(version),
+            )
+        )
+    return files

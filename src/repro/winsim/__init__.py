@@ -1,0 +1,75 @@
+"""Simulated Windows hosts.
+
+A :class:`WindowsHost` is the unit of compromise in every attack the
+paper describes: it owns a virtual filesystem, a registry, a process
+table, services and scheduled tasks, a sector-addressed disk with an MBR,
+a driver manager that enforces signature policy, a patch state listing
+which of the campaign's vulnerabilities are still open, an API hook
+table, and a Windows-style event log.
+
+Nothing in this package touches the real operating system — a "file" is
+an entry in a dict, the "MBR" is 512 bytes in a bytearray, and "executing
+a binary" calls a Python function attached to the simulated file.
+"""
+
+from repro.winsim.vfs import (
+    FileAttributes,
+    FileNotFound,
+    VfsError,
+    VirtualFile,
+    VirtualFileSystem,
+    normalize_path,
+)
+from repro.winsim.registry import Registry
+from repro.winsim.disk import Disk, DiskAccessDenied, MBR_SIZE, MBR_MAGIC
+from repro.winsim.patches import (
+    MS10_046_LNK,
+    MS10_061_SPOOLER,
+    MS10_073_KEYBOARD_EOP,
+    MS10_092_TASK_SCHEDULER,
+    MS12_ADVISORY_2718704,
+    PatchState,
+    VULNERABILITIES,
+)
+from repro.winsim.processes import IntegrityLevel, Process, ProcessTable
+from repro.winsim.services import ScheduledTask, Service, ServiceManager, TaskScheduler
+from repro.winsim.drivers import Driver, DriverManager, DriverLoadError
+from repro.winsim.eventlog import EventLog, EventLogEntry
+from repro.winsim.hooks import ApiHookTable
+from repro.winsim.host import WindowsHost, HostConfig
+
+__all__ = [
+    "ApiHookTable",
+    "Disk",
+    "DiskAccessDenied",
+    "Driver",
+    "DriverLoadError",
+    "DriverManager",
+    "EventLog",
+    "EventLogEntry",
+    "FileAttributes",
+    "FileNotFound",
+    "HostConfig",
+    "IntegrityLevel",
+    "MBR_MAGIC",
+    "MBR_SIZE",
+    "MS10_046_LNK",
+    "MS10_061_SPOOLER",
+    "MS10_073_KEYBOARD_EOP",
+    "MS10_092_TASK_SCHEDULER",
+    "MS12_ADVISORY_2718704",
+    "PatchState",
+    "Process",
+    "ProcessTable",
+    "Registry",
+    "ScheduledTask",
+    "Service",
+    "ServiceManager",
+    "TaskScheduler",
+    "VULNERABILITIES",
+    "VfsError",
+    "VirtualFile",
+    "VirtualFileSystem",
+    "WindowsHost",
+    "normalize_path",
+]

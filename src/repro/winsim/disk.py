@@ -1,0 +1,142 @@
+"""Sector-addressed disk with MBR and partition table.
+
+Shamoon's endgame is exactly here: "overwrite and wipe the files and the
+Master Boot Record (MBR) of the computer making it unusable" (§IV).  The
+disk enforces the Windows rule the paper highlights — "tampering with the
+MBR is not allowed for user-mode applications" — so the wiper genuinely
+needs the signed raw-disk driver trick to get through.
+"""
+
+MBR_SIZE = 512
+#: The 2-byte boot signature at the end of a valid MBR.
+MBR_MAGIC = b"\x55\xaa"
+
+SECTOR_SIZE = 512
+
+
+class DiskAccessDenied(Exception):
+    """Raised when user-mode code writes to protected sectors."""
+
+
+class Partition:
+    """One partition table entry."""
+
+    __slots__ = ("index", "start_sector", "sector_count", "active", "wiped")
+
+    def __init__(self, index, start_sector, sector_count, active=False):
+        self.index = index
+        self.start_sector = start_sector
+        self.sector_count = sector_count
+        self.active = active
+        self.wiped = False
+
+    def __repr__(self):
+        flags = " active" if self.active else ""
+        state = " WIPED" if self.wiped else ""
+        return "Partition(%d, sectors %d..%d%s%s)" % (
+            self.index,
+            self.start_sector,
+            self.start_sector + self.sector_count - 1,
+            flags,
+            state,
+        )
+
+
+class Disk:
+    """Sparse sector store plus MBR/partition bookkeeping.
+
+    Only touched sectors consume memory, so a simulated 30,000-host
+    organisation stays cheap.  ``kernel_mode`` on the write path is the
+    protection boundary: sector 0 (the MBR) and partition metadata demand
+    it unless a loaded driver has granted raw access.
+    """
+
+    PROTECTED_SECTORS = 64  # MBR + partition bookkeeping region
+
+    def __init__(self, total_sectors=1 << 21):
+        self._sectors = {}
+        self.total_sectors = total_sectors
+        self.partitions = []
+        self.raw_access_grants = set()
+        self._init_mbr()
+        # One active system partition by default.
+        self.partitions.append(Partition(0, 2048, total_sectors - 2048, active=True))
+
+    def _init_mbr(self):
+        boot_code = b"\xfa\x33\xc0" + b"\x90" * (MBR_SIZE - 5)
+        self._sectors[0] = boot_code[: MBR_SIZE - 2] + MBR_MAGIC
+
+    # -- access control -------------------------------------------------------
+
+    def grant_raw_access(self, grantee):
+        """A (signed) raw-disk driver grants user-mode raw sector access."""
+        self.raw_access_grants.add(grantee)
+
+    def revoke_raw_access(self, grantee):
+        self.raw_access_grants.discard(grantee)
+
+    def _check_write(self, sector, kernel_mode, grantee):
+        if sector >= self.total_sectors or sector < 0:
+            raise ValueError("sector %d out of range" % sector)
+        if sector < self.PROTECTED_SECTORS and not kernel_mode:
+            if grantee not in self.raw_access_grants:
+                raise DiskAccessDenied(
+                    "user-mode write to protected sector %d denied" % sector
+                )
+
+    # -- sector IO -------------------------------------------------------------
+
+    def read_sector(self, sector):
+        if sector >= self.total_sectors or sector < 0:
+            raise ValueError("sector %d out of range" % sector)
+        return self._sectors.get(sector, b"\x00" * SECTOR_SIZE)
+
+    def write_sector(self, sector, data, kernel_mode=False, grantee=None):
+        self._check_write(sector, kernel_mode, grantee)
+        if len(data) > SECTOR_SIZE:
+            raise ValueError("sector payload exceeds %d bytes" % SECTOR_SIZE)
+        self._sectors[sector] = bytes(data).ljust(SECTOR_SIZE, b"\x00")
+
+    # -- MBR ---------------------------------------------------------------------
+
+    @property
+    def mbr(self):
+        return self.read_sector(0)
+
+    def write_mbr(self, data, kernel_mode=False, grantee=None):
+        self.write_sector(0, data, kernel_mode=kernel_mode, grantee=grantee)
+
+    def mbr_intact(self):
+        """True when the boot signature is still present."""
+        return self.read_sector(0).endswith(MBR_MAGIC)
+
+    # -- partitions ----------------------------------------------------------------
+
+    def active_partition(self):
+        for part in self.partitions:
+            if part.active:
+                return part
+        return None
+
+    def wipe_partition(self, partition, kernel_mode=False, grantee=None,
+                       sectors_to_touch=8):
+        """Overwrite the leading sectors of a partition (enough to kill it).
+
+        A full sector-by-sector pass over a terabyte disk is pointless in
+        simulation; wiping the filesystem metadata region has the same
+        observable effect (the partition no longer mounts).
+        """
+        self._check_write(0, kernel_mode, grantee)  # same privilege bar
+        junk = b"\x00" * SECTOR_SIZE
+        end = min(partition.start_sector + sectors_to_touch,
+                  partition.start_sector + partition.sector_count)
+        for sector in range(partition.start_sector, end):
+            if sector < self.PROTECTED_SECTORS:
+                self._check_write(sector, kernel_mode, grantee)
+            self._sectors[sector] = junk
+        partition.wiped = True
+
+    def bootable(self):
+        """Can this disk still boot an OS?"""
+        active = self.active_partition()
+        return self.mbr_intact() and active is not None and not active.wiped

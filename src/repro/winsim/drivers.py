@@ -1,0 +1,113 @@
+"""Kernel driver loading with signature enforcement.
+
+This is where two of the paper's certificate stories execute:
+
+* Stuxnet's rootkit drivers load *because* they are signed with stolen
+  JMicron/Realtek certificates — "The signing of drivers allowed to
+  install the rootkit drivers successfully" (§II.A);
+* Shamoon's wiper loads the legitimate Eldos-signed ``DRDISK.sys``, whose
+  capability grant ("raw-disk-access") then lets a user-mode process
+  overwrite the MBR (§IV.B).
+
+Unsigned or badly signed drivers are refused and the refusal lands in the
+event log — which is exactly the detection surface the stolen
+certificates were stolen to avoid.
+"""
+
+from repro.pe import PeFormatError, parse_pe
+
+
+class DriverLoadError(Exception):
+    """Raised when a driver image fails policy and cannot load."""
+
+
+class Driver:
+    """One loaded kernel driver."""
+
+    def __init__(self, name, image_path, signer, capabilities, payload=None):
+        self.name = name
+        self.image_path = image_path
+        self.signer = signer
+        #: Capability strings the driver grants, e.g. "raw-disk-access",
+        #: "file-hiding".
+        self.capabilities = frozenset(capabilities)
+        self.payload = payload
+        self.loaded = True
+
+    def grants(self, capability):
+        return capability in self.capabilities
+
+    def __repr__(self):
+        return "Driver(%r, signer=%r, caps=%s)" % (
+            self.name, self.signer, sorted(self.capabilities),
+        )
+
+
+class DriverManager:
+    """Load/unload drivers under the host's signature policy."""
+
+    def __init__(self, host):
+        self._host = host
+        self._drivers = {}
+
+    def load(self, name, image_path, capabilities=(), payload=None):
+        """Load a driver from a PE image stored in the host's VFS.
+
+        Policy: the image must parse as PE and carry a code signature
+        that verifies against the host's trust store (unless the host was
+        configured with ``enforce_driver_signatures=False``, the XP-era
+        laxity knob).  Returns the loaded :class:`Driver`.
+        """
+        if name.lower() in self._drivers:
+            raise DriverLoadError("driver already loaded: %r" % name)
+        record = self._host.vfs.get(image_path, raw=True)
+        signer = None
+        if self._host.config.enforce_driver_signatures:
+            try:
+                pe = parse_pe(record.data)
+            except PeFormatError as exc:
+                self._host.event_log.error(
+                    "driver-load", "driver %r image unparseable: %s" % (name, exc)
+                )
+                raise DriverLoadError("unparseable driver image: %s" % exc)
+            result = self._host.trust_store.verify_code_signature(
+                record.data, pe, at_time=self._host.now()
+            )
+            if not result:
+                self._host.event_log.error(
+                    "driver-load",
+                    "driver %r rejected: %s" % (name, result.reason),
+                )
+                raise DriverLoadError(
+                    "signature policy rejected %r: %s" % (name, result.reason)
+                )
+            signer = result.signer
+        driver = Driver(name, image_path, signer, capabilities, payload)
+        self._drivers[name.lower()] = driver
+        self._host.event_log.info(
+            "driver-load", "driver %r loaded (signer: %s)" % (name, signer)
+        )
+        if "raw-disk-access" in driver.capabilities:
+            self._host.disk.grant_raw_access(name.lower())
+        if payload is not None:
+            payload(self._host, driver)
+        return driver
+
+    def unload(self, name):
+        driver = self._drivers.pop(name.lower(), None)
+        if driver is None:
+            return False
+        driver.loaded = False
+        if "raw-disk-access" in driver.capabilities:
+            self._host.disk.revoke_raw_access(name.lower())
+        return True
+
+    def get(self, name):
+        return self._drivers.get(name.lower())
+
+    def loaded(self):
+        return sorted(self._drivers.values(), key=lambda d: d.name)
+
+    def grants(self, capability):
+        """True when any loaded driver grants the capability."""
+        return any(d.grants(capability) for d in self._drivers.values())

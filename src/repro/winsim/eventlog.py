@@ -1,0 +1,84 @@
+"""Per-host Windows-style event log.
+
+Security tooling and forensics read this; Flame's adventcfg module
+*watches* it — "Whenever Flame notices that Windows OS is issuing a
+message ... referencing one Flame file or component" (§III.A) — so the
+log supports observer callbacks in addition to plain appends.
+"""
+
+
+class EventLogEntry:
+    """One log row: severity, source component, message."""
+
+    __slots__ = ("time", "severity", "source", "message")
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __init__(self, time, severity, source, message):
+        self.time = time
+        self.severity = severity
+        self.source = source
+        self.message = message
+
+    def __repr__(self):
+        return "[%s t=%.1f] %s: %s" % (self.severity.upper(), self.time,
+                                       self.source, self.message)
+
+
+class EventLog:
+    """Append-only event log with observer hooks."""
+
+    def __init__(self, clock=None):
+        self._clock = clock
+        self._entries = []
+        self._observers = []
+
+    def _now(self):
+        return self._clock.now if self._clock is not None else 0.0
+
+    def _append(self, severity, source, message):
+        entry = EventLogEntry(self._now(), severity, source, message)
+        self._entries.append(entry)
+        for observer in list(self._observers):
+            observer(entry)
+        return entry
+
+    def info(self, source, message):
+        return self._append(EventLogEntry.INFO, source, message)
+
+    def warning(self, source, message):
+        return self._append(EventLogEntry.WARNING, source, message)
+
+    def error(self, source, message):
+        return self._append(EventLogEntry.ERROR, source, message)
+
+    def subscribe(self, observer):
+        """Register a callback invoked for every new entry."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer):
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def entries(self, severity=None, source=None, containing=None):
+        out = []
+        for entry in self._entries:
+            if severity is not None and entry.severity != severity:
+                continue
+            if source is not None and entry.source != source:
+                continue
+            if containing is not None and containing not in entry.message:
+                continue
+            out.append(entry)
+        return out
+
+    def clear(self):
+        """Wipe the log (what LogWiper-style anti-forensics does)."""
+        removed = len(self._entries)
+        self._entries = []
+        return removed
+
+    def __len__(self):
+        return len(self._entries)

@@ -1,0 +1,69 @@
+"""API hook table.
+
+Stuxnet "will hook specific APIs used to open Step 7 projects" (§II.B)
+and its PLC rootkit intercepts every read/write routine of
+``s7otbxdx.dll`` (§II.C).  The hook table lets malware wrap any named
+"API" on a host: callers invoke :meth:`call`, hooks run outermost-first
+and each receives a ``call_next`` continuation so it can observe,
+rewrite, or swallow the call — exactly the man-in-the-middle position a
+real IAT/inline hook takes.
+"""
+
+
+class ApiHookTable:
+    """Named call sites with chainable interceptors."""
+
+    def __init__(self):
+        self._implementations = {}
+        self._hooks = {}
+
+    def register_api(self, name, implementation):
+        """Declare an API and its genuine implementation."""
+        self._implementations[name] = implementation
+
+    def is_registered(self, name):
+        return name in self._implementations
+
+    def hook(self, name, interceptor, label=None):
+        """Install an interceptor around ``name``.
+
+        ``interceptor(call_next, *args, **kwargs)`` — call
+        ``call_next(*args, **kwargs)`` to proceed down the chain.
+        Returns an unhook callable.
+        """
+        if name not in self._implementations:
+            raise KeyError("unknown API: %r" % name)
+        entry = (interceptor, label)
+        self._hooks.setdefault(name, []).append(entry)
+
+        def unhook():
+            hooks = self._hooks.get(name, [])
+            if entry in hooks:
+                hooks.remove(entry)
+
+        return unhook
+
+    def hooks_on(self, name):
+        """Labels of hooks currently installed on an API."""
+        return [label for _, label in self._hooks.get(name, [])]
+
+    def hooked_apis(self):
+        """All APIs with at least one live hook — an IOC surface."""
+        return sorted(name for name, hooks in self._hooks.items() if hooks)
+
+    def call(self, name, *args, **kwargs):
+        """Invoke an API through whatever hooks are installed."""
+        try:
+            implementation = self._implementations[name]
+        except KeyError:
+            raise KeyError("unknown API: %r" % name) from None
+        chain = [interceptor for interceptor, _ in self._hooks.get(name, [])]
+
+        def invoke(index, *a, **kw):
+            if index < len(chain):
+                return chain[index](
+                    lambda *na, **nkw: invoke(index + 1, *na, **nkw), *a, **kw
+                )
+            return implementation(*a, **kw)
+
+        return invoke(0, *args, **kwargs)

@@ -1,0 +1,212 @@
+"""The simulated Windows host: the unit of compromise.
+
+Wires together every per-machine subsystem and exposes the handful of
+user-visible behaviours the malware models exploit: opening a USB drive
+in Explorer, executing a file, booting, checking whether the machine is
+still usable after a wiper pass.
+"""
+
+from repro.winsim.disk import Disk
+from repro.winsim.drivers import DriverManager
+from repro.winsim.eventlog import EventLog
+from repro.winsim.hooks import ApiHookTable
+from repro.winsim.patches import PatchState
+from repro.winsim.processes import IntegrityLevel, ProcessTable
+from repro.winsim.registry import Registry
+from repro.winsim.services import ServiceManager, TaskScheduler
+from repro.winsim.vfs import VirtualFileSystem
+
+#: Windows versions the campaign-era LNK payloads were crafted for: "a
+#: typical configuration of the USB drive will contain several LNK files
+#: each one for a particular Windows OS version" (§II.A footnote).
+OS_VERSIONS = ("xp", "vista", "7", "server2003")
+
+SYSTEM_DIR = "c:\\windows\\system32"
+
+
+class HostConfig:
+    """Per-host knobs a scenario can turn."""
+
+    def __init__(self, os_version="7", enforce_driver_signatures=True,
+                 autorun_enabled=False, file_and_print_sharing=False,
+                 has_microphone=False, has_bluetooth=False,
+                 auto_update_enabled=True):
+        if os_version not in OS_VERSIONS:
+            raise ValueError("unknown OS version: %r" % os_version)
+        self.os_version = os_version
+        self.enforce_driver_signatures = enforce_driver_signatures
+        self.autorun_enabled = autorun_enabled
+        self.file_and_print_sharing = file_and_print_sharing
+        self.has_microphone = has_microphone
+        self.has_bluetooth = has_bluetooth
+        self.auto_update_enabled = auto_update_enabled
+
+
+class WindowsHost:
+    """One simulated Windows machine.
+
+    Parameters
+    ----------
+    kernel:
+        The shared simulation kernel (clock/trace/rng).
+    hostname:
+        Unique name; doubles as the trace actor.
+    trust_store:
+        The host's certificate trust state (usually from
+        :meth:`repro.certs.PkiWorld.make_trust_store`).
+    config:
+        A :class:`HostConfig`; defaults to a reasonably hardened
+        Windows 7 box.
+    """
+
+    def __init__(self, kernel, hostname, trust_store, config=None):
+        self.kernel = kernel
+        self.hostname = hostname
+        self.trust_store = trust_store
+        self.config = config or HostConfig()
+
+        self.vfs = VirtualFileSystem(clock=kernel.clock)
+        self.registry = Registry()
+        self.disk = Disk()
+        self.event_log = EventLog(clock=kernel.clock)
+        self.processes = ProcessTable()
+        self.patches = PatchState()
+        self.services = ServiceManager(self)
+        self.tasks = TaskScheduler(self, kernel)
+        self.drivers = DriverManager(self)
+        self.hooks = ApiHookTable()
+
+        #: Network interface; set by :meth:`repro.netsim.Lan.attach`.
+        self.nic = None
+        #: Shared folders exposed over the LAN: name -> directory path.
+        self.shares = {}
+        #: NetBIOS names this host answers broadcasts for:
+        #: name -> callable(client_host) -> value.  Flame's SNACK module
+        #: claims "wpad" here.
+        self.netbios_claims = {}
+        #: Cached proxy configuration (set by the WPAD dance).
+        self.proxy_config = None
+        #: When this host acts as an HTTP proxy, the object whose
+        #: ``handle(request)`` may intercept proxied traffic.
+        self.proxy_service = None
+        #: Credentials this host accepts for remote (SMB/psexec) access.
+        self.accepted_credentials = set()
+        #: Installed software labels ("step7", "ie", ...).
+        self.installed_software = set()
+        #: Malware instances resident on this host: name -> object.
+        self.infections = {}
+        #: Nearby bluetooth devices; populated by the bluetooth radio env.
+        self.bluetooth_radio = None
+        #: USB drives currently plugged in.
+        self.usb_ports = []
+
+        self._seed_standard_files()
+
+    # -- plumbing -------------------------------------------------------------
+
+    def now(self):
+        return self.kernel.clock.now
+
+    def trace(self, action, target=None, **detail):
+        """Record a host-attributed event in the global trace."""
+        return self.kernel.trace.record(self.hostname, action, target, **detail)
+
+    def _seed_standard_files(self):
+        self.vfs.write(SYSTEM_DIR + "\\kernel32.dll", b"\x00" * 64, origin="windows")
+        self.vfs.write(SYSTEM_DIR + "\\ntoskrnl.exe", b"\x00" * 64, origin="windows")
+        self.vfs.write(SYSTEM_DIR + "\\s7otbxdx.dll.placeholder", b"", origin="windows")
+        self.vfs.delete(SYSTEM_DIR + "\\s7otbxdx.dll.placeholder")
+
+    # -- identity / state -------------------------------------------------------
+
+    @property
+    def system_dir(self):
+        """The %system% directory the paper's droppers write into."""
+        return SYSTEM_DIR
+
+    def is_infected_by(self, malware_name):
+        return malware_name in self.infections
+
+    def register_infection(self, malware_name, instance):
+        """Called by malware models when they take residence."""
+        self.infections[malware_name] = instance
+        self.trace("infected", target=malware_name)
+
+    def remove_infection(self, malware_name):
+        return self.infections.pop(malware_name, None)
+
+    def usable(self):
+        """Can a user still boot and use this machine?
+
+        Shamoon's success metric: a host with a destroyed MBR or wiped
+        active partition is bricked.
+        """
+        return self.disk.bootable()
+
+    # -- user behaviours ---------------------------------------------------------
+
+    def insert_usb(self, drive, open_in_explorer=True):
+        """Plug in a USB drive; optionally browse it immediately.
+
+        Both campaign USB vectors hang off this call: ``autorun.inf``
+        fires on insertion (when the host still has autorun enabled) and
+        crafted LNK files fire when Explorer renders the drive's icons.
+        """
+        self.usb_ports.append(drive)
+        self.trace("usb-inserted", target=drive.label)
+        drive.on_insert(self)
+        for infection in list(self.infections.values()):
+            handler = getattr(infection, "on_usb_inserted", None)
+            if handler is not None:
+                handler(self, drive)
+        if open_in_explorer:
+            self.open_usb_in_explorer(drive)
+        return drive
+
+    def open_usb_in_explorer(self, drive):
+        """Browse a plugged drive with Explorer (renders icons)."""
+        self.trace("usb-opened-in-explorer", target=drive.label)
+        drive.on_explorer_open(self)
+
+    def remove_usb(self, drive):
+        if drive in self.usb_ports:
+            self.usb_ports.remove(drive)
+            drive.on_remove(self)
+            self.trace("usb-removed", target=drive.label)
+
+    def execute_file(self, path, integrity=IntegrityLevel.USER, raw=False):
+        """Run an executable file from the VFS.
+
+        Spawns a process and invokes the file's payload (if any).
+        Returns the process.
+        """
+        record = self.vfs.get(path, raw=raw)
+        process = self.processes.spawn(record.name, integrity, image_path=record.path)
+        self.trace("process-start", target=record.name,
+                   integrity=IntegrityLevel.name(integrity))
+        if record.payload is not None:
+            record.payload(self, process)
+        return process
+
+    def boot(self):
+        """(Re)boot: start auto-start services.
+
+        Returns the list of services started, or None if the machine can
+        no longer boot (wiped MBR / partition).
+        """
+        if not self.usable():
+            self.trace("boot-failed", detail_reason="disk not bootable")
+            return None
+        self.trace("boot")
+        return self.services.start_all_auto()
+
+    def share_folder(self, share_name, directory):
+        """Expose a directory as a network share."""
+        self.vfs.mkdir(directory)
+        self.shares[share_name.lower()] = directory
+        return share_name.lower()
+
+    def __repr__(self):
+        return "WindowsHost(%r, os=%s, infections=%s)" % (
+            self.hostname, self.config.os_version, sorted(self.infections),
+        )

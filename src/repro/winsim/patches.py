@@ -1,0 +1,94 @@
+"""The campaign's vulnerability catalogue and per-host patch state.
+
+Stuxnet "can distribute itself using an unprecedented set of four
+zero-day exploits, namely, MS10-046, MS10-061, MS10-073, and MS10-092"
+(§II.A); Flame reuses the LNK vector and adds the certificate flaw that
+advisory 2718704 closed.  A host is exploitable through a vector exactly
+while the corresponding bulletin is unapplied — and, before the bulletin
+even exists (the zero-day window), no host can be patched at all.
+"""
+
+#: Windows Shell LNK parsing — icon display executes attacker code.
+MS10_046_LNK = "MS10-046"
+#: Print spooler — crafted print request writes files into %system%.
+MS10_061_SPOOLER = "MS10-061"
+#: Kernel-mode keyboard layout EoP.
+MS10_073_KEYBOARD_EOP = "MS10-073"
+#: Task scheduler EoP.
+MS10_092_TASK_SCHEDULER = "MS10-092"
+#: Unauthorized digital certificates (the Flame TS-cert response):
+#: "moving three certificates to the Untrusted Certificate Store".
+MS12_ADVISORY_2718704 = "MSA-2718704"
+
+
+class VulnerabilityInfo:
+    """Static facts about one catalogued vulnerability."""
+
+    __slots__ = ("bulletin_id", "component", "effect", "disclosed")
+
+    def __init__(self, bulletin_id, component, effect, disclosed):
+        self.bulletin_id = bulletin_id
+        self.component = component
+        #: One of: remote-code-execution, privilege-escalation,
+        #: local-code-execution, spoofing.
+        self.effect = effect
+        #: ISO date the bulletin shipped — before this the bug is 0-day.
+        self.disclosed = disclosed
+
+    def __repr__(self):
+        return "VulnerabilityInfo(%s, %s, %s)" % (
+            self.bulletin_id, self.component, self.effect,
+        )
+
+
+VULNERABILITIES = {
+    MS10_046_LNK: VulnerabilityInfo(
+        MS10_046_LNK, "windows-shell", "local-code-execution", "2010-08-02"
+    ),
+    MS10_061_SPOOLER: VulnerabilityInfo(
+        MS10_061_SPOOLER, "print-spooler", "remote-code-execution", "2010-09-14"
+    ),
+    MS10_073_KEYBOARD_EOP: VulnerabilityInfo(
+        MS10_073_KEYBOARD_EOP, "win32k", "privilege-escalation", "2010-10-12"
+    ),
+    MS10_092_TASK_SCHEDULER: VulnerabilityInfo(
+        MS10_092_TASK_SCHEDULER, "task-scheduler", "privilege-escalation", "2010-12-14"
+    ),
+    MS12_ADVISORY_2718704: VulnerabilityInfo(
+        MS12_ADVISORY_2718704, "crypto-certificates", "spoofing", "2012-06-03"
+    ),
+}
+
+
+class PatchState:
+    """Which bulletins a host has applied.
+
+    Hosts start fully unpatched (the campaign exploited zero-days, so the
+    patches did not exist when the malware landed); scenario code applies
+    bulletins to model the defensive timeline.
+    """
+
+    def __init__(self, applied=()):
+        unknown = set(applied) - set(VULNERABILITIES)
+        if unknown:
+            raise ValueError("unknown bulletins: %s" % sorted(unknown))
+        self._applied = set(applied)
+
+    def is_vulnerable(self, bulletin_id):
+        if bulletin_id not in VULNERABILITIES:
+            raise ValueError("unknown bulletin: %r" % bulletin_id)
+        return bulletin_id not in self._applied
+
+    def apply(self, bulletin_id):
+        if bulletin_id not in VULNERABILITIES:
+            raise ValueError("unknown bulletin: %r" % bulletin_id)
+        self._applied.add(bulletin_id)
+
+    def apply_all(self):
+        self._applied = set(VULNERABILITIES)
+
+    def applied(self):
+        return sorted(self._applied)
+
+    def open_vulnerabilities(self):
+        return sorted(set(VULNERABILITIES) - self._applied)

@@ -1,0 +1,111 @@
+"""Processes and integrity levels.
+
+The process table matters to the models in three ways: exploits land code
+at a given integrity level (the LNK exploit runs as the logged-on user;
+MS10-073/092 escalate to SYSTEM), rootkits inject into and hide
+processes, and the sandbox's behaviour report is largely a process tree.
+"""
+
+
+class IntegrityLevel:
+    """Ordered privilege levels of a simulated process."""
+
+    USER = 1
+    ADMIN = 2
+    SYSTEM = 3
+
+    _NAMES = {USER: "user", ADMIN: "admin", SYSTEM: "system"}
+
+    @classmethod
+    def name(cls, level):
+        return cls._NAMES.get(level, "unknown(%r)" % (level,))
+
+
+class Process:
+    """One running process."""
+
+    __slots__ = ("pid", "name", "integrity", "parent_pid", "image_path",
+                 "alive", "hidden", "injected_payloads")
+
+    def __init__(self, pid, name, integrity, parent_pid=None, image_path=None):
+        self.pid = pid
+        self.name = name
+        self.integrity = integrity
+        self.parent_pid = parent_pid
+        self.image_path = image_path
+        self.alive = True
+        #: Rootkit-hidden processes don't appear in the API view.
+        self.hidden = False
+        #: Labels of payloads injected into this process (rootkit style).
+        self.injected_payloads = []
+
+    def __repr__(self):
+        state = "" if self.alive else " (dead)"
+        return "Process(pid=%d, %r, %s)%s" % (
+            self.pid, self.name, IntegrityLevel.name(self.integrity), state,
+        )
+
+
+class ProcessTable:
+    """Spawn, kill, inject into, and enumerate processes."""
+
+    def __init__(self):
+        self._processes = {}
+        self._next_pid = 4
+        # The baseline tree every Windows box shows.
+        for name in ("system", "smss.exe", "csrss.exe", "winlogon.exe",
+                     "services.exe", "lsass.exe", "explorer.exe"):
+            integrity = (IntegrityLevel.SYSTEM
+                         if name != "explorer.exe" else IntegrityLevel.USER)
+            self.spawn(name, integrity)
+
+    def spawn(self, name, integrity=IntegrityLevel.USER, parent_pid=None,
+              image_path=None):
+        pid = self._next_pid
+        self._next_pid += 4
+        process = Process(pid, name, integrity, parent_pid, image_path)
+        self._processes[pid] = process
+        return process
+
+    def kill(self, pid):
+        process = self._processes.get(pid)
+        if process is None or not process.alive:
+            return False
+        process.alive = False
+        return True
+
+    def get(self, pid):
+        return self._processes.get(pid)
+
+    def find_by_name(self, name, include_hidden=False):
+        """Live processes with the given image name (API view by default)."""
+        wanted = name.lower()
+        return [
+            p for p in self._processes.values()
+            if p.alive and p.name.lower() == wanted
+            and (include_hidden or not p.hidden)
+        ]
+
+    def inject(self, pid, payload_label):
+        """Record a code injection into a live process."""
+        process = self._processes.get(pid)
+        if process is None or not process.alive:
+            raise ValueError("cannot inject into pid %r" % pid)
+        process.injected_payloads.append(payload_label)
+        return process
+
+    def listing(self, include_hidden=False):
+        """What Task Manager shows (rootkit-hidden rows excluded)."""
+        return sorted(
+            (p for p in self._processes.values()
+             if p.alive and (include_hidden or not p.hidden)),
+            key=lambda p: p.pid,
+        )
+
+    def escalate(self, pid, new_integrity):
+        """Raise a process's integrity (the EoP exploits call this)."""
+        process = self._processes.get(pid)
+        if process is None or not process.alive:
+            raise ValueError("cannot escalate pid %r" % pid)
+        process.integrity = max(process.integrity, new_integrity)
+        return process

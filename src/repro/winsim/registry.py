@@ -1,0 +1,73 @@
+"""Simulated Windows registry.
+
+Keys are backslash paths under the usual hives (HKLM, HKCU); values are
+(name → python value) maps.  Malware persistence (Run keys, service
+definitions) and infection markers live here, and the forensic tooling
+diffs registries before/after detonation.
+"""
+
+
+class Registry:
+    """Case-insensitive hierarchical key/value store."""
+
+    def __init__(self):
+        self._keys = {}
+
+    @staticmethod
+    def _canonical(key):
+        canonical = key.replace("/", "\\").lower().rstrip("\\")
+        if not canonical:
+            raise ValueError("empty registry key")
+        return canonical
+
+    def set_value(self, key, name, value):
+        """Create the key if needed and set one value under it."""
+        canonical = self._canonical(key)
+        self._keys.setdefault(canonical, {})[name.lower()] = value
+
+    def get_value(self, key, name, default=None):
+        values = self._keys.get(self._canonical(key))
+        if values is None:
+            return default
+        return values.get(name.lower(), default)
+
+    def key_exists(self, key):
+        return self._canonical(key) in self._keys
+
+    def delete_value(self, key, name):
+        """Remove one value; True if it existed."""
+        values = self._keys.get(self._canonical(key))
+        if values is None:
+            return False
+        return values.pop(name.lower(), None) is not None
+
+    def delete_key(self, key):
+        """Remove a key and everything under it; True if anything went."""
+        canonical = self._canonical(key)
+        doomed = [k for k in self._keys if k == canonical or k.startswith(canonical + "\\")]
+        for k in doomed:
+            del self._keys[k]
+        return bool(doomed)
+
+    def values(self, key):
+        """All (name, value) pairs under a key."""
+        return dict(self._keys.get(self._canonical(key), {}))
+
+    def subkeys(self, key):
+        """Immediate child key names under ``key``."""
+        canonical = self._canonical(key)
+        prefix = canonical + "\\"
+        children = set()
+        for existing in self._keys:
+            if existing.startswith(prefix):
+                remainder = existing[len(prefix):]
+                children.add(remainder.split("\\")[0])
+        return sorted(children)
+
+    def all_keys(self):
+        """Every key path — used by forensic diffing."""
+        return sorted(self._keys)
+
+    def snapshot(self):
+        """Deep copy of the whole registry for before/after comparison."""
+        return {key: dict(values) for key, values in self._keys.items()}

@@ -1,0 +1,182 @@
+"""Windows services and the task scheduler.
+
+Shamoon persists by creating "a TrkSvr service to start itself whenever
+windows starts" and "a task to execute itself" (§IV.A); both primitives
+live here.  Services execute the payload attached to their image file;
+scheduled tasks ride the simulation kernel's timers.
+"""
+
+from repro.winsim.processes import IntegrityLevel
+from repro.winsim.vfs import FileNotFound
+
+
+class Service:
+    """One registered service."""
+
+    START_AUTO = "auto"
+    START_MANUAL = "manual"
+
+    def __init__(self, name, image_path, start_mode=START_AUTO,
+                 integrity=IntegrityLevel.SYSTEM):
+        self.name = name
+        self.image_path = image_path
+        self.start_mode = start_mode
+        self.integrity = integrity
+        self.running = False
+        self.start_count = 0
+
+    def __repr__(self):
+        state = "running" if self.running else "stopped"
+        return "Service(%r, %s, %s)" % (self.name, self.start_mode, state)
+
+
+class ServiceManager:
+    """Create/start/stop services on one host."""
+
+    def __init__(self, host):
+        self._host = host
+        self._services = {}
+
+    def create(self, name, image_path, start_mode=Service.START_AUTO,
+               integrity=IntegrityLevel.SYSTEM):
+        key = name.lower()
+        if key in self._services:
+            raise ValueError("service already exists: %r" % name)
+        service = Service(name, image_path, start_mode, integrity)
+        self._services[key] = service
+        self._host.registry.set_value(
+            r"hklm\system\currentcontrolset\services\%s" % name,
+            "imagepath", image_path,
+        )
+        return service
+
+    def get(self, name):
+        return self._services.get(name.lower())
+
+    def exists(self, name):
+        return name.lower() in self._services
+
+    def delete(self, name):
+        service = self._services.pop(name.lower(), None)
+        if service is None:
+            return False
+        self._host.registry.delete_key(
+            r"hklm\system\currentcontrolset\services\%s" % name
+        )
+        return True
+
+    def start(self, name):
+        """Start a service: spawns a process and runs the image payload."""
+        service = self._services.get(name.lower())
+        if service is None:
+            raise ValueError("no such service: %r" % name)
+        if service.running:
+            return service
+        try:
+            image = self._host.vfs.get(service.image_path, raw=True)
+        except FileNotFound:
+            self._host.event_log.error(
+                "service-control", "service %r image missing: %s"
+                % (service.name, service.image_path),
+            )
+            raise
+        service.running = True
+        service.start_count += 1
+        process = self._host.processes.spawn(
+            image.name, service.integrity, image_path=service.image_path
+        )
+        if image.payload is not None:
+            image.payload(self._host, process)
+        return service
+
+    def stop(self, name):
+        service = self._services.get(name.lower())
+        if service is None or not service.running:
+            return False
+        service.running = False
+        return True
+
+    def start_all_auto(self):
+        """Boot-time behaviour: start every auto-start service."""
+        started = []
+        for service in list(self._services.values()):
+            if service.start_mode == Service.START_AUTO and not service.running:
+                self.start(service.name)
+                started.append(service.name)
+        return started
+
+    def listing(self):
+        return sorted(self._services.values(), key=lambda s: s.name)
+
+
+class ScheduledTask:
+    """One task registered with the Windows task scheduler."""
+
+    def __init__(self, name, image_path, run_at=None, integrity=IntegrityLevel.USER):
+        self.name = name
+        self.image_path = image_path
+        self.run_at = run_at
+        self.integrity = integrity
+        self.run_count = 0
+
+    def __repr__(self):
+        return "ScheduledTask(%r, runs=%d)" % (self.name, self.run_count)
+
+
+class TaskScheduler:
+    """Host-local facade over the simulation kernel's timers.
+
+    A task runs the payload attached to its image file.  On hosts still
+    vulnerable to MS10-092 a task may be registered to run at SYSTEM
+    integrity from a user-integrity caller — the escalation Stuxnet used.
+    """
+
+    def __init__(self, host, kernel):
+        self._host = host
+        self._kernel = kernel
+        self._tasks = {}
+
+    def register(self, name, image_path, delay=0.0,
+                 integrity=IntegrityLevel.USER, caller_integrity=None):
+        """Register a task to run after ``delay`` seconds.
+
+        Requesting SYSTEM integrity from a user-integrity caller succeeds
+        only through MS10-092; on a patched host the request is clamped
+        to the caller's own level.
+        """
+        if caller_integrity is not None and integrity > caller_integrity:
+            if not self._host.patches.is_vulnerable("MS10-092"):
+                integrity = caller_integrity
+                self._host.event_log.warning(
+                    "task-scheduler",
+                    "task %r integrity request denied (MS10-092 patched)" % name,
+                )
+        task = ScheduledTask(name, image_path, integrity=integrity)
+        self._tasks[name.lower()] = task
+        self._kernel.call_later(delay, lambda: self._run(task),
+                                "task:%s:%s" % (self._host.hostname, name))
+        return task
+
+    def get(self, name):
+        return self._tasks.get(name.lower())
+
+    def exists(self, name):
+        return name.lower() in self._tasks
+
+    def listing(self):
+        return sorted(self._tasks.values(), key=lambda t: t.name)
+
+    def _run(self, task):
+        try:
+            image = self._host.vfs.get(task.image_path, raw=True)
+        except FileNotFound:
+            self._host.event_log.error(
+                "task-scheduler", "task %r image missing" % task.name
+            )
+            return
+        task.run_count += 1
+        process = self._host.processes.spawn(
+            image.name, task.integrity, image_path=task.image_path
+        )
+        if image.payload is not None:
+            image.payload(self._host, process)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.certs import PkiWorld
+from repro.sim import Kernel
+from repro.winsim import HostConfig, WindowsHost
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=1)
+
+
+@pytest.fixture(scope="session")
+def shared_pki():
+    """PkiWorld is pure and deterministic; build it once per session.
+
+    Key derivation is the slowest substrate operation, and nothing in
+    the tests mutates the world itself (trust stores are per-host).
+    """
+    return PkiWorld()
+
+
+@pytest.fixture
+def world(shared_pki):
+    return shared_pki
+
+
+@pytest.fixture
+def host_factory(kernel, world):
+    """Factory for hosts bound to the test kernel and PKI."""
+
+    def make(hostname="TEST-01", **config_kwargs):
+        return WindowsHost(kernel, hostname, world.make_trust_store(),
+                           HostConfig(**config_kwargs))
+
+    return make
+
+
+@pytest.fixture
+def host(host_factory):
+    return host_factory()

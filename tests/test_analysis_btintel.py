@@ -1,0 +1,77 @@
+"""Bluetooth intelligence: social graphs and co-location."""
+
+import pytest
+
+from repro.analysis import (
+    build_social_graph,
+    colocated_victims,
+    decode_bluetooth_entries,
+    victims_linked_through_contacts,
+)
+from repro.bluetooth import BluetoothDevice, BluetoothNeighborhood
+from repro.malware.flame.beetlejuice import run_beetlejuice
+
+
+def _harvest(kernel, host_factory, shared_contact="contact-shared"):
+    neighborhood = BluetoothNeighborhood(kernel)
+    harvests = []
+    for index in range(2):
+        victim = host_factory("VICTIM-%d" % index, has_bluetooth=True)
+        phone = BluetoothDevice(
+            "phone-%d" % index, owner="owner-%d" % index,
+            address_book=[shared_contact, "private-%d" % index],
+        )
+        neighborhood.place_device(victim, phone)
+        entry = run_beetlejuice(victim, neighborhood)
+        harvests.append({"entry": entry, "victim": victim})
+    return neighborhood, harvests
+
+
+def test_decode_bluetooth_entries(kernel, host_factory):
+    _, harvests = _harvest(kernel, host_factory)
+    fake_intel = [{"data": h["entry"]} for h in harvests]
+    fake_intel.append({"data": b"not json"})
+    fake_intel.append({"data": b'{"kind": "sysinfo"}'})
+    decoded = decode_bluetooth_entries(fake_intel)
+    assert len(decoded) == 2
+    assert all(d["kind"] == "bluetooth" for d in decoded)
+
+
+def test_social_graph_links_victims_via_shared_contact(kernel, host_factory):
+    _, harvests = _harvest(kernel, host_factory)
+    decoded = decode_bluetooth_entries([{"data": h["entry"]}
+                                        for h in harvests])
+    graph = build_social_graph(decoded)
+    kinds = {d["kind"] for _, d in graph.nodes(data=True)}
+    assert kinds == {"victim", "owner", "contact"}
+    linked = victims_linked_through_contacts(graph)
+    assert ("VICTIM-0", "VICTIM-1", 4) in linked  # via owners + contact
+
+
+def test_social_graph_isolated_victims_not_linked(kernel, host_factory):
+    neighborhood = BluetoothNeighborhood(kernel)
+    harvests = []
+    for index in range(2):
+        victim = host_factory("ISO-%d" % index, has_bluetooth=True)
+        phone = BluetoothDevice("p-%d" % index, owner="o-%d" % index,
+                                address_book=["only-%d" % index])
+        neighborhood.place_device(victim, phone)
+        harvests.append({"data": run_beetlejuice(victim, neighborhood)})
+    graph = build_social_graph(decode_bluetooth_entries(harvests))
+    assert victims_linked_through_contacts(graph) == []
+
+
+def test_colocation_from_shared_witness(kernel, host_factory):
+    neighborhood = BluetoothNeighborhood(kernel)
+    a = host_factory("CO-A", has_bluetooth=True)
+    b = host_factory("CO-B", has_bluetooth=True)
+    c = host_factory("FAR-C", has_bluetooth=True)
+    witness = BluetoothDevice("cafe-phone")
+    neighborhood.place_device(a, witness)
+    neighborhood.place_device(b, witness)
+    neighborhood.place_device(c, BluetoothDevice("other-phone"))
+    for host in (a, b, c):
+        neighborhood.start_beacon(host)
+    pairs = colocated_victims(neighborhood)
+    assert ("CO-A", "CO-B") in pairs
+    assert not any("FAR-C" in pair for pair in pairs)

@@ -1,0 +1,141 @@
+"""Signatures, IOC sweeps, and the AV arms-race model."""
+
+import pytest
+
+from repro.analysis import (
+    AntivirusProduct,
+    AvVendor,
+    IocDatabase,
+    Signature,
+    SignatureEngine,
+    default_iocs,
+    default_signatures,
+)
+
+
+def test_signature_requires_some_pattern():
+    with pytest.raises(ValueError):
+        Signature("empty", "fam")
+
+
+def test_signature_matching_modes():
+    any_sig = Signature("s", "f", byte_patterns=[b"aaa", b"bbb"])
+    assert any_sig.matches_bytes(b"xxbbbxx")
+    all_sig = Signature("s2", "f", byte_patterns=[b"aaa", b"bbb"],
+                        require_all=True)
+    assert not all_sig.matches_bytes(b"xxbbbxx")
+    assert all_sig.matches_bytes(b"aaabbb")
+    name_sig = Signature("s3", "f", name_patterns=["trksvr"])
+    assert name_sig.matches_name("C:\\Windows\\System32\\TrkSvr.exe")
+
+
+def test_engine_scans_infected_host(host, world):
+    from repro.malware.stuxnet import Stuxnet
+    from repro.sim import Kernel
+
+    stux = Stuxnet(host.kernel, world)
+    stux.infect(host, via="initial")
+    engine = SignatureEngine(default_signatures())
+    forensic = engine.scan_host(host, raw=True)
+    assert "stuxnet" in engine.families_found(forensic)
+
+
+def test_rootkit_blinds_live_scan_but_not_forensics(host_factory, world, kernel):
+    from repro.malware.stuxnet import Stuxnet
+
+    victim = host_factory("XP", os_version="xp")
+    stux = Stuxnet(kernel, world)
+    stux.infect(victim, via="initial")
+    assert victim.hostname in stux.rootkit_hosts
+    engine = SignatureEngine(default_signatures())
+    live = engine.scan_host(victim, raw=False)
+    forensic = engine.scan_host(victim, raw=True)
+    live_paths = {path for _, path in live}
+    forensic_paths = {path for _, path in forensic}
+    hidden = forensic_paths - live_paths
+    assert any("winsta.exe" in p for p in hidden)
+
+
+def test_release_gating_by_time():
+    engine = SignatureEngine([
+        Signature("old", "f", byte_patterns=[b"x"], released_at=0.0),
+        Signature("new", "f", byte_patterns=[b"x"], released_at=100.0),
+    ])
+    assert len(engine.scan_bytes(b"x", at_time=50.0)) == 1
+    assert len(engine.scan_bytes(b"x", at_time=150.0)) == 2
+    assert len(engine.scan_bytes(b"x")) == 2  # no gate
+
+
+def test_ioc_sweep_identifies_families(host, world, kernel):
+    from repro.malware.stuxnet import Stuxnet
+
+    stux = Stuxnet(kernel, world)
+    stux.infect(host, via="initial")
+    iocs = default_iocs()
+    infected = iocs.infected_hosts([host])
+    assert infected == {host.hostname: ["stuxnet"]}
+
+
+def test_ioc_scans_registry_and_services(host_factory):
+    host = host_factory("H")
+    host.vfs.write("c:\\windows\\system32\\trksvr.exe", b"")
+    host.services.create("TrkSvr", "c:\\windows\\system32\\trksvr.exe")
+    hits = default_iocs().scan_host(host)
+    kinds = {i.kind for i, _ in hits}
+    assert "file-path" in kinds
+    assert "service-name" in kinds
+
+
+def test_ioc_scans_network_capture(kernel):
+    from repro.netsim.packet import PacketCapture
+
+    capture = PacketCapture(kernel.clock)
+    capture.record("victim", "www.mypremierfutbol.com", "http", "GET /")
+    capture.record("victim", "www.benign.com", "http", "GET /")
+    hits = default_iocs().scan_capture(capture)
+    assert len(hits) == 1
+    assert hits[0][0].family == "stuxnet"
+
+
+def test_ioc_unknown_kind_rejected():
+    from repro.analysis.ioc import Indicator
+
+    with pytest.raises(ValueError):
+        Indicator("smell", "x", "f")
+
+
+def test_av_vendor_ships_rule_after_lag(kernel):
+    vendor = AvVendor(kernel, response_days=7.0)
+    signature = vendor.submit_sample("flame", b"mssecmgr marker")
+    assert signature is not None
+    assert vendor.submit_sample("flame", b"mssecmgr marker") is None  # dup
+    assert vendor.rules_active_now() == []
+    kernel.clock.advance_to(8 * 86400.0)
+    assert len(vendor.rules_active_now()) == 1
+
+
+def test_av_product_detects_after_rule_release(kernel, host_factory):
+    vendor = AvVendor(kernel, response_days=2.0)
+    host = host_factory("EP")
+    host.vfs.write("c:\\windows\\system32\\evil.ocx", b"unique evil marker")
+    product = AntivirusProduct(kernel, host, vendor, scan_interval=3600.0)
+    vendor.submit_sample("evilfam", b"unique evil marker")
+    kernel.run_for(86400.0)
+    assert product.detections == []  # rule not live yet
+    kernel.run_for(2 * 86400.0)
+    assert product.detections
+    assert host.event_log.entries(source="antivirus", severity="warning")
+    assert product.alert_count >= 1
+    product.stop()
+
+
+def test_av_product_misses_rootkit_hidden_files(kernel, host_factory):
+    vendor = AvVendor(kernel, response_days=0.001)
+    host = host_factory("EP2")
+    host.vfs.write("c:\\windows\\system32\\hidden.ocx", b"evil marker",
+                   origin="rk")
+    host.vfs.hide_filters.append(lambda r: r.origin == "rk")
+    vendor.submit_sample("fam", b"evil marker")
+    product = AntivirusProduct(kernel, host, vendor, scan_interval=3600.0)
+    kernel.run_for(86400.0)
+    assert product.detections == []

@@ -1,0 +1,118 @@
+"""Static dissection and sandbox detonation."""
+
+import pytest
+
+from repro.analysis import Sandbox, analyze_pe
+from repro.malware.shamoon import build_trksvr_image
+from repro.pe import PeBuilder
+
+
+def test_static_report_on_shamoon_sample(world):
+    image = build_trksvr_image()
+    report = analyze_pe(image, trust_store=world.make_trust_store())
+    assert report.parsed
+    assert report.machine == "x86"
+    assert report.size == 900 * 1024
+    assert set(report.encrypted_resources) == {"PKCS7", "PKCS12", "X509"}
+    assert any("XOR-encrypted" in a for a in report.anomalies)
+    assert any("embedded executable" in a for a in report.anomalies)
+    assert "kernel32.dll!CreateServiceA" in report.suspicious_imports
+    assert report.suspicion_score >= 6
+    assert report.signer is None
+
+
+def test_static_report_on_benign_signed_binary(world):
+    from repro.certs.codesign import sign_image
+    from repro.certs.wellknown import ELDOS
+
+    cert, keypair = world.vendor_credentials(ELDOS)
+    builder = PeBuilder()
+    builder.add_code_section(b"hello world app")
+    image = sign_image(builder, keypair, [cert])
+    report = analyze_pe(image, trust_store=world.make_trust_store())
+    assert report.signature_valid
+    assert report.signer == ELDOS
+    assert report.suspicion_score <= 2
+    assert report.summary_lines()
+
+
+def test_static_report_flags_weak_hash_signatures(world):
+    from repro.malware.flame.snack_munch_gadget import build_forged_update
+    from repro.netsim.windowsupdate import UpdateRegistry
+
+    image, _ = build_forged_update(world, lambda h, p: None, UpdateRegistry())
+    report = analyze_pe(image, trust_store=world.make_trust_store())
+    assert any("collision-prone" in a for a in report.anomalies)
+
+
+def test_static_report_on_garbage():
+    report = analyze_pe(b"garbage bytes")
+    assert not report.parsed
+    assert report.suspicion_score >= 1
+    assert any("unparseable" in a for a in report.anomalies)
+
+
+def test_sandbox_detonates_dropper_behaviour():
+    sandbox = Sandbox(seed=5)
+
+    def sample(host):
+        host.vfs.write(host.system_dir + "\\dropped.exe", b"evil")
+        host.registry.set_value(r"hklm\software\run", "evil", "dropped.exe")
+        host.services.create("EvilSvc", host.system_dir + "\\dropped.exe")
+
+    report = sandbox.detonate(sample)
+    assert "c:\\windows\\system32\\dropped.exe" in report.files_created
+    assert report.services_created == ["EvilSvc"]
+    assert report.registry_keys_added
+    assert report.verdict == "persistent-implant"
+    assert report.host_usable
+    assert report.summary_lines()
+
+
+def test_sandbox_detects_rootkit_hiding():
+    sandbox = Sandbox(seed=6)
+
+    def sample(host):
+        host.vfs.write(host.system_dir + "\\ghost.sys", b"rk",
+                       origin="testkit")
+        host.vfs.hide_filters.append(lambda r: r.origin == "testkit")
+
+    report = sandbox.detonate(sample)
+    assert report.hidden_files == ["c:\\windows\\system32\\ghost.sys"]
+    assert report.verdict == "rootkit"
+
+
+def test_sandbox_detects_destructive_sample():
+    sandbox = Sandbox(seed=7)
+
+    def sample(host):
+        host.disk.write_mbr(b"\x00" * 512, kernel_mode=True)
+
+    report = sandbox.detonate(sample)
+    assert not report.host_usable
+    assert report.verdict == "destructive"
+
+
+def test_sandbox_inert_sample():
+    sandbox = Sandbox(seed=8)
+    report = sandbox.detonate(lambda host: None)
+    assert report.verdict == "inert"
+    assert report.files_created == []
+
+
+def test_sandbox_detonates_bytes_with_payload():
+    sandbox = Sandbox(seed=9)
+    # Raw bytes with no behaviour: just a dropper-less write of the file.
+    report = sandbox.detonate(b"\x00" * 64)
+    assert any("sample.exe" in p for p in report.files_created)
+
+
+def test_sandbox_time_advances_behaviour():
+    sandbox = Sandbox(seed=10)
+
+    def sample(host):
+        host.kernel.call_later(1800.0, lambda: host.vfs.write(
+            "c:\\late.txt", b"delayed"))
+
+    report = sandbox.detonate(sample, run_seconds=3600.0)
+    assert "c:\\late.txt" in report.files_created

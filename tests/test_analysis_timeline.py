@@ -1,0 +1,77 @@
+"""Forensic timeline reconstruction."""
+
+import pytest
+
+from repro.analysis import (
+    category_histogram,
+    dwell_time,
+    reconstruct_timeline,
+    render_timeline,
+)
+from repro.malware.stuxnet import Stuxnet
+from repro.usb import UsbDrive
+
+
+@pytest.fixture
+def incident(kernel, world, host_factory):
+    stux = Stuxnet(kernel, world)
+    victim = host_factory("ENG-XP", os_version="xp")
+    kernel.clock.advance_to(1000.0)
+    victim.insert_usb(stux.weaponize_drive(UsbDrive("stick")))
+    kernel.run_for(3600.0)
+    return {"stux": stux, "victim": victim, "kernel": kernel}
+
+
+def test_timeline_reconstructs_kill_chain(incident):
+    events = reconstruct_timeline(incident["kernel"],
+                                  hosts=[incident["victim"]])
+    categories = [e.category for e in events]
+    assert "initial-access" in categories
+    assert "defense-evasion" in categories
+    # Initial access precedes defense evasion in time.
+    first_access = next(e for e in events if e.category == "initial-access")
+    evasion = next(e for e in events if e.category == "defense-evasion")
+    assert first_access.time <= evasion.time
+    # Events come out time-ordered.
+    times = [e.time for e in events]
+    assert times == sorted(times)
+
+
+def test_timeline_category_filter(incident):
+    only_access = reconstruct_timeline(
+        incident["kernel"], hosts=[incident["victim"]],
+        categories={"initial-access"})
+    assert only_access
+    assert all(e.category == "initial-access" for e in only_access)
+
+
+def test_timeline_host_filter_excludes_others(incident, host_factory):
+    bystander = host_factory("CLEAN-PC")
+    events = reconstruct_timeline(incident["kernel"], hosts=[bystander])
+    assert events == []
+
+
+def test_timeline_without_host_filter_includes_all(incident):
+    events = reconstruct_timeline(incident["kernel"])
+    assert any(e.category == "initial-access" for e in events)
+
+
+def test_dwell_time(incident):
+    dwell = dwell_time(incident["kernel"], "stuxnet", "ENG-XP")
+    assert dwell == pytest.approx(3600.0, abs=1.0)
+    assert dwell_time(incident["kernel"], "stuxnet", "NEVER-HIT") is None
+
+
+def test_render_with_calendar_stamps(incident):
+    events = reconstruct_timeline(incident["kernel"],
+                                  hosts=[incident["victim"]])
+    text = render_timeline(events, clock=incident["kernel"].clock, limit=3)
+    assert "2010-01-01" in text
+    assert text.count("\n") <= 2
+
+
+def test_category_histogram(incident):
+    events = reconstruct_timeline(incident["kernel"])
+    histogram = category_histogram(events)
+    assert histogram.get("initial-access", 0) >= 1
+    assert sum(histogram.values()) == len(events)

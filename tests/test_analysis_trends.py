@@ -1,0 +1,99 @@
+"""Trend matrix scoring (§V)."""
+
+import pytest
+
+from repro.analysis import TREND_NAMES, TrendMatrix, score_campaign
+from repro.analysis.trends import CampaignArtifacts, literature_rows
+
+
+def test_trend_names_cover_section_v():
+    assert TREND_NAMES == ("sophistication", "targeting", "certified",
+                           "modularity", "usb_spreading", "suicide")
+
+
+def test_stuxnet_like_artifacts_score_high_on_sophistication():
+    facts = CampaignArtifacts(
+        "stuxnet", zero_days_used=4, stolen_certs=2, module_count=2,
+        fingerprint_gated=True, infections=3, intended_targets=1,
+        usb_vectors=1, network_vectors=1, has_suicide=True,
+    )
+    scores = facts.scores()
+    assert scores["sophistication"] == 5
+    assert scores["targeting"] >= 4
+    assert scores["certified"] >= 3
+    assert scores["suicide"] == 3  # capability present, never executed
+
+
+def test_shamoon_like_artifacts_score_low_on_sophistication():
+    facts = CampaignArtifacts(
+        "shamoon", zero_days_used=0, signed_driver_abuse=1,
+        module_count=3, infections=30000, network_vectors=1,
+        has_suicide=False,
+    )
+    scores = facts.scores()
+    assert scores["sophistication"] <= 2
+    assert scores["suicide"] == 0
+    assert scores["certified"] >= 1
+    assert scores["usb_spreading"] == 0
+
+
+def test_flame_like_artifacts_score_max_modularity():
+    facts = CampaignArtifacts(
+        "flame", zero_days_used=1, forged_certs=1, module_count=8,
+        module_updates=4, infections=1000, usb_vectors=2,
+        has_suicide=True, suicide_executed=True,
+        infrastructure_domains=80,
+    )
+    scores = facts.scores()
+    assert scores["modularity"] == 5
+    assert scores["suicide"] == 5
+    assert scores["usb_spreading"] >= 4
+    assert scores["certified"] >= 3
+
+
+def test_matrix_table_rendering():
+    matrix = TrendMatrix()
+    matrix.add(CampaignArtifacts("stuxnet", zero_days_used=4,
+                                 has_suicide=True))
+    for row in literature_rows():
+        matrix.add(row)
+    table = matrix.as_table()
+    assert "stuxnet" in table
+    assert "duqu" in table and "repo" in table  # reported source marker
+    assert matrix.score("stuxnet", "sophistication") >= 4
+    assert set(matrix.families()) == {"stuxnet", "duqu", "gauss"}
+
+
+def test_score_campaign_from_live_instances(kernel, world, host_factory):
+    from repro.malware.stuxnet import Stuxnet
+    from repro.malware.shamoon import Shamoon, ShamoonConfig
+    from repro.usb import UsbDrive
+
+    stux = Stuxnet(kernel, world)
+    victim = host_factory("XP", os_version="xp")
+    victim.insert_usb(stux.weaponize_drive(UsbDrive("s")))
+
+    from repro.netsim import Lan
+
+    lan = Lan(kernel, "org")
+    wiped = host_factory("W", file_and_print_sharing=True)
+    lan.attach(wiped)
+    sham = Shamoon(kernel, world, lan.domain_admin_credential,
+                   ShamoonConfig())
+    sham.infect(wiped, via="initial")
+    sham.detonate(wiped)
+
+    matrix = score_campaign(stuxnet=stux, shamoon=sham)
+    assert matrix.score("stuxnet", "usb_spreading") >= 2
+    assert matrix.score("stuxnet", "sophistication") >= 4
+    assert matrix.score("shamoon", "sophistication") <= 2
+    assert matrix.score("shamoon", "suicide") == 0
+    assert matrix.score("stuxnet", "suicide") >= 3
+    # Paper ordering: Stuxnet/Flame tower over Shamoon in sophistication.
+    assert (matrix.score("stuxnet", "sophistication")
+            > matrix.score("shamoon", "sophistication"))
+
+
+def test_literature_rows_marked_reported():
+    for row in literature_rows():
+        assert row.source == "reported"

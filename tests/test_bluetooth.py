@@ -1,0 +1,78 @@
+"""Bluetooth neighbourhood and exfil bridging."""
+
+import pytest
+
+from repro.bluetooth import BluetoothDevice, BluetoothNeighborhood
+
+
+@pytest.fixture
+def neighborhood(kernel):
+    return BluetoothNeighborhood(kernel)
+
+
+def test_device_kinds_validated():
+    with pytest.raises(ValueError):
+        BluetoothDevice("x", kind="submarine")
+
+
+def test_enumeration_respects_discoverability(neighborhood, host_factory):
+    host = host_factory("BT-HOST", has_bluetooth=True)
+    visible = BluetoothDevice("phone-1", discoverable=True)
+    hidden = BluetoothDevice("phone-2", discoverable=False)
+    neighborhood.place_device(host, visible)
+    neighborhood.place_device(host, hidden)
+    assert neighborhood.devices_near(host) == [visible]
+    assert len(neighborhood.devices_near(host, discoverable_only=False)) == 2
+
+
+def test_remove_device(neighborhood, host_factory):
+    host = host_factory("H", has_bluetooth=True)
+    device = BluetoothDevice("d")
+    neighborhood.place_device(host, device)
+    assert neighborhood.remove_device(host, device)
+    assert not neighborhood.remove_device(host, device)
+    assert neighborhood.devices_near(host) == []
+
+
+def test_beacon_records_sightings(neighborhood, host_factory, kernel):
+    host = host_factory("VICTIM", has_bluetooth=True)
+    phone = BluetoothDevice("witness-phone")
+    neighborhood.place_device(host, phone)
+    kernel.clock.advance_to(100.0)
+    witnesses = neighborhood.start_beacon(host)
+    assert witnesses == [phone]
+    assert neighborhood.is_beaconing(host)
+    sightings = neighborhood.sightings_of(host)
+    assert sightings == [(phone.address, 100.0)]
+    neighborhood.stop_beacon(host)
+    assert not neighborhood.is_beaconing(host)
+
+
+def test_beacon_requires_adapter(neighborhood, host_factory):
+    host = host_factory("NO-BT", has_bluetooth=False)
+    assert neighborhood.start_beacon(host) == []
+    assert not neighborhood.is_beaconing(host)
+
+
+def test_bridge_prefers_connected_device(neighborhood, host_factory):
+    host = host_factory("H", has_bluetooth=True)
+    offline = BluetoothDevice("offline-headset", kind="headset")
+    online = BluetoothDevice("online-phone", internet_connected=True)
+    neighborhood.place_device(host, offline)
+    neighborhood.place_device(host, online)
+    used = neighborhood.bridge_exfiltrate(host, 5000)
+    assert used is online
+    assert online.bridged_bytes == 5000
+    assert offline.bridged_bytes == 0
+
+
+def test_bridge_fails_without_connected_device(neighborhood, host_factory):
+    host = host_factory("H", has_bluetooth=True)
+    neighborhood.place_device(host, BluetoothDevice("h", kind="headset"))
+    assert neighborhood.bridge_exfiltrate(host, 100) is None
+
+
+def test_device_bridge_flag():
+    connected = BluetoothDevice("p", internet_connected=True)
+    assert connected.bridge(10)
+    assert not BluetoothDevice("q").bridge(10)

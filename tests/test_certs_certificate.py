@@ -1,0 +1,96 @@
+"""Certificates: validity, usages, TBS encoding, serialization."""
+
+import pytest
+
+from repro.certs import Certificate, CertificateAuthority
+from repro.certs.certificate import (
+    KEY_USAGE_CODE_SIGNING,
+    KEY_USAGE_LICENSE_VERIFICATION,
+)
+from repro.crypto import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def authority():
+    return CertificateAuthority("Test Root CA")
+
+
+@pytest.fixture(scope="module")
+def leaf(authority):
+    cert, _ = authority.issue_with_new_key("Leaf Corp",
+                                           {KEY_USAGE_CODE_SIGNING})
+    return cert
+
+
+def test_issued_certificate_verifies_against_issuer(authority, leaf):
+    assert leaf.verify_signature(authority.keypair.public)
+
+
+def test_signature_does_not_verify_against_other_key(leaf):
+    other = generate_keypair("other")
+    assert not leaf.verify_signature(other.public)
+
+
+def test_usage_checks(leaf):
+    assert leaf.allows(KEY_USAGE_CODE_SIGNING)
+    assert not leaf.allows(KEY_USAGE_LICENSE_VERIFICATION)
+
+
+def test_unknown_usage_rejected():
+    key = generate_keypair("u").public
+    with pytest.raises(ValueError):
+        Certificate("s", "i", "1", key, {"world-domination"}, 0, 10)
+
+
+def test_empty_validity_window_rejected():
+    key = generate_keypair("u").public
+    with pytest.raises(ValueError):
+        Certificate("s", "i", "1", key, set(), 10, 10)
+
+
+def test_validity_window(leaf):
+    assert leaf.valid_at(leaf.not_before)
+    assert leaf.valid_at(leaf.not_after)
+    assert not leaf.valid_at(leaf.not_after + 1)
+
+
+def test_tbs_bytes_are_block_aligned_without_pad(leaf):
+    from repro.crypto import WEAK_DIGEST_SIZE
+
+    assert len(leaf.tbs_bytes()) % WEAK_DIGEST_SIZE == 0
+
+
+def test_tbs_changes_with_subject(authority):
+    a, _ = authority.issue_with_new_key("Subject A", {KEY_USAGE_CODE_SIGNING})
+    b, _ = authority.issue_with_new_key("Subject B", {KEY_USAGE_CODE_SIGNING})
+    assert a.tbs_bytes() != b.tbs_bytes()
+
+
+def test_serialization_round_trip(leaf, authority):
+    restored = Certificate.from_bytes(leaf.to_bytes())
+    assert restored.subject == leaf.subject
+    assert restored.issuer == leaf.issuer
+    assert restored.serial == leaf.serial
+    assert restored.usages == leaf.usages
+    assert restored.public_key == leaf.public_key
+    assert restored.tbs_bytes() == leaf.tbs_bytes()
+    assert restored.verify_signature(authority.keypair.public)
+
+
+def test_self_signed_root(authority):
+    root = authority.root_certificate
+    assert root.is_self_signed
+    assert root.verify_signature(authority.keypair.public)
+
+
+def test_serials_are_unique(authority):
+    a, _ = authority.issue_with_new_key("SA", {KEY_USAGE_CODE_SIGNING})
+    b, _ = authority.issue_with_new_key("SB", {KEY_USAGE_CODE_SIGNING})
+    assert a.serial != b.serial
+
+
+def test_weakmd5_issued_certificate_verifies(authority):
+    cert, _ = authority.issue_with_new_key(
+        "Weak Corp", {KEY_USAGE_LICENSE_VERIFICATION}, algorithm="weakmd5")
+    assert cert.signature_algorithm == "weakmd5"
+    assert cert.verify_signature(authority.keypair.public)

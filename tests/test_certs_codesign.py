@@ -1,0 +1,92 @@
+"""Code signing over PE images."""
+
+import pytest
+
+from repro.certs import PkiWorld
+from repro.certs.codesign import CodeSignature, extract_signature, sign_image
+from repro.certs.wellknown import ELDOS, JMICRON
+from repro.pe import PeBuilder, parse_pe
+
+
+@pytest.fixture(scope="module")
+def pki():
+    return PkiWorld()
+
+
+def _signed_image(pki, vendor=ELDOS, target_size=None, tamper=False):
+    cert, keypair = pki.vendor_credentials(vendor)
+    builder = PeBuilder()
+    builder.add_code_section(b"driver logic")
+    image = sign_image(builder, keypair, [cert], target_size=target_size)
+    if tamper:
+        # Flip a bit inside the code section's *content* (not the header
+        # or section table) so the image still parses but its digest no
+        # longer matches the signature.
+        mutable = bytearray(image)
+        position = image.find(b"driver logic")
+        mutable[position] ^= 0xFF
+        image = bytes(mutable)
+    return image
+
+
+def test_signed_image_verifies(pki):
+    image = _signed_image(pki)
+    pe = parse_pe(image)
+    store = pki.make_trust_store()
+    result = store.verify_code_signature(image, pe)
+    assert result, result.reason
+    assert result.signer == ELDOS
+
+
+def test_tampered_image_fails(pki):
+    image = _signed_image(pki, tamper=True)
+    pe = parse_pe(image)
+    result = pki.make_trust_store().verify_code_signature(image, pe)
+    assert not result
+    assert "digest mismatch" in result.reason
+
+
+def test_unsigned_image_fails(pki):
+    builder = PeBuilder()
+    builder.add_code_section(b"code")
+    image = builder.build()
+    result = pki.make_trust_store().verify_code_signature(image, parse_pe(image))
+    assert not result
+    assert "unsigned" in result.reason
+
+
+def test_target_size_is_exact_for_signed_images(pki):
+    image = _signed_image(pki, target_size=900 * 1024)
+    assert len(image) == 900 * 1024
+    pe = parse_pe(image)
+    assert pki.make_trust_store().verify_code_signature(image, pe)
+
+
+def test_signature_blob_round_trip(pki):
+    image = _signed_image(pki, vendor=JMICRON)
+    signature = extract_signature(parse_pe(image))
+    restored = CodeSignature.from_bytes(signature.to_bytes())
+    assert restored.signer_subject == JMICRON
+    assert restored.algorithm == signature.algorithm
+    assert restored.signature == signature.signature
+
+
+def test_revoking_vendor_serial_blocks_driver(pki):
+    image = _signed_image(pki, vendor=JMICRON)
+    pe = parse_pe(image)
+    store = pki.make_trust_store()
+    cert, _ = pki.vendor_credentials(JMICRON)
+    store.revoke_serial(cert.serial)
+    assert not store.verify_code_signature(image, pe)
+
+
+def test_code_signature_requires_chain():
+    with pytest.raises(ValueError):
+        CodeSignature([], "sha256", 1)
+
+
+def test_image_digest_stable(pki):
+    image = _signed_image(pki)
+    pe = parse_pe(image)
+    store = pki.make_trust_store()
+    assert store.image_digest(image, pe) == store.image_digest(image, pe)

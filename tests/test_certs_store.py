@@ -1,0 +1,107 @@
+"""Trust store: chain verification, revocation, untrusted store."""
+
+import pytest
+
+from repro.certs import CertificateAuthority, TrustStore
+from repro.certs.certificate import (
+    KEY_USAGE_CA,
+    KEY_USAGE_CODE_SIGNING,
+    KEY_USAGE_LICENSE_VERIFICATION,
+)
+
+
+@pytest.fixture(scope="module")
+def pki():
+    root = CertificateAuthority("Root")
+    intermediate = CertificateAuthority("Intermediate")
+    intermediate_cert = root.issue("Intermediate",
+                                   intermediate.keypair.public,
+                                   usages={KEY_USAGE_CA})
+    leaf, leaf_key = intermediate.issue_with_new_key(
+        "Vendor", {KEY_USAGE_CODE_SIGNING})
+    return {"root": root, "intermediate": intermediate,
+            "intermediate_cert": intermediate_cert,
+            "leaf": leaf, "leaf_key": leaf_key}
+
+
+@pytest.fixture
+def store(pki):
+    return TrustStore(trusted_roots=[pki["root"].root_certificate])
+
+
+def test_direct_chain_verifies(pki):
+    direct, _ = pki["root"].issue_with_new_key("Direct",
+                                               {KEY_USAGE_CODE_SIGNING})
+    store = TrustStore(trusted_roots=[pki["root"].root_certificate])
+    assert store.verify_chain([direct])
+
+
+def test_chain_through_intermediate(store, pki):
+    result = store.verify_chain([pki["leaf"], pki["intermediate_cert"]])
+    assert result, result.reason
+    assert result.signer == "Vendor"
+
+
+def test_empty_chain_fails(store):
+    assert not store.verify_chain([])
+
+
+def test_untrusted_issuer_fails(pki):
+    store = TrustStore()  # no roots at all
+    assert not store.verify_chain([pki["leaf"], pki["intermediate_cert"]])
+
+
+def test_wrong_usage_fails(store, pki):
+    result = store.verify_chain([pki["leaf"], pki["intermediate_cert"]],
+                                usage=KEY_USAGE_LICENSE_VERIFICATION)
+    assert not result
+    assert "lacks" in result.reason
+
+
+def test_expired_certificate_fails(store, pki):
+    result = store.verify_chain([pki["leaf"], pki["intermediate_cert"]],
+                                at_time=pki["leaf"].not_after + 1)
+    assert not result
+
+
+def test_broken_chain_order_fails(store, pki):
+    other = CertificateAuthority("Unrelated")
+    unrelated_cert = other.root_certificate
+    result = store.verify_chain([pki["leaf"], unrelated_cert])
+    assert not result
+
+
+def test_intermediate_without_ca_usage_fails(store, pki):
+    # A leaf pretending to be an issuer must be rejected.
+    fake_parent, fake_key = pki["root"].issue_with_new_key(
+        "NotACA", {KEY_USAGE_CODE_SIGNING})
+    # Hand-issue a child signed by the non-CA.
+    from repro.certs import Certificate
+
+    child_key = pki["leaf_key"].public
+    child = Certificate("Child", "NotACA", "x-1", child_key,
+                        {KEY_USAGE_CODE_SIGNING}, 0, 10**9)
+    child.signature = fake_key.sign(child.tbs_bytes())
+    result = store.verify_chain([child, fake_parent])
+    assert not result
+    assert "not a CA" in result.reason
+
+
+def test_revocation_by_serial(store, pki):
+    store.revoke_serial(pki["leaf"].serial)
+    result = store.verify_chain([pki["leaf"], pki["intermediate_cert"]])
+    assert not result
+    assert "revoked" in result.reason
+
+
+def test_untrusted_store_blocks(store, pki):
+    store.mark_untrusted(pki["leaf"])
+    result = store.verify_chain([pki["leaf"], pki["intermediate_cert"]])
+    assert not result
+    assert "untrusted" in result.reason
+
+
+def test_verification_result_repr_and_bool(store, pki):
+    ok = store.verify_chain([pki["leaf"], pki["intermediate_cert"]])
+    assert "OK" in repr(ok)
+    assert bool(ok)

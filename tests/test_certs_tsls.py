@@ -1,0 +1,98 @@
+"""The Fig. 3 forgery: TSLS activation and certificate transplant."""
+
+import pytest
+
+from repro.certs import (
+    ForgeryFailed,
+    PkiWorld,
+    TerminalServicesLicensingServer,
+    forge_code_signing_certificate,
+)
+from repro.certs.certificate import (
+    KEY_USAGE_CODE_SIGNING,
+    KEY_USAGE_LICENSE_VERIFICATION,
+)
+from repro.crypto import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def pki():
+    return PkiWorld()
+
+
+@pytest.fixture(scope="module")
+def activated_tsls(pki):
+    tsls = TerminalServicesLicensingServer("Enterprise Corp")
+    tsls.activate(pki.licensing_ca)
+    return tsls
+
+
+def test_activation_issues_limited_certificate(activated_tsls):
+    cert = activated_tsls.certificate
+    assert activated_tsls.activated
+    assert cert.allows(KEY_USAGE_LICENSE_VERIFICATION)
+    assert not cert.allows(KEY_USAGE_CODE_SIGNING)
+    assert cert.signature_algorithm == "weakmd5"
+
+
+def test_tsls_issues_licenses_after_activation(activated_tsls):
+    license_record = activated_tsls.issue_client_license("DESKTOP-7")
+    assert license_record["client"] == "DESKTOP-7"
+    assert activated_tsls.licenses_issued >= 1
+
+
+def test_unactivated_tsls_cannot_issue_licenses():
+    tsls = TerminalServicesLicensingServer("Lazy Corp")
+    with pytest.raises(RuntimeError):
+        tsls.issue_client_license("X")
+
+
+def test_forged_certificate_verifies_as_microsoft(pki, activated_tsls):
+    attacker = generate_keypair("attacker")
+    rogue = forge_code_signing_certificate(activated_tsls.certificate,
+                                           "MS", attacker.public)
+    assert rogue.allows(KEY_USAGE_CODE_SIGNING)
+    # The transplanted Microsoft signature verifies over the rogue TBS.
+    assert rogue.verify_signature(pki.licensing_ca.keypair.public)
+    # And the full chain to the Microsoft root passes host validation.
+    store = pki.make_trust_store()
+    chain = [rogue] + pki.licensing_chain_tail()
+    result = store.verify_chain(chain, usage=KEY_USAGE_CODE_SIGNING)
+    assert result, result.reason
+
+
+def test_limited_cert_itself_cannot_sign_code(pki, activated_tsls):
+    store = pki.make_trust_store()
+    chain = [activated_tsls.certificate] + pki.licensing_chain_tail()
+    assert not store.verify_chain(chain, usage=KEY_USAGE_CODE_SIGNING)
+
+
+def test_forgery_fails_against_sha256_chain(pki):
+    tsls = TerminalServicesLicensingServer("Fixed Corp")
+    cert = tsls.activate(pki.licensing_ca, algorithm="sha256")
+    with pytest.raises(ForgeryFailed):
+        forge_code_signing_certificate(cert, "MS")
+
+
+def test_forgery_requires_signature():
+    from repro.certs import Certificate
+
+    key = generate_keypair("k").public
+    unsigned = Certificate("s", "i", "1", key,
+                           {KEY_USAGE_LICENSE_VERIFICATION}, 0, 10,
+                           signature_algorithm="weakmd5")
+    with pytest.raises(ForgeryFailed):
+        forge_code_signing_certificate(unsigned, "MS")
+
+
+def test_advisory_2718704_kills_the_forgery(pki, activated_tsls):
+    """Microsoft's fix: move the licensing certs to the untrusted store."""
+    attacker = generate_keypair("attacker2")
+    rogue = forge_code_signing_certificate(activated_tsls.certificate,
+                                           "MS", attacker.public)
+    store = pki.make_trust_store()
+    store.mark_untrusted(pki.licensing_ca_cert)
+    chain = [rogue] + pki.licensing_chain_tail()
+    result = store.verify_chain(chain, usage=KEY_USAGE_CODE_SIGNING)
+    assert not result
+    assert "untrusted" in result.reason

@@ -1,0 +1,61 @@
+"""The shared PKI world: roots, vendors, and chains."""
+
+import pytest
+
+from repro.certs import (
+    ELDOS,
+    JMICRON,
+    MICROSOFT_LICENSING_CA,
+    MICROSOFT_ROOT,
+    PkiWorld,
+    REALTEK,
+)
+
+
+def test_every_vendor_has_usable_credentials(shared_pki):
+    for vendor in (JMICRON, REALTEK, ELDOS):
+        cert, keypair = shared_pki.vendor_credentials(vendor)
+        assert cert.subject == vendor
+        assert cert.allows("code-signing")
+        signature = keypair.sign(b"probe")
+        assert cert.public_key.verify(b"probe", signature)
+
+
+def test_unknown_vendor_rejected(shared_pki):
+    with pytest.raises(KeyError):
+        shared_pki.vendor_credentials("Umbrella Corp")
+
+
+def test_vendor_chains_verify_in_fresh_stores(shared_pki):
+    store = shared_pki.make_trust_store()
+    for vendor in (JMICRON, REALTEK, ELDOS):
+        assert store.verify_chain(shared_pki.vendor_chain(vendor))
+
+
+def test_update_signing_chain_verifies(shared_pki):
+    store = shared_pki.make_trust_store()
+    result = store.verify_chain(shared_pki.update_signing_chain())
+    assert result
+    assert result.signer == "Microsoft Windows Update Publisher"
+
+
+def test_licensing_intermediate_signed_with_weak_hash(shared_pki):
+    cert = shared_pki.licensing_ca_cert
+    assert cert.subject == MICROSOFT_LICENSING_CA
+    assert cert.issuer == MICROSOFT_ROOT
+    assert cert.signature_algorithm == "weakmd5"
+    assert cert.allows("ca")
+
+
+def test_trust_stores_are_independent(shared_pki):
+    a = shared_pki.make_trust_store()
+    b = shared_pki.make_trust_store()
+    cert, _ = shared_pki.vendor_credentials(JMICRON)
+    a.revoke_serial(cert.serial)
+    assert not a.verify_chain(shared_pki.vendor_chain(JMICRON))
+    assert b.verify_chain(shared_pki.vendor_chain(JMICRON))
+
+
+def test_world_keypair_helper(shared_pki):
+    assert shared_pki.make_keypair("x").modulus == \
+           shared_pki.make_keypair("x").modulus

@@ -1,0 +1,41 @@
+"""The `python -m repro` command line."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_stuxnet_subcommand(capsys):
+    assert main(["stuxnet", "--days", "40", "--centrifuges", "50",
+                 "--seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Stuxnet / Natanz" in out
+    assert "centrifuges_destroyed" in out
+
+
+def test_shamoon_subcommand_json(capsys):
+    assert main(["--json", "shamoon", "--hosts", "30", "--seed", "4"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    assert payload["hosts_wiped"] == 30
+    assert payload["hosts_usable_after"] == 0
+
+
+def test_flame_subcommand_with_suicide(capsys):
+    assert main(["flame", "--victims", "4", "--weeks", "1",
+                 "--suicide", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Flame espionage" in out
+    assert "active_infections" in out
+
+
+def test_unknown_subcommand_rejected():
+    with pytest.raises(SystemExit):
+        main(["explode"])

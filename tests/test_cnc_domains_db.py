@@ -1,0 +1,84 @@
+"""Domain pool registrations and the MiniDatabase."""
+
+import pytest
+
+from repro.cnc import DomainPool, MiniDatabase
+from repro.sim import DeterministicRandom
+
+
+@pytest.fixture
+def pool():
+    pool = DomainPool(DeterministicRandom(5))
+    pool.register_many(80, ["ip-%02d" % i for i in range(22)])
+    return pool
+
+
+def test_fig4_scale(pool):
+    assert len(pool) == 80
+    assert len(pool.server_ips()) == 22
+    assert len(set(pool.domains())) == 80
+
+
+def test_registrant_geography_biased_to_de_at(pool):
+    histogram = pool.country_histogram()
+    de_at = histogram.get("DE", 0) + histogram.get("AT", 0)
+    assert de_at / len(pool) > 0.6
+
+
+def test_variety_of_registrars(pool):
+    assert pool.registrar_count() >= 3
+
+
+def test_domains_for_server_partition(pool):
+    total = sum(len(pool.domains_for_server(ip)) for ip in pool.server_ips())
+    assert total == 80
+
+
+def test_db_insert_select():
+    db = MiniDatabase()
+    db.insert("clients", client_id="a", client_type="FL")
+    db.insert("clients", client_id="b", client_type="SP")
+    assert db.count("clients") == 2
+    assert db.select_one("clients", client_id="a")["client_type"] == "FL"
+    assert db.select_one("clients", client_id="zz") is None
+    assert db.select("clients", client_type="SP")[0]["client_id"] == "b"
+
+
+def test_db_rows_are_copies():
+    db = MiniDatabase()
+    db.insert("t", value=1)
+    row = db.select_one("t")
+    row["value"] = 999
+    assert db.select_one("t")["value"] == 1
+
+
+def test_db_update():
+    db = MiniDatabase()
+    db.insert("packages", entry_id="e1", retrieved=False)
+    changed = db.update("packages", {"entry_id": "e1"}, {"retrieved": True})
+    assert changed == 1
+    assert db.select_one("packages", entry_id="e1")["retrieved"] is True
+
+
+def test_db_delete_variants():
+    db = MiniDatabase()
+    for i in range(5):
+        db.insert("t", parity=i % 2)
+    assert db.delete("t", parity=0) == 3
+    assert db.delete_where("t", lambda row: row["parity"] == 1) == 2
+    assert db.count("t") == 0
+
+
+def test_db_drop_all():
+    db = MiniDatabase()
+    db.insert("a", x=1)
+    db.drop_all()
+    assert db.tables() == []
+    assert db.select("a") == []
+
+
+def test_db_rowids_unique_across_tables():
+    db = MiniDatabase()
+    r1 = db.insert("a", x=1)
+    r2 = db.insert("b", x=1)
+    assert r1 != r2

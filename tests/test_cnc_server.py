@@ -1,0 +1,136 @@
+"""C&C server: dead-drop folders, protocol, anti-forensics, cleanup."""
+
+import json
+
+import pytest
+
+from repro.cnc import ADS_FOLDER, CncServer, ENTRIES_FOLDER, NEWS_FOLDER
+from repro.cnc.server import decode_package, encode_package
+from repro.crypto import generate_keypair
+from repro.netsim.http import HttpRequest
+
+
+@pytest.fixture
+def coordinator_key():
+    return generate_keypair("test-coordinator")
+
+
+@pytest.fixture
+def server(kernel, coordinator_key):
+    return CncServer(kernel, "cnc-test", coordinator_key.public,
+                     extra_domains=["extra1.com", "extra2.com"])
+
+
+def _get_news(server, client_id="client-1", client_type="CLIENT_TYPE_FL"):
+    request = HttpRequest("GET", "http://x/newsforyou", client=client_id,
+                          params={"command": "GET_NEWS",
+                                  "client_id": client_id,
+                                  "client_type": client_type})
+    response = server.http.handle(request)
+    return json.loads(response.body.decode("utf-8"))
+
+
+def test_package_wire_round_trip():
+    package = {"name": "mod", "kind": "module", "payload": b"\x00\x01lua"}
+    assert decode_package(encode_package(package)) == package
+
+
+def test_admin_setup_runs_logwiper(kernel, server):
+    assert server.logging_enabled
+    server.admin_setup()
+    assert not server.logging_enabled
+    assert "/var/log/syslog" not in server.files
+    assert "/root/LogWiper.sh" not in server.files  # deletes itself
+
+
+def test_get_news_registers_client_and_expands_domains(server):
+    payload = _get_news(server)
+    assert payload["domains"] == ["extra1.com", "extra2.com"]
+    clients = server.known_clients()
+    assert len(clients) == 1
+    assert clients[0]["client_type"] == "CLIENT_TYPE_FL"
+
+
+def test_client_type_histogram(server):
+    _get_news(server, "a", "CLIENT_TYPE_FL")
+    _get_news(server, "b", "CLIENT_TYPE_SP")
+    _get_news(server, "c", "CLIENT_TYPE_SP")
+    assert server.client_type_histogram() == {
+        "CLIENT_TYPE_FL": 1, "CLIENT_TYPE_SP": 2}
+
+
+def test_ads_are_per_client_and_consumed_once(server):
+    server.put_ad("client-1", {"name": "cmd", "kind": "command",
+                               "payload": b"x"})
+    other = _get_news(server, "client-2")
+    assert other["packages"] == []
+    mine = _get_news(server, "client-1")
+    assert len(mine["packages"]) == 1
+    again = _get_news(server, "client-1")
+    assert again["packages"] == []  # consumed
+
+
+def test_news_go_to_everyone_and_persist(server):
+    server.put_news({"name": "SUICIDE", "kind": "command", "payload": b""})
+    for client in ("a", "b"):
+        payload = _get_news(server, client)
+        names = [json.loads(p)["name"] for p in payload["packages"]]
+        assert names == ["SUICIDE"]
+
+
+def test_add_entry_stores_and_counts_bytes(kernel, server):
+    request = HttpRequest("POST", "http://x/newsforyou", client="c",
+                          params={"command": "ADD_ENTRY", "client_id": "c"},
+                          body=b"sealed-blob-bytes")
+    response = server.http.handle(request)
+    assert response.ok
+    assert server.pending_entry_count() == 1
+    assert server.bytes_received == len(b"sealed-blob-bytes")
+
+
+def test_collect_entries_marks_retrieved_and_cleanup_shreds(kernel, server):
+    server.admin_setup()
+    request = HttpRequest("POST", "http://x/newsforyou", client="c",
+                          params={"command": "ADD_ENTRY", "client_id": "c"},
+                          body=b"blob")
+    server.http.handle(request)
+    collected = server.collect_entries()
+    assert len(collected) == 1
+    # Second collection returns nothing new.
+    assert server.collect_entries() == []
+    # The 30-minute job shreds the retrieved entry.
+    kernel.run_for(31 * 60)
+    assert server.pending_entry_count() == 0
+
+
+def test_uncollected_entries_survive_cleanup(kernel, server):
+    server.admin_setup()
+    request = HttpRequest("POST", "http://x/newsforyou", client="c",
+                          params={"command": "ADD_ENTRY", "client_id": "c"},
+                          body=b"blob")
+    server.http.handle(request)
+    kernel.run_for(3 * 3600)
+    assert server.pending_entry_count() == 1
+
+
+def test_unknown_command_rejected(server):
+    request = HttpRequest("GET", "http://x/newsforyou",
+                          params={"command": "EXPLODE"})
+    assert server.http.handle(request).status == 400
+
+
+def test_shutdown_refuses_connections(server):
+    server.shutdown()
+    request = HttpRequest("GET", "http://x/newsforyou",
+                          params={"command": "GET_NEWS", "client_id": "c"})
+    assert not server.http.handle(request).ok
+    assert server.folders[ENTRIES_FOLDER] == {}
+    assert server.folders[ADS_FOLDER] == {}
+    assert server.folders[NEWS_FOLDER] == {}
+
+
+def test_front_page_looks_ordinary(server):
+    request = HttpRequest("GET", "http://x/")
+    response = server.http.handle(request)
+    assert response.ok
+    assert b"It works!" in response.body

@@ -1,0 +1,37 @@
+"""Report formatting helpers."""
+
+from repro.core import comparison_table, format_row
+
+
+def test_format_row_with_verdict():
+    row = format_row("metric", "paper-value", "measured-value", True)
+    assert "paper-value" in row
+    assert "measured-value" in row
+    assert "[OK]" in row
+
+
+def test_format_row_diverging():
+    row = format_row("metric", 1, 2, False)
+    assert "[DIVERGES]" in row
+
+
+def test_format_row_without_verdict():
+    row = format_row("metric", 1, 1)
+    assert "[" not in row
+
+
+def test_comparison_table_mixes_row_arities():
+    table = comparison_table("TITLE", [
+        ("three-col", "a", "b"),
+        ("four-col", "a", "b", True),
+    ])
+    assert "TITLE" in table
+    assert table.count("paper:") == 2
+    assert table.count("[OK]") == 1
+    assert table.startswith("\n")
+
+
+def test_comparison_table_handles_non_string_values():
+    table = comparison_table("T", [("n", 30000, 29999.5, False)])
+    assert "30000" in table
+    assert "29999.5" in table

@@ -1,0 +1,76 @@
+"""XOR and RC4 cipher behaviour."""
+
+import pytest
+
+from repro.crypto import Rc4Cipher, xor_decrypt, xor_encrypt
+from repro.crypto.ciphers import xor_stream
+
+
+def test_xor_round_trip():
+    data = b"shamoon wiper component"
+    key = b"\xba"
+    assert xor_decrypt(xor_encrypt(data, key), key) == data
+
+
+def test_xor_with_multibyte_key():
+    data = bytes(range(256))
+    key = b"k3y!"
+    encrypted = xor_encrypt(data, key)
+    assert encrypted != data
+    assert xor_decrypt(encrypted, key) == data
+
+
+def test_xor_accepts_int_key():
+    assert xor_encrypt(b"\x00\x00", 0xBA) == b"\xba\xba"
+
+
+def test_xor_empty_key_rejected():
+    with pytest.raises(ValueError):
+        xor_encrypt(b"data", b"")
+
+
+def test_xor_is_involution():
+    data = b"double application restores"
+    key = b"abc"
+    assert xor_encrypt(xor_encrypt(data, key), key) == data
+
+
+def test_xor_stream_matches_slow_path():
+    data = bytes(range(256)) * 41  # not a multiple of the key length
+    key = b"\x01\x02\x03\x04\x05"
+    assert xor_stream(data, key) == xor_encrypt(data, key)
+
+
+def test_xor_stream_empty_data():
+    assert xor_stream(b"", b"key") == b""
+
+
+def test_rc4_round_trip():
+    data = b"stolen document body " * 10
+    key = b"session-key"
+    assert Rc4Cipher.decrypt(key, Rc4Cipher.encrypt(key, data)) == data
+
+
+def test_rc4_known_vector():
+    # Classic RC4 test vector: key "Key", plaintext "Plaintext".
+    out = Rc4Cipher.encrypt(b"Key", b"Plaintext")
+    assert out == bytes.fromhex("bbf316e8d940af0ad3")
+
+
+def test_rc4_keystream_continues_across_calls():
+    cipher = Rc4Cipher(b"k")
+    first = cipher.process(b"aaaa")
+    second = cipher.process(b"aaaa")
+    assert first != second  # keystream advanced
+    cipher.reset()
+    assert cipher.process(b"aaaa") == first
+
+
+def test_rc4_empty_key_rejected():
+    with pytest.raises(ValueError):
+        Rc4Cipher(b"")
+
+
+def test_rc4_different_keys_differ():
+    data = b"same plaintext"
+    assert Rc4Cipher.encrypt(b"k1", data) != Rc4Cipher.encrypt(b"k2", data)

@@ -1,0 +1,64 @@
+"""Hash registry and the deliberately forgeable weak digest."""
+
+import pytest
+
+from repro.crypto import (
+    WEAK_DIGEST_SIZE,
+    digest,
+    forge_collision_block,
+    is_collision_forgeable,
+    sha256_digest,
+    weak_digest,
+)
+
+
+def test_sha256_matches_hashlib():
+    import hashlib
+
+    assert sha256_digest(b"abc") == hashlib.sha256(b"abc").digest()
+
+
+def test_weak_digest_is_16_bytes_and_deterministic():
+    assert len(weak_digest(b"x")) == WEAK_DIGEST_SIZE
+    assert weak_digest(b"hello") == weak_digest(b"hello")
+
+
+def test_weak_digest_length_sensitivity():
+    # Same content, trailing zero block: length field distinguishes them.
+    assert weak_digest(b"a" * 16) != weak_digest(b"a" * 16 + b"\x00" * 16)
+
+
+def test_forge_collision_block_hits_arbitrary_target():
+    prefix = b"rogue certificate tbs bytes!".ljust(32, b"\x00")
+    target = weak_digest(b"the legitimate certificate tbs")
+    block = forge_collision_block(prefix, target)
+    assert len(block) == WEAK_DIGEST_SIZE
+    assert weak_digest(prefix + block) == target
+
+
+def test_forge_requires_aligned_prefix():
+    with pytest.raises(ValueError):
+        forge_collision_block(b"unaligned", weak_digest(b"t"))
+
+
+def test_forge_requires_proper_target_size():
+    with pytest.raises(ValueError):
+        forge_collision_block(b"\x00" * 16, b"short")
+
+
+def test_forge_works_for_empty_prefix():
+    target = weak_digest(b"whatever")
+    block = forge_collision_block(b"", target)
+    assert weak_digest(block) == target
+
+
+def test_digest_dispatch():
+    assert digest("sha256", b"a") == sha256_digest(b"a")
+    assert digest("weakmd5", b"a") == weak_digest(b"a")
+    with pytest.raises(ValueError):
+        digest("md5-but-unknown", b"a")
+
+
+def test_forgeability_flags():
+    assert is_collision_forgeable("weakmd5")
+    assert not is_collision_forgeable("sha256")

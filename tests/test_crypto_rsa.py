@@ -1,0 +1,83 @@
+"""Schoolbook RSA: signing, sealing, determinism."""
+
+import pytest
+
+from repro.crypto import RsaKeyPair, generate_keypair
+
+
+def test_sign_verify_round_trip():
+    keypair = generate_keypair("tester")
+    signature = keypair.sign(b"message")
+    assert keypair.public.verify(b"message", signature)
+
+
+def test_tampered_message_fails_verification():
+    keypair = generate_keypair("tester")
+    signature = keypair.sign(b"message")
+    assert not keypair.public.verify(b"messagE", signature)
+
+
+def test_wrong_key_fails_verification():
+    signature = generate_keypair("a").sign(b"m")
+    assert not generate_keypair("b").public.verify(b"m", signature)
+
+
+def test_signature_over_weak_digest_transfers_to_collision():
+    # The core of the Fig. 3 forgery: a signature binds to the digest,
+    # so any weak-digest collision inherits it.
+    from repro.crypto import forge_collision_block, weak_digest
+
+    keypair = generate_keypair("microsoft-licensing")
+    legit = b"legit tbs".ljust(16, b"\x00")
+    signature = keypair.sign(legit, algorithm="weakmd5")
+    rogue_prefix = b"rogue tbs bytes".ljust(32, b"\x00")
+    rogue = rogue_prefix + forge_collision_block(rogue_prefix, weak_digest(legit))
+    assert keypair.public.verify(rogue, signature, algorithm="weakmd5")
+    # Under sha256 the transfer fails.
+    sha_sig = keypair.sign(legit, algorithm="sha256")
+    assert not keypair.public.verify(rogue, sha_sig, algorithm="sha256")
+
+
+def test_encrypt_decrypt_round_trip():
+    keypair = generate_keypair("sealer")
+    ciphertext = keypair.public.encrypt(b"session-key-16b!")
+    assert keypair.decrypt(ciphertext) == b"session-key-16b!"
+
+
+def test_encrypt_rejects_oversized_payload():
+    keypair = generate_keypair("sealer")
+    with pytest.raises(ValueError):
+        keypair.public.encrypt(b"x" * 128)
+
+
+def test_deterministic_generation():
+    assert generate_keypair("same").modulus == generate_keypair("same").modulus
+    assert generate_keypair("a").modulus != generate_keypair("b").modulus
+
+
+def test_modulus_size():
+    keypair = generate_keypair("size-check", bits=512)
+    assert 500 <= keypair.public.bits <= 512
+
+
+def test_fingerprint_stability_and_uniqueness():
+    a = generate_keypair("fp-a").public
+    b = generate_keypair("fp-b").public
+    assert a.fingerprint() == a.fingerprint()
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_equal_public_keys():
+    a = generate_keypair("eq").public
+    b = generate_keypair("eq").public
+    assert a == b and hash(a) == hash(b)
+
+
+def test_keypair_rejects_equal_primes():
+    with pytest.raises(ValueError):
+        RsaKeyPair(13, 13)
+
+
+def test_tiny_modulus_rejected():
+    with pytest.raises(ValueError):
+        generate_keypair("tiny", bits=64)

@@ -1,0 +1,113 @@
+"""Duqu: spear-phish delivery, per-infection builds, 36-day lifetime."""
+
+import pytest
+
+from repro.malware.duqu import Duqu, DuquConfig, LIFETIME_DAYS
+
+
+@pytest.fixture
+def duqu(kernel, world):
+    return Duqu(kernel, world)
+
+
+def test_spear_phish_infects(host, duqu):
+    assert duqu.spear_phish(host)
+    assert host.is_infected_by("duqu")
+    assert duqu.infections_by_vector() == {"spear-phish": 1}
+
+
+def test_signed_driver_loads_with_stolen_cmedia_cert(host, duqu):
+    duqu.spear_phish(host)
+    driver = host.drivers.get("jminet7.sys")
+    assert driver is not None
+    assert "C-Media" in driver.signer
+
+
+def test_per_infection_builds_are_unique(host_factory, duqu):
+    for index in range(6):
+        duqu.spear_phish(host_factory("TARGET-%02d" % index))
+    assert len(duqu.infection_builds) == 6
+    assert duqu.builds_are_unique()
+
+
+def test_builds_are_deterministic_per_host(kernel, world, host_factory):
+    a = Duqu(kernel, world)
+    b = Duqu(kernel, world)
+    assert a._compile_for("SAME-HOST") == b._compile_for("SAME-HOST")
+    assert a._compile_for("HOST-A") != a._compile_for("HOST-B")
+
+
+def test_byte_signatures_fail_across_infections(host_factory, duqu):
+    """§V.D: per-infection compilation defeats byte-pattern detection."""
+    from repro.analysis import Signature
+
+    first = host_factory("FIRST")
+    second = host_factory("SECOND")
+    duqu.spear_phish(first)
+    duqu.spear_phish(second)
+    # A vendor builds a rule from the first sample's module bytes...
+    sample = first.vfs.read(first.system_dir + "\\netp191.pnf", raw=True)
+    rule = Signature("duqu-sample-1", "duqu", byte_patterns=[sample[:64]])
+    # ...which matches the first machine but not the second.
+    assert rule.matches_bytes(
+        first.vfs.read(first.system_dir + "\\netp191.pnf", raw=True))
+    assert not rule.matches_bytes(
+        second.vfs.read(second.system_dir + "\\netp191.pnf", raw=True))
+
+
+def test_keystroke_collection(kernel, host, duqu):
+    duqu.spear_phish(host)
+    kernel.run_for(2 * 86400.0)
+    assert duqu.stolen_keystrokes[host.hostname] > 0
+
+
+def test_lifetime_self_removal(kernel, host, duqu):
+    duqu.spear_phish(host)
+    kernel.run_for((LIFETIME_DAYS - 1) * 86400.0)
+    assert host.is_infected_by("duqu")
+    kernel.run_for(2 * 86400.0)
+    assert not host.is_infected_by("duqu")
+    assert not host.vfs.exists(host.system_dir + "\\netp191.pnf", raw=True)
+    assert host.drivers.get("jminet7.sys") is None
+    assert kernel.trace.first(actor="duqu", action="lifetime-self-removal")
+
+
+def test_custom_lifetime(kernel, world, host_factory):
+    duqu = Duqu(kernel, world, DuquConfig(lifetime_days=2))
+    host = host_factory("SHORT")
+    duqu.spear_phish(host)
+    kernel.run_for(3 * 86400.0)
+    assert not host.is_infected_by("duqu")
+
+
+def test_beacon_uploads_when_connected(kernel, world, host_factory):
+    from repro.netsim import Internet, Lan
+    from repro.netsim.http import HttpResponse, HttpServer
+
+    internet = Internet(kernel)
+    received = []
+    sink = HttpServer("duqu-cnc")
+    sink.route("/upload", lambda r: (received.append(r.body),
+                                     HttpResponse(200, b"ok"))[1])
+    internet.register_site("dq.example.com", sink)
+    lan = Lan(kernel, "office", internet=internet)
+    host = host_factory("VICTIM")
+    lan.attach(host)
+    duqu = Duqu(kernel, world, DuquConfig(cnc_domain="dq.example.com"))
+    duqu.spear_phish(host)
+    kernel.run_for(2 * 86400.0)
+    assert received
+
+
+def test_trend_artifacts_from_live_instance(kernel, world, host_factory, duqu):
+    from repro.analysis.trends import duqu_artifacts
+
+    duqu.spear_phish(host_factory("T1"))
+    duqu.spear_phish(host_factory("T2"))
+    kernel.run_for((LIFETIME_DAYS + 1) * 86400.0)
+    facts = duqu_artifacts(duqu)
+    scores = facts.scores()
+    assert facts.source == "measured"
+    assert scores["targeting"] >= 4
+    assert scores["suicide"] == 5  # lifetime removal executed
+    assert scores["modularity"] >= 3

@@ -1,0 +1,167 @@
+"""Failure injection: the models degrade gracefully, never crash.
+
+Campaigns hit dead C&C servers, sinkholed domains, mid-campaign patch
+roll-outs, re-imaged machines, and locked files.  None of these may
+raise out of the simulation loop; each should produce the documented
+degraded behaviour.
+"""
+
+import pytest
+
+from repro.cnc import AttackCenter, CncServer
+from repro.malware.flame import Flame, FlameConfig
+from repro.malware.shamoon import Shamoon, ShamoonConfig
+from repro.malware.stuxnet import Stuxnet
+from repro.netsim import Internet, Lan
+
+
+@pytest.fixture
+def flame_world(kernel, world, host_factory):
+    internet = Internet(kernel)
+    center = AttackCenter(kernel)
+    server = CncServer(kernel, "cnc", center.coordinator_public_key)
+    center.provision_server(server, internet, ["cnc.example.com"])
+    lan = Lan(kernel, "office", internet=internet)
+    victim = host_factory("V", has_microphone=True)
+    lan.attach(victim)
+    victim.vfs.write("c:\\users\\u\\documents\\secret-x.docx", b"S" * 400)
+    flame = Flame(kernel, world, default_domains=["cnc.example.com"],
+                  coordinator_public_key=center.coordinator_public_key,
+                  config=FlameConfig(enable_wu_mitm=False))
+    return {"internet": internet, "center": center, "server": server,
+            "lan": lan, "victim": victim, "flame": flame}
+
+
+def test_cnc_shutdown_mid_campaign_queues_entries(kernel, flame_world):
+    flame, victim = flame_world["flame"], flame_world["victim"]
+    flame.infect(victim, via="initial")
+    kernel.run_for(2 * 86400.0)
+    uploaded_before = flame.stats["entries_uploaded"]
+    assert uploaded_before > 0
+    flame_world["server"].shutdown()
+    # Days of beaconing against a dead server: no crash, entries queue.
+    kernel.run_for(5 * 86400.0)
+    state = flame._states["V"]
+    assert flame.stats["entries_uploaded"] == uploaded_before
+    assert state.pending_entries  # backlog accumulates for later
+
+
+def test_all_domains_sinkholed_stops_exfil_not_collection(kernel,
+                                                          flame_world):
+    flame, victim = flame_world["flame"], flame_world["victim"]
+    flame.infect(victim, via="initial")
+    flame_world["internet"].dns.sinkhole("cnc.example.com")
+    kernel.run_for(4 * 86400.0)
+    assert flame.stats["entries_uploaded"] == 0
+    assert flame._states["V"].pending_entries
+    assert victim.is_infected_by("flame")  # dwell continues
+
+
+def test_bluetooth_bridge_carries_backlog_when_cnc_dies(kernel, world,
+                                                        host_factory):
+    from repro.bluetooth import BluetoothDevice, BluetoothNeighborhood
+
+    neighborhood = BluetoothNeighborhood(kernel)
+    internet = Internet(kernel)
+    lan = Lan(kernel, "office", internet=internet)
+    victim = host_factory("BTV", has_bluetooth=True)
+    lan.attach(victim)
+    victim.vfs.write("c:\\users\\u\\documents\\secret.docx", b"S" * 100)
+    neighborhood.place_device(victim, BluetoothDevice(
+        "bridge", internet_connected=True))
+    from repro.crypto import generate_keypair
+
+    flame = Flame(kernel, world, default_domains=["dead.example.com"],
+                  coordinator_public_key=generate_keypair("c").public,
+                  bluetooth_neighborhood=neighborhood,
+                  config=FlameConfig(enable_wu_mitm=False))
+    flame.infect(victim, via="initial")
+    kernel.run_for(3 * 86400.0)
+    assert flame.stats["bluetooth_exfil"] > 0  # footnote 5's bypass path
+
+
+def test_midcampaign_patch_stops_spooler_spread(kernel, world, host_factory):
+    lan = Lan(kernel, "plant")
+    a = host_factory("A", os_version="xp", file_and_print_sharing=True)
+    b = host_factory("B", os_version="xp", file_and_print_sharing=True)
+    c = host_factory("C", os_version="xp", file_and_print_sharing=True)
+    for host in (a, b, c):
+        lan.attach(host)
+    stux = Stuxnet(kernel, world)
+    stux.infect(a, via="initial")
+    kernel.run_for(7 * 3600.0)  # first spread step lands on B
+    assert b.is_infected_by("stuxnet")
+    # Emergency patching of the last clean host.
+    c.patches.apply("MS10-061")
+    kernel.run_for(10 * 86400.0)
+    assert not c.is_infected_by("stuxnet")
+
+
+def test_reimaged_host_gets_reinfected_over_shares(kernel, world,
+                                                   host_factory):
+    lan = Lan(kernel, "org", domain_name="org.com")
+    a = host_factory("A", file_and_print_sharing=True)
+    b = host_factory("B", file_and_print_sharing=True)
+    lan.attach(a)
+    lan.attach(b)
+    sham = Shamoon(kernel, world, lan.domain_admin_credential,
+                   ShamoonConfig(spread_interval=600.0))
+    sham.infect(a, via="initial")
+    kernel.run_for(3600.0)
+    assert b.is_infected_by("shamoon")
+    # IT re-images B (clean state, same shares, same domain trust)...
+    b.remove_infection("shamoon")
+    sham.infected_hosts.pop("B", None)
+    for record in list(b.vfs.walk("c:", raw=True)):
+        if record.origin == "shamoon":
+            b.vfs.delete(record.path)
+    # ...the resident spreaders notice the membership change...
+    assert sham.renew_sweep(lan) >= 1
+    # ...and the worm simply takes it again.
+    kernel.run_for(4 * 3600.0)
+    assert b.is_infected_by("shamoon")
+
+
+def test_wiper_skips_locked_files_and_finishes(host_factory, world):
+    from repro.malware.shamoon import run_wiper
+    from repro.malware.shamoon.wiper import build_eldos_driver_image
+
+    host = host_factory("LOCKED")
+    host.vfs.write("c:\\users\\u\\documents\\normal.docx", b"N" * 2000)
+    locked = host.vfs.write("c:\\users\\u\\documents\\locked.docx",
+                            b"L" * 2000)
+    locked.attributes.readonly = True
+    stats = run_wiper(host, build_eldos_driver_image(world))
+    assert stats["files_overwritten"] == 1          # the normal file
+    assert host.vfs.read("c:\\users\\u\\documents\\locked.docx",
+                         raw=True) == b"L" * 2000   # survived
+    assert stats["mbr_wiped"]                        # wipe still completed
+    assert not host.usable()
+
+
+def test_flame_beacon_survives_host_without_nic(kernel, world, host_factory):
+    from repro.crypto import generate_keypair
+
+    flame = Flame(kernel, world, default_domains=["x.example.com"],
+                  coordinator_public_key=generate_keypair("k").public,
+                  config=FlameConfig(enable_wu_mitm=False))
+    offline = host_factory("OFFLINE")   # never attached to a LAN
+    flame.infect(offline, via="initial")
+    kernel.run_for(3 * 86400.0)         # beacons fire; must not raise
+    assert offline.is_infected_by("flame")
+
+
+def test_stuxnet_beacon_survives_nxdomain_world(kernel, world, host_factory):
+    internet = Internet(kernel)         # no futbol domains registered
+    from repro.netsim.http import HttpResponse, HttpServer
+
+    probe = HttpServer("wu")
+    probe.route("/", lambda r: HttpResponse(200, b"ok"))
+    internet.register_site("www.windowsupdate.com", probe)
+    lan = Lan(kernel, "office", internet=internet)
+    victim = host_factory("NX", os_version="xp")
+    lan.attach(victim)
+    stux = Stuxnet(kernel, world)
+    stux.infect(victim, via="initial")
+    kernel.run_for(3 * 86400.0)         # must not raise on NXDOMAIN
+    assert victim.is_infected_by("stuxnet")

@@ -1,0 +1,74 @@
+"""The four client families and the scoped suicide (§III.B).
+
+"Flame clients (CLIENT_TYPE_FL) constitute only one out of four types of
+infected clients (CLIENT_TYPE_SP, CLIENT_TYPE_SPE, and CLIENT_TYPE_IP
+being the others). This indicates that the attackers behind Flame can
+deploy new variants anytime."
+"""
+
+import pytest
+
+from repro.cnc import AttackCenter, CncServer
+from repro.malware.flame import Flame, FlameConfig
+from repro.netsim import Internet, Lan
+
+
+@pytest.fixture
+def variant_world(kernel, world, host_factory):
+    internet = Internet(kernel)
+    center = AttackCenter(kernel)
+    server = CncServer(kernel, "cnc", center.coordinator_public_key)
+    center.provision_server(server, internet, ["var-cnc.com"])
+    lan = Lan(kernel, "fleet", internet=internet)
+
+    def deploy(client_type, hostname):
+        host = host_factory(hostname)
+        lan.attach(host)
+        instance = Flame(
+            kernel, world, default_domains=["var-cnc.com"],
+            coordinator_public_key=center.coordinator_public_key,
+            config=FlameConfig(enable_wu_mitm=False,
+                               client_type=client_type),
+        )
+        instance.infect(host, via="initial")
+        return instance, host
+
+    fl, fl_host = deploy("CLIENT_TYPE_FL", "FL-1")
+    sp, sp_host = deploy("CLIENT_TYPE_SP", "SP-1")
+    return {"center": center, "server": server, "lan": lan,
+            "fl": fl, "fl_host": fl_host, "sp": sp, "sp_host": sp_host}
+
+
+def test_server_sees_both_client_types(kernel, variant_world):
+    kernel.run_for(86400.0)
+    histogram = variant_world["server"].client_type_histogram()
+    assert histogram == {"CLIENT_TYPE_FL": 1, "CLIENT_TYPE_SP": 1}
+
+
+def test_scoped_suicide_kills_only_fl(kernel, variant_world):
+    kernel.run_for(86400.0)
+    variant_world["center"].broadcast_suicide(client_type="CLIENT_TYPE_FL")
+    kernel.run_for(86400.0)
+    assert not variant_world["fl_host"].is_infected_by("flame")
+    assert variant_world["sp_host"].is_infected_by("flame")
+    # The surviving variant keeps working (§III.B's warning).
+    assert variant_world["sp"].active_infections() == ["SP-1"]
+
+
+def test_unscoped_suicide_kills_everyone(kernel, variant_world):
+    kernel.run_for(86400.0)
+    variant_world["center"].broadcast_suicide()
+    kernel.run_for(86400.0)
+    assert not variant_world["fl_host"].is_infected_by("flame")
+    assert not variant_world["sp_host"].is_infected_by("flame")
+
+
+def test_scoped_module_update_applies_to_one_family(kernel, variant_world):
+    from repro.malware.flame.scripts import JIMMY_V2_SOURCE
+
+    variant_world["center"].push_command(
+        "jimmy", JIMMY_V2_SOURCE.encode("utf-8"), kind="module",
+        client_type="CLIENT_TYPE_SP")
+    kernel.run_for(86400.0)
+    assert variant_world["sp"].modules.versions()["jimmy"] == 2
+    assert variant_world["fl"].modules.versions()["jimmy"] == 1

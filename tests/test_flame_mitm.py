@@ -1,0 +1,108 @@
+"""SNACK/MUNCH/GADGET: the WPAD + Windows Update MITM (Figs. 2-3)."""
+
+import pytest
+
+from repro.certs.tsls import ForgeryFailed
+from repro.malware.flame.snack_munch_gadget import (
+    WindowsUpdateMitm,
+    build_forged_update,
+)
+from repro.netsim import (
+    Internet,
+    Lan,
+    WindowsUpdateService,
+    run_windows_update,
+)
+from repro.netsim.windowsupdate import UpdateRegistry
+
+
+@pytest.fixture
+def mitm_world(kernel, world, host_factory):
+    internet = Internet(kernel)
+    WindowsUpdateService(world, internet)
+    lan = Lan(kernel, "office", internet=internet)
+    proxy = host_factory("PROXY")
+    victim = host_factory("VICTIM")
+    lan.attach(proxy)
+    lan.attach(victim)
+    registry = UpdateRegistry()
+    infected = []
+    image, rogue = build_forged_update(
+        world, lambda h, p: infected.append(h.hostname), registry)
+    mitm = WindowsUpdateMitm(kernel, proxy, image).install()
+    return {"lan": lan, "proxy": proxy, "victim": victim,
+            "registry": registry, "mitm": mitm, "infected": infected,
+            "image": image, "rogue": rogue}
+
+
+def test_forged_update_carries_code_signing_rogue_cert(mitm_world):
+    rogue = mitm_world["rogue"]
+    assert rogue.allows("code-signing")
+    assert rogue.signature_algorithm == "weakmd5"
+
+
+def test_wpad_hijack_points_victim_at_proxy(mitm_world):
+    lan, victim = mitm_world["lan"], mitm_world["victim"]
+    config = lan.browser_start(victim)
+    assert config.proxy_hostname == "PROXY"
+    assert mitm_world["mitm"].wpad_requests_answered == 1
+
+
+def test_full_mitm_installs_via_windows_update(mitm_world):
+    lan, victim = mitm_world["lan"], mitm_world["victim"]
+    lan.browser_start(victim)
+    outcome = run_windows_update(victim, lan, mitm_world["registry"])
+    assert outcome["installed"]
+    assert outcome["verified"]
+    assert outcome["signer"] == "MS"
+    assert mitm_world["infected"] == ["VICTIM"]
+    assert mitm_world["mitm"].updates_intercepted == 1
+
+
+def test_victim_without_proxy_gets_genuine_update(mitm_world):
+    lan, victim = mitm_world["lan"], mitm_world["victim"]
+    # No browser_start: no WPAD, no proxy -> direct route to Microsoft.
+    outcome = run_windows_update(victim, lan, mitm_world["registry"])
+    assert outcome["installed"]
+    assert outcome["signer"] == "Microsoft Windows Update Publisher"
+    assert mitm_world["infected"] == []
+
+
+def test_ordinary_browsing_passes_through(mitm_world, kernel, world):
+    from repro.netsim.http import HttpResponse, HttpServer
+
+    lan, victim = mitm_world["lan"], mitm_world["victim"]
+    site = HttpServer("news")
+    site.route("/", lambda r: HttpResponse(200, b"headline"))
+    lan.internet.register_site("news.example", site)
+    lan.browser_start(victim)
+    response = lan.http_get(victim, "http://news.example/")
+    assert response.body == b"headline"
+    assert mitm_world["mitm"].requests_passed_through >= 1
+
+
+def test_advisory_2718704_blocks_the_fake_update(mitm_world, world):
+    lan, victim = mitm_world["lan"], mitm_world["victim"]
+    victim.trust_store.mark_untrusted(world.licensing_ca_cert)
+    lan.browser_start(victim)
+    outcome = run_windows_update(victim, lan, mitm_world["registry"])
+    assert not outcome["installed"]
+    assert "untrusted" in outcome["reason"]
+    assert mitm_world["infected"] == []
+
+
+def test_mitm_remove_restores_network(mitm_world):
+    lan, victim, mitm = (mitm_world["lan"], mitm_world["victim"],
+                         mitm_world["mitm"])
+    mitm.remove()
+    config = lan.browser_start(victim)
+    assert config is None
+    outcome = run_windows_update(victim, lan, mitm_world["registry"])
+    assert outcome["signer"] == "Microsoft Windows Update Publisher"
+
+
+def test_forgery_fails_on_fixed_licensing_chain(world):
+    """Ablation: a sha256 licensing flow defeats GADGET entirely."""
+    with pytest.raises(ForgeryFailed):
+        build_forged_update(world, lambda h, p: None, UpdateRegistry(),
+                            licensing_algorithm="sha256")

@@ -1,0 +1,169 @@
+"""Flame end-to-end behaviours: collection loop, courier, suicide."""
+
+import pytest
+
+from repro.cnc import AttackCenter, CncServer
+from repro.malware.flame import Flame, FlameConfig
+from repro.malware.flame.suicide import forensic_residue
+from repro.netsim import Internet, Lan
+from repro.netsim.windowsupdate import UpdateRegistry
+from repro.usb import UsbDrive
+
+
+@pytest.fixture
+def flame_world(kernel, world, host_factory):
+    internet = Internet(kernel)
+    center = AttackCenter(kernel)
+    server = CncServer(kernel, "cnc-01", center.coordinator_public_key)
+    center.provision_server(server, internet, ["cnc-primary.com"])
+    lan = Lan(kernel, "ministry", internet=internet)
+    victim = host_factory("V-1", has_microphone=True)
+    lan.attach(victim)
+    victim.vfs.write("c:\\users\\u\\documents\\secret-report.docx", b"S" * 700)
+    victim.vfs.write("c:\\users\\u\\documents\\shopping.txt", b"s" * 50)
+    flame = Flame(kernel, world, default_domains=["cnc-primary.com"],
+                  update_registry=UpdateRegistry(),
+                  coordinator_public_key=center.coordinator_public_key,
+                  config=FlameConfig(enable_wu_mitm=False))
+    return {"center": center, "server": server, "lan": lan,
+            "victim": victim, "flame": flame}
+
+
+def test_install_drops_bare_bone_main_file(flame_world):
+    flame, victim = flame_world["flame"], flame_world["victim"]
+    flame.infect(victim, via="initial")
+    record = victim.vfs.get("c:\\windows\\system32\\mssecmgr.ocx", raw=True)
+    assert record.size == 900 * 1024
+    assert record.origin == "flame"
+
+
+def test_footprint_grows_to_20mb_after_cnc_contact(kernel, flame_world):
+    flame, victim = flame_world["flame"], flame_world["victim"]
+    flame.infect(victim, via="initial")
+    assert flame.footprint_bytes(victim) < 1024 * 1024
+    kernel.run_for(2 * 86400.0)
+    assert flame.footprint_bytes(victim) == pytest.approx(20 * 1024 * 1024,
+                                                          rel=0.01)
+
+
+def test_collection_uploads_metadata_and_sysinfo(kernel, flame_world):
+    flame, victim = flame_world["flame"], flame_world["victim"]
+    flame.infect(victim, via="initial")
+    kernel.run_for(3 * 86400.0)
+    assert flame.stats["entries_uploaded"] >= 2
+    assert flame_world["server"].bytes_received > 0
+
+
+def test_module_update_package_applied(kernel, flame_world):
+    from repro.malware.flame.scripts import JIMMY_V2_SOURCE
+
+    flame, victim = flame_world["flame"], flame_world["victim"]
+    flame.infect(victim, via="initial")
+    flame_world["center"].push_module_update("jimmy", JIMMY_V2_SOURCE)
+    kernel.run_for(86400.0)
+    assert flame.modules.versions()["jimmy"] == 2
+    assert flame.stats["updates_applied"] == 1
+
+
+def test_steal_files_command_round_trip(kernel, flame_world):
+    import json
+
+    flame, victim, center = (flame_world["flame"], flame_world["victim"],
+                             flame_world["center"])
+    flame.infect(victim, via="initial")
+    center.push_command(
+        "STEAL_FILES",
+        json.dumps(["c:\\users\\u\\documents\\secret-report.docx"]).encode(),
+        client_id="uid-v-1",
+    )
+    kernel.run_for(86400.0)
+    center.harvest()
+    center.coordinator_decrypt_backlog()
+    kinds = set()
+    for item in center.recovered_intelligence:
+        head = item["data"].split(b"\x00", 1)[0]
+        kinds.add(json.loads(head.decode())["kind"])
+    assert "files" in kinds
+
+
+def test_usb_courier_across_air_gap(kernel, world, host_factory, flame_world):
+    flame = flame_world["flame"]
+    # An air-gapped victim with juicy documents.
+    plant_lan = Lan(kernel, "plant", internet=None)
+    isolated = host_factory("ISOLATED")
+    plant_lan.attach(isolated)
+    isolated.vfs.write("c:\\users\\u\\documents\\secret-blueprints.dwg",
+                       b"B" * 900)
+    flame.infect(isolated, via="initial")
+    kernel.run_for(2 * 86400.0)  # collection ran; uploads impossible
+
+    # The stick first visits a connected machine, then the island.
+    connected = flame_world["victim"]
+    flame.infect(connected, via="initial")
+    stick = UsbDrive("courier")
+    connected.insert_usb(stick, open_in_explorer=False)
+    isolated.insert_usb(stick, open_in_explorer=False)
+    from repro.usb import HiddenDatabase
+
+    db = HiddenDatabase.load_or_create(stick)
+    assert db.documents(), "courier should have stored leaked docs"
+    # Back to the connected machine: flush to C&C.
+    connected.insert_usb(stick, open_in_explorer=False)
+    assert flame.stats["courier_documents"] > 0
+
+
+def test_usb_spread_weaponises_sticks(flame_world, host_factory):
+    flame, victim = flame_world["flame"], flame_world["victim"]
+    flame.infect(victim, via="initial")
+    stick = UsbDrive("innocent")
+    victim.insert_usb(stick, open_in_explorer=False)
+    assert stick.exists("autorun.inf")
+    next_victim = host_factory("NEXT", os_version="xp", autorun_enabled=True)
+    next_victim.insert_usb(stick, open_in_explorer=False)
+    assert next_victim.is_infected_by("flame")
+    assert "usb-autorun" in flame.infections_by_vector()
+
+
+def test_suicide_leaves_no_residue(kernel, flame_world):
+    flame, victim, center = (flame_world["flame"], flame_world["victim"],
+                             flame_world["center"])
+    flame.infect(victim, via="initial")
+    kernel.run_for(2 * 86400.0)
+    assert flame.footprint_bytes(victim) > 0
+    center.broadcast_suicide()
+    kernel.run_for(86400.0)
+    assert not victim.is_infected_by("flame")
+    assert forensic_residue(victim) == []
+    assert flame.active_infections() == []
+    # User documents survive: suicide only shreds Flame's own artefacts.
+    assert victim.vfs.exists("c:\\users\\u\\documents\\secret-report.docx")
+
+
+def test_evasion_suppresses_collection_under_scrutiny(kernel, flame_world):
+    flame, victim = flame_world["flame"], flame_world["victim"]
+    flame.infect(victim, via="initial")
+    state = flame._states["V-1"]
+    # Heavy AV noise referencing flame components raises the risk level.
+    for _ in range(5):
+        victim.event_log.warning("antivirus", "mssecmgr.ocx flagged")
+    before = flame.stats["entries_uploaded"]
+    kernel.run_for(2 * 86400.0)
+    assert state.adventcfg.suppressed_actions > 0
+
+
+def test_ablation_no_evasion_keeps_collecting(kernel, world, host_factory,
+                                              flame_world):
+    flame = Flame(kernel, world, default_domains=["cnc-primary.com"],
+                  coordinator_public_key=(
+                      flame_world["center"].coordinator_public_key),
+                  config=FlameConfig(enable_wu_mitm=False,
+                                     respect_evasion=False))
+    victim = host_factory("LOUD", has_microphone=True)
+    flame_world["lan"].attach(victim)
+    flame.infect(victim, via="initial")
+    for _ in range(5):
+        victim.event_log.warning("antivirus", "mssecmgr.ocx flagged")
+    kernel.run_for(2 * 86400.0)
+    state = flame._states["LOUD"]
+    assert state.adventcfg.suppressed_actions == 0
+    assert flame.stats["entries_uploaded"] > 0

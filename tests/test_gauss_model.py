@@ -1,0 +1,112 @@
+"""Gauss: banking theft and the configuration-locked Godel payload."""
+
+import pytest
+
+from repro.malware.gauss import Gauss, GaussConfig, derive_godel_key
+from repro.malware.gauss.gauss import GODEL_MAGIC, seal_godel_payload
+from repro.usb import UsbDrive
+
+
+def _banking_host(host_factory, name="BANK-PC", credentials=2):
+    host = host_factory(name, os_version="xp")
+    host.banking_credentials = [
+        {"bank": "BeirutBank", "user": "u%d" % i, "secret": "s%d" % i}
+        for i in range(credentials)
+    ]
+    return host
+
+
+def test_usb_spread(kernel, world, host_factory):
+    gauss = Gauss(kernel, world)
+    victim = _banking_host(host_factory)
+    victim.insert_usb(gauss.weaponize_drive(UsbDrive("stick")))
+    assert victim.is_infected_by("gauss")
+    assert gauss.infections_by_vector() == {"usb-lnk": 1}
+
+
+def test_infected_host_weaponises_sticks(kernel, world, host_factory):
+    gauss = Gauss(kernel, world)
+    a = _banking_host(host_factory, "A")
+    b = _banking_host(host_factory, "B")
+    a.insert_usb(gauss.weaponize_drive(UsbDrive("first")))
+    clean = UsbDrive("clean")
+    a.insert_usb(clean, open_in_explorer=False)
+    b.insert_usb(clean)
+    assert b.is_infected_by("gauss")
+
+
+def test_banking_credentials_stolen_incrementally(kernel, world, host_factory):
+    gauss = Gauss(kernel, world)
+    victim = _banking_host(host_factory, credentials=3)
+    gauss.infect(victim, via="initial")
+    kernel.run_for(2 * 86400.0)
+    assert gauss.total_credentials_stolen() == 3
+    # New credential appears; only the fresh one is added.
+    victim.banking_credentials.append({"bank": "X", "user": "new",
+                                       "secret": "n"})
+    kernel.run_for(86400.0)
+    assert gauss.total_credentials_stolen() == 4
+
+
+def test_godel_key_depends_on_configuration(host_factory):
+    plain = host_factory("PLAIN")
+    special = host_factory("SPECIAL")
+    special.installed_software.add("step7")
+    special.vfs.write("c:\\program files\\targetapp\\app.exe", b"")
+    assert derive_godel_key(plain) != derive_godel_key(special)
+    # Same configuration -> same key (the attacker can precompute it).
+    twin = host_factory("TWIN")
+    assert derive_godel_key(plain) == derive_godel_key(twin)
+
+
+def test_godel_payload_fires_only_on_target(kernel, world, host_factory):
+    target = host_factory("THE-TARGET")
+    target.installed_software.add("step7")
+    target.vfs.write("c:\\program files\\targetapp\\app.exe", b"")
+    warhead = seal_godel_payload(derive_godel_key(target),
+                                 b"destructive logic")
+    gauss = Gauss(kernel, world, GaussConfig(godel_ciphertext=warhead))
+
+    bystander = host_factory("BYSTANDER")
+    gauss.infect(bystander, via="initial")
+    assert gauss.godel_detonations == []
+
+    gauss.infect(target, via="initial")
+    assert gauss.godel_detonations == ["THE-TARGET"]
+    assert gauss.godel_attempts == 2
+    record = kernel.trace.first(actor="THE-TARGET",
+                                action="godel-payload-detonated")
+    assert record is not None
+
+
+def test_godel_ciphertext_reveals_nothing_off_target(host_factory):
+    target = host_factory("T")
+    target.installed_software.add("step7")
+    warhead = seal_godel_payload(derive_godel_key(target), b"secret body")
+    other = host_factory("O")
+    from repro.crypto.ciphers import xor_stream
+
+    wrong = xor_stream(warhead, derive_godel_key(other))
+    assert not wrong.startswith(GODEL_MAGIC)
+    assert b"secret body" not in wrong
+
+
+def test_no_godel_configured_is_inert(kernel, world, host_factory):
+    gauss = Gauss(kernel, world)
+    gauss.infect(host_factory("H"), via="initial")
+    assert gauss.godel_attempts == 0
+
+
+def test_trend_artifacts_from_live_instance(kernel, world, host_factory):
+    from repro.analysis.trends import gauss_artifacts
+
+    target = host_factory("T")
+    warhead = seal_godel_payload(derive_godel_key(target), b"x")
+    gauss = Gauss(kernel, world, GaussConfig(godel_ciphertext=warhead))
+    victim = _banking_host(host_factory, "V")
+    victim.insert_usb(gauss.weaponize_drive(UsbDrive("s")))
+    facts = gauss_artifacts(gauss)
+    scores = facts.scores()
+    assert facts.source == "measured"
+    assert scores["usb_spreading"] >= 2
+    assert scores["targeting"] >= 3  # cryptographic gating

@@ -1,0 +1,187 @@
+"""Lua-subset execution semantics."""
+
+import pytest
+
+from repro.luavm import LuaRuntimeError, LuaVM
+
+
+def run_and_get(source, name):
+    vm = LuaVM()
+    vm.run(source)
+    return vm.get_global(name)
+
+
+def test_arithmetic_and_precedence():
+    assert run_and_get("x = 2 + 3 * 4", "x") == 14
+    assert run_and_get("x = (2 + 3) * 4", "x") == 20
+    assert run_and_get("x = 10 % 3", "x") == 1
+    assert run_and_get("x = -2 * 3", "x") == -6
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(LuaRuntimeError):
+        LuaVM().run("x = 1 / 0")
+
+
+def test_comparison_and_logic():
+    assert run_and_get("x = 1 < 2 and 3 >= 3", "x") is True
+    assert run_and_get("x = nil or 'fallback'", "x") == "fallback"
+    assert run_and_get("x = false and error_never_evaluated", "x") is False
+    assert run_and_get("x = not nil", "x") is True
+
+
+def test_lua_truthiness_zero_is_true():
+    assert run_and_get("if 0 then x = 'zero-true' end", "x") == "zero-true"
+
+
+def test_string_concat_coerces_numbers():
+    assert run_and_get("x = 'v' .. 2", "x") == "v2"
+    assert run_and_get("x = 1.0 .. ''", "x") == "1"
+
+
+def test_length_operator():
+    assert run_and_get("x = #'hello'", "x") == 5
+    assert run_and_get("t = {1,2,3} x = #t", "x") == 3
+
+
+def test_local_scoping_and_closures():
+    source = """
+    local counter = 0
+    function bump() counter = counter + 1 return counter end
+    bump() bump()
+    result = bump()
+    """
+    assert run_and_get(source, "result") == 3
+
+
+def test_locals_shadow_globals():
+    source = """
+    x = 'global'
+    function f()
+      local x = 'local'
+      return x
+    end
+    y = f()
+    """
+    vm = LuaVM()
+    vm.run(source)
+    assert vm.get_global("x") == "global"
+    assert vm.get_global("y") == "local"
+
+
+def test_recursion():
+    vm = LuaVM()
+    vm.run("""
+    function fact(n)
+      if n <= 1 then return 1 end
+      return n * fact(n - 1)
+    end
+    """)
+    assert vm.call("fact", 10) == 3628800
+
+
+def test_while_and_break():
+    source = """
+    s = 0
+    local i = 0
+    while true do
+      i = i + 1
+      if i > 100 then break end
+      s = s + i
+    end
+    """
+    assert run_and_get(source, "s") == 5050
+
+
+def test_numeric_for_with_step():
+    assert run_and_get("s = 0 for i = 10, 1, -2 do s = s + i end", "s") == 30
+    with pytest.raises(LuaRuntimeError):
+        LuaVM().run("for i = 1, 2, 0 do end")
+
+
+def test_tables_mixed_keys():
+    source = """
+    t = { 10, 20, tag = 'x' }
+    t[3] = 30
+    t['other'] = true
+    a = t[1] + t[2] + t[3]
+    b = t.tag
+    """
+    vm = LuaVM()
+    vm.run(source)
+    assert vm.get_global("a") == 60
+    assert vm.get_global("b") == "x"
+
+
+def test_setting_nil_deletes_key():
+    source = "t = {1, 2} t[2] = nil n = #t"
+    assert run_and_get(source, "n") == 1
+
+
+def test_method_call_passes_self():
+    source = """
+    account = { balance = 100 }
+    function account.deposit(self, amount)
+      self.balance = self.balance + amount
+      return self.balance
+    end
+    result = account:deposit(50)
+    """
+    assert run_and_get(source, "result") == 150
+
+
+def test_float_and_int_table_keys_unify():
+    assert run_and_get("t = {} t[1] = 'a' x = t[1.0]", "x") == "a"
+
+
+def test_calling_nil_raises():
+    with pytest.raises(LuaRuntimeError):
+        LuaVM().run("undefined_function()")
+
+
+def test_indexing_nil_raises():
+    with pytest.raises(LuaRuntimeError):
+        LuaVM().run("x = ghost.field")
+
+
+def test_arithmetic_on_string_raises():
+    with pytest.raises(LuaRuntimeError):
+        LuaVM().run("x = 'a' + 1")
+
+
+def test_instruction_budget_stops_infinite_loops():
+    vm = LuaVM(instruction_budget=5_000)
+    with pytest.raises(LuaRuntimeError):
+        vm.run("while true do end")
+
+
+def test_host_bridge_round_trip():
+    vm = LuaVM()
+    received = []
+    vm.register("host_fn", lambda items: (received.append(items), len(items))[1])
+    vm.run("n = host_fn({ 'a', 'b', 'c' })")
+    assert received == [["a", "b", "c"]]
+    assert vm.get_global("n") == 3
+
+
+def test_host_bridge_dict_tables():
+    vm = LuaVM()
+    vm.register("get_config", lambda: {"interval": 30, "targets": ["x"]})
+    vm.run("cfg = get_config() i = cfg.interval t1 = cfg.targets[1]")
+    assert vm.get_global("i") == 30
+    assert vm.get_global("t1") == "x"
+
+
+def test_vm_call_undefined_raises():
+    with pytest.raises(LuaRuntimeError):
+        LuaVM().call("nothing")
+
+
+def test_do_block_scopes():
+    source = "do local hidden = 1 end x = hidden"
+    assert run_and_get(source, "x") is None
+
+
+def test_return_from_chunk():
+    vm = LuaVM()
+    assert vm.run("return 1 + 2") == 3

@@ -1,0 +1,126 @@
+"""Lua-subset lexing and parsing."""
+
+import pytest
+
+from repro.luavm import LuaSyntaxError
+from repro.luavm.lexer import tokenize
+from repro.luavm.parser import parse
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+def test_tokenize_names_keywords_numbers():
+    tokens = kinds("local x = 42")
+    assert tokens == [("keyword", "local"), ("name", "x"), ("op", "="),
+                      ("number", 42)]
+
+
+def test_tokenize_floats_and_concat():
+    tokens = kinds("1.5 .. 2")
+    assert tokens == [("number", 1.5), ("op", ".."), ("number", 2)]
+
+
+def test_numeric_range_followed_by_concat_disambiguates():
+    # "1..2" must lex as 1 .. 2, not a malformed float.
+    tokens = kinds('a = 1 .. 2')
+    assert ("op", "..") in tokens
+
+
+def test_tokenize_strings_with_escapes():
+    tokens = kinds("'a\\nb' \"c\\\"d\"")
+    assert tokens == [("string", "a\nb"), ("string", 'c"d')]
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LuaSyntaxError):
+        tokenize("'open")
+    with pytest.raises(LuaSyntaxError):
+        tokenize("'line\nbreak'")
+
+
+def test_comments_stripped():
+    tokens = kinds("x = 1 -- comment here\ny = 2")
+    values = [v for _, v in tokens]
+    assert "comment" not in values
+    assert values.count("=") == 2
+
+
+def test_multichar_operators():
+    tokens = kinds("a ~= b <= c >= d == e")
+    ops = [v for k, v in tokens if k == "op"]
+    assert ops == ["~=", "<=", ">=", "=="]
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LuaSyntaxError):
+        tokenize("x = @")
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("a\nb\nc")
+    assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+
+def test_parse_statements_shape():
+    block = parse("""
+    local a = 1
+    b = a + 2
+    if b > 2 then c = 1 elseif b < 0 then c = 2 else c = 3 end
+    while c > 0 do c = c - 1 end
+    for i = 1, 10, 2 do d = i end
+    """)
+    tags = [node[0] for node in block]
+    assert tags == ["local", "assign", "if", "while", "fornum"]
+
+
+def test_parse_function_forms():
+    block = parse("""
+    function top(a, b) return a end
+    local function helper() end
+    obj = {}
+    function obj.method(self) return 1 end
+    f = function(x) return x end
+    """)
+    assert block[0][0] == "function"
+    assert block[1][0] == "local_function"
+    assert block[3][0] == "function" and block[3][1] == ["obj", "method"]
+    assert block[4][2][0] == "function_expr"
+
+
+def test_parse_table_constructors():
+    block = parse('t = { 1, 2, name = "x", ["k"] = 9 }')
+    items = block[0][2][1]
+    assert len(items) == 4
+    assert items[0][0] is None           # positional
+    assert items[2][0] == ("string", "name")
+
+
+def test_parse_calls_and_methods():
+    block = parse("foo(1, 2) obj:method(3) table.insert(t, 1)")
+    assert block[0][1][0] == "call"
+    assert block[1][1][0] == "method"
+    assert block[2][1][0] == "call"
+
+
+def test_expression_alone_is_not_statement():
+    with pytest.raises(LuaSyntaxError):
+        parse("1 + 2")
+
+
+def test_invalid_assignment_target():
+    with pytest.raises(LuaSyntaxError):
+        parse("f() = 3")
+
+
+def test_missing_end_raises():
+    with pytest.raises(LuaSyntaxError):
+        parse("if x then y = 1")
+
+
+def test_concat_right_associative():
+    block = parse("x = 'a' .. 'b' .. 'c'")
+    expr = block[0][2]
+    assert expr[1] == ".."
+    assert expr[3][0] == "binop"  # right side nests

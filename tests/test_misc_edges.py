@@ -1,0 +1,111 @@
+"""Edge cases across modules that no single suite owns."""
+
+import pytest
+
+
+def test_periodic_task_jitter_stays_positive(kernel):
+    ticks = []
+    kernel.every(10.0, lambda: ticks.append(kernel.now), jitter=9.9)
+    kernel.run(until=200.0)
+    assert len(ticks) >= 10
+    deltas = [b - a for a, b in zip(ticks, ticks[1:])]
+    assert all(delta > 0 for delta in deltas)
+
+
+def test_pe_resource_language_round_trip():
+    from repro.pe import PeBuilder, parse_pe
+
+    builder = PeBuilder()
+    builder.add_resource("L1", b"x", language=0x0401)  # Arabic
+    pe = parse_pe(builder.build())
+    assert pe.resource("L1").language == 0x0401
+
+
+def test_resource_requires_name():
+    from repro.pe import Resource
+
+    with pytest.raises(ValueError):
+        Resource("", b"")
+
+
+def test_vfs_attributes_survive_overwrite(host):
+    record = host.vfs.write("c:\\keep.txt", b"1", hidden=True)
+    created = record.attributes.created
+    host.kernel.clock.advance_to(100.0)
+    updated = host.vfs.write("c:\\keep.txt", b"2")
+    assert updated.attributes.created == created
+    assert updated.attributes.modified == 100.0
+
+
+def test_flame_operator_console_ignores_garbage_entries():
+    from repro.malware.flame.operator import FlameOperatorConsole
+
+    class FakeCenter:
+        recovered_intelligence = [
+            {"data": b"\x00\x01binary-noise"},
+            {"data": b"{\"kind\": \"weird\"}"},
+        ]
+
+        def harvest(self):
+            return 0
+
+        def coordinator_decrypt_backlog(self):
+            return 0
+
+        def push_command(self, *a, **k):
+            raise AssertionError("nothing should be tasked")
+
+    console = FlameOperatorConsole(FakeCenter())
+    result = console.review_cycle()
+    assert result["clients_tasked"] == 0
+
+
+def test_trace_record_repr_and_event_repr(kernel):
+    record = kernel.trace.record("a", "act", "t", k=1)
+    assert "act" in repr(record)
+    event = kernel.call_later(5.0, lambda: None, "labelled")
+    assert "labelled" in repr(event)
+    event.cancel()
+    assert "cancelled" in repr(event)
+
+
+def test_host_config_defaults_are_hardened():
+    from repro.winsim import HostConfig
+
+    config = HostConfig()
+    assert config.enforce_driver_signatures
+    assert not config.autorun_enabled
+    assert not config.file_and_print_sharing
+
+
+def test_lan_ip_of_unattached_host_raises(kernel, host_factory):
+    from repro.netsim import Lan
+    from repro.netsim.network import NetworkError
+
+    lan = Lan(kernel, "l")
+    with pytest.raises(NetworkError):
+        lan.ip_of(host_factory("X"))
+
+
+def test_shamoon_wiper_name_pool_is_stable(kernel, world, host_factory):
+    """Two deployments with the same seed pick the same wiper names."""
+    from repro.malware.shamoon import Shamoon, ShamoonConfig, WIPER_NAME_POOL
+    from repro.netsim import Lan
+
+    names = []
+    for attempt in range(2):
+        from repro.sim import Kernel
+
+        k = Kernel(seed=77)
+        lan = Lan(k, "org")
+        host_cls = host_factory("H%d" % attempt).__class__
+        host = host_cls(k, "SAME-NAME", world.make_trust_store())
+        lan.attach(host)
+        sham = Shamoon(k, world, lan.domain_admin_credential,
+                       ShamoonConfig())
+        sham.infect(host, via="initial")
+        dropped = [f.name for f in host.vfs.list_dir(host.system_dir,
+                                                     raw=True)
+                   if f.name[:-4] in WIPER_NAME_POOL]
+        names.append(dropped)
+    assert names[0] == names[1]

@@ -1,0 +1,76 @@
+"""HTTP primitives and DNS (incl. sinkholing)."""
+
+from repro.netsim import DnsServer, HttpRequest, HttpResponse, HttpServer
+from repro.netsim.http import url_host, url_path
+
+
+def test_url_parsing():
+    assert url_host("http://a.com/x/y") == "a.com"
+    assert url_path("http://a.com/x/y") == "/x/y"
+    assert url_path("http://a.com") == "/"
+    assert url_host("a.com/z") == "a.com"
+
+
+def test_request_params_and_size():
+    request = HttpRequest("get", "http://h/p", params={"a": "1"}, body=b"xy")
+    assert request.method == "GET"
+    assert request.path == "/p"
+    assert request.size > 2
+
+
+def test_response_ok_and_helpers():
+    assert HttpResponse(200).ok
+    assert not HttpResponse.not_found().ok
+    assert HttpResponse.error().status == 500
+    assert HttpResponse(200, "text").body == b"text"
+
+
+def test_server_routes_and_404():
+    server = HttpServer("test")
+    server.route("/hello", lambda request: HttpResponse(200, b"hi"))
+    ok = server.handle(HttpRequest("GET", "http://x/hello"))
+    missing = server.handle(HttpRequest("GET", "http://x/nope"))
+    assert ok.body == b"hi"
+    assert missing.status == 404
+    assert server.requests_seen() == 2
+
+
+def test_server_prefix_routes():
+    server = HttpServer("test")
+    server.route("/api/", lambda request: HttpResponse(200, b"api"), prefix=True)
+    assert server.handle(HttpRequest("GET", "http://x/api/v1/thing")).ok
+
+
+def test_dns_register_resolve():
+    dns = DnsServer()
+    dns.register("Example.COM", "1.2.3.4")
+    assert dns.resolve("example.com") == "1.2.3.4"
+    assert dns.resolve("example.com.") == "1.2.3.4"
+    assert dns.resolve("other.com") is None
+
+
+def test_dns_unregister():
+    dns = DnsServer()
+    dns.register("a.com", "1.1.1.1")
+    assert dns.unregister("a.com")
+    assert not dns.unregister("a.com")
+    assert dns.resolve("a.com") is None
+
+
+def test_dns_sinkhole_redirects_resolution():
+    dns = DnsServer()
+    dns.register("cnc.evil", "6.6.6.6")
+    assert dns.sinkhole("cnc.evil")
+    assert dns.is_sinkholed("cnc.evil")
+    assert dns.resolve("cnc.evil") == "sinkhole.research.net"
+    # Sinkholing an unknown name reports failure.
+    assert not dns.sinkhole("never-registered.com")
+
+
+def test_dns_query_log():
+    dns = DnsServer()
+    dns.register("a.com", "1.1.1.1")
+    dns.resolve("a.com", client="victim-1")
+    dns.resolve("a.com", client="victim-2")
+    assert len(dns.queries_for("a.com")) == 2
+    assert dns.registered_names() == ["a.com"]

@@ -1,0 +1,144 @@
+"""LAN/Internet integration: attachment, HTTP routing, WPAD, probes."""
+
+import pytest
+
+from repro.netsim import HttpResponse, HttpServer, Internet, Lan, NoRouteError
+from repro.netsim.wpad import WpadConfig
+
+
+@pytest.fixture
+def net(kernel):
+    return Internet(kernel)
+
+
+def _site(internet, domain, body=b"ok"):
+    server = HttpServer(domain)
+    server.route("/", lambda request: HttpResponse(200, body))
+    internet.register_site(domain, server)
+    return server
+
+
+def test_attach_assigns_addresses(kernel, net, host_factory):
+    lan = Lan(kernel, "office", internet=net)
+    a = host_factory("A")
+    b = host_factory("B")
+    ip_a = lan.attach(a)
+    ip_b = lan.attach(b)
+    assert ip_a != ip_b
+    assert lan.host_by_ip(ip_a) is a
+    assert lan.host_by_name("a") is a
+    assert lan.ip_of(b) == ip_b
+    assert lan.hosts() == [a, b]
+
+
+def test_attach_duplicate_ip_rejected(kernel, net, host_factory):
+    lan = Lan(kernel, "office", internet=net)
+    lan.attach(host_factory("A"), ip="10.0.0.5")
+    with pytest.raises(Exception):
+        lan.attach(host_factory("B"), ip="10.0.0.5")
+
+
+def test_detach(kernel, net, host_factory):
+    lan = Lan(kernel, "office", internet=net)
+    a = host_factory("A")
+    lan.attach(a)
+    assert lan.detach(a)
+    assert a.nic is None
+    assert not lan.detach(a)
+
+
+def test_http_through_internet(kernel, net, host_factory):
+    _site(net, "example.com", b"hello world")
+    lan = Lan(kernel, "office", internet=net)
+    client = host_factory("C")
+    lan.attach(client)
+    response = lan.http_get(client, "http://example.com/")
+    assert response.body == b"hello world"
+    assert len(net.capture.by_protocol("http")) == 2  # request + response
+
+
+def test_air_gapped_lan_cannot_reach_internet(kernel, net, host_factory):
+    _site(net, "example.com")
+    lan = Lan(kernel, "plant", internet=None)
+    client = host_factory("C")
+    lan.attach(client)
+    assert lan.air_gapped
+    with pytest.raises(NoRouteError):
+        lan.http_get(client, "http://example.com/")
+
+
+def test_nxdomain_raises(kernel, net, host_factory):
+    lan = Lan(kernel, "office", internet=net)
+    client = host_factory("C")
+    lan.attach(client)
+    with pytest.raises(NoRouteError):
+        lan.http_get(client, "http://ghost.example/")
+
+
+def test_connectivity_probe(kernel, net, host_factory):
+    lan = Lan(kernel, "office", internet=net)
+    client = host_factory("C")
+    lan.attach(client)
+    assert not lan.has_internet_access(client)  # probe targets absent
+    _site(net, "www.windowsupdate.com")
+    assert lan.has_internet_access(client)
+
+
+def test_netbios_broadcast_first_claimant_wins(kernel, net, host_factory):
+    lan = Lan(kernel, "office", internet=net)
+    a, b, c = host_factory("A"), host_factory("B"), host_factory("C")
+    for h in (a, b, c):
+        lan.attach(h)
+    b.netbios_claims["wpad"] = lambda client: "b-answer"
+    c.netbios_claims["wpad"] = lambda client: "c-answer"
+    responder, value = lan.netbios_broadcast(a, "wpad")
+    assert responder is b  # address order
+    assert value == "b-answer"
+
+
+def test_netbios_no_claimant(kernel, net, host_factory):
+    lan = Lan(kernel, "office", internet=net)
+    a = host_factory("A")
+    lan.attach(a)
+    assert lan.netbios_broadcast(a, "wpad") == (None, None)
+
+
+def test_browser_start_caches_proxy_config(kernel, net, host_factory):
+    lan = Lan(kernel, "office", internet=net)
+    victim, proxy = host_factory("V"), host_factory("P")
+    lan.attach(victim)
+    lan.attach(proxy)
+    proxy.netbios_claims["wpad"] = lambda client: WpadConfig("P", "P")
+    config = lan.browser_start(victim)
+    assert config.proxy_hostname == "P"
+    assert victim.proxy_config is config
+
+
+def test_proxy_intercepts_and_passes_through(kernel, net, host_factory):
+    _site(net, "example.com", b"direct")
+    lan = Lan(kernel, "office", internet=net)
+    victim, proxy = host_factory("V"), host_factory("P")
+    lan.attach(victim)
+    lan.attach(proxy)
+
+    class Interceptor:
+        def handle(self, request):
+            if "secret" in request.url:
+                return HttpResponse(200, b"intercepted")
+            return None
+
+    proxy.proxy_service = Interceptor()
+    proxy.netbios_claims["wpad"] = lambda client: WpadConfig("P", "P")
+    lan.browser_start(victim)
+    assert lan.http_get(victim, "http://example.com/secret").body == b"intercepted"
+    assert lan.http_get(victim, "http://example.com/").body == b"direct"
+
+
+def test_internet_domain_aliasing(kernel, net):
+    server = HttpServer("multi")
+    server.route("/", lambda request: HttpResponse(200, b"one server"))
+    address = net.register_site("a.com", server)
+    net.register_site("b.com", server, address=address)
+    assert net.dns.resolve("a.com") == net.dns.resolve("b.com")
+    assert net.site_count() == 1
+    assert net.reachable("b.com")

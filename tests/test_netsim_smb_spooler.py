@@ -1,0 +1,128 @@
+"""SMB share access, psexec, and the print-spooler exploit."""
+
+import pytest
+
+from repro.netsim import (
+    Internet,
+    Lan,
+    SmbError,
+    send_crafted_print_request,
+    smb_accessible,
+    smb_copy_and_execute,
+    smb_list_shares,
+)
+from repro.netsim.smb import smb_copy_file, smb_read_file
+from repro.netsim.spooler import MOF_TRIGGER_DELAY
+from repro.winsim import IntegrityLevel
+
+
+@pytest.fixture
+def lan_pair(kernel, host_factory):
+    lan = Lan(kernel, "corp", internet=Internet(kernel))
+    src = host_factory("SRC", file_and_print_sharing=True)
+    dst = host_factory("DST", file_and_print_sharing=True)
+    lan.attach(src)
+    lan.attach(dst)
+    return lan, src, dst
+
+
+def test_access_probe_with_domain_credential(lan_pair):
+    lan, src, dst = lan_pair
+    assert smb_accessible(lan, src, dst, lan.domain_admin_credential)
+
+
+def test_access_denied_with_bad_credential(lan_pair):
+    lan, src, dst = lan_pair
+    assert not smb_accessible(lan, src, dst, "guessed-password")
+
+
+def test_access_denied_when_sharing_off(kernel, host_factory):
+    lan = Lan(kernel, "corp")
+    src = host_factory("S", file_and_print_sharing=True)
+    dst = host_factory("D", file_and_print_sharing=False)
+    lan.attach(src)
+    lan.attach(dst)
+    assert not smb_accessible(lan, src, dst, lan.domain_admin_credential)
+
+
+def test_off_lan_target_raises(kernel, host_factory, lan_pair):
+    lan, src, _ = lan_pair
+    stranger = host_factory("STRANGER")
+    with pytest.raises(SmbError):
+        smb_accessible(lan, src, stranger, lan.domain_admin_credential)
+
+
+def test_list_shares(lan_pair):
+    lan, src, dst = lan_pair
+    dst.share_folder("docs", "c:\\shared\\docs")
+    assert smb_list_shares(lan, src, dst, lan.domain_admin_credential) == ["docs"]
+    with pytest.raises(SmbError):
+        smb_list_shares(lan, src, dst, "bad-cred")
+
+
+def test_copy_and_read_file(lan_pair):
+    lan, src, dst = lan_pair
+    cred = lan.domain_admin_credential
+    smb_copy_file(lan, src, dst, cred, b"payload", "c:\\dropped.bin")
+    assert smb_read_file(lan, src, dst, cred, "c:\\dropped.bin") == b"payload"
+    with pytest.raises(SmbError):
+        smb_read_file(lan, src, dst, cred, "c:\\missing.bin")
+
+
+def test_psexec_runs_at_admin_integrity(lan_pair):
+    lan, src, dst = lan_pair
+    integrities = []
+    process = smb_copy_and_execute(
+        lan, src, dst, lan.domain_admin_credential, b"exe bytes",
+        "c:\\windows\\system32\\trksvr.exe",
+        payload=lambda h, p: integrities.append((h.hostname, p.integrity)),
+    )
+    assert integrities == [("DST", IntegrityLevel.ADMIN)]
+    assert process.name == "trksvr.exe"
+
+
+def test_spooler_exploit_drops_and_fires(kernel, lan_pair):
+    lan, src, dst = lan_pair
+    fired = []
+    documents = [
+        ("sysnullevnt.mof", b"mof", None),
+        ("winsta.exe", b"dropper", lambda h, p: fired.append(p.integrity)),
+    ]
+    assert send_crafted_print_request(lan, src, dst, documents)
+    assert dst.vfs.exists("c:\\windows\\system32\\winsta.exe")
+    assert dst.vfs.exists("c:\\windows\\system32\\sysnullevnt.mof")
+    assert fired == []  # not yet: the MOF machinery is lazy
+    kernel.run_for(MOF_TRIGGER_DELAY + 1)
+    assert fired == [IntegrityLevel.SYSTEM]
+
+
+def test_spooler_patched_host_rejects(kernel, lan_pair):
+    lan, src, dst = lan_pair
+    dst.patches.apply("MS10-061")
+    documents = [("sysnullevnt.mof", b"m", None), ("winsta.exe", b"d", None)]
+    assert not send_crafted_print_request(lan, src, dst, documents)
+    assert not dst.vfs.exists("c:\\windows\\system32\\winsta.exe")
+    assert dst.event_log.entries(source="print-spooler")
+
+
+def test_spooler_requires_sharing(kernel, host_factory):
+    lan = Lan(kernel, "corp")
+    src = host_factory("S", file_and_print_sharing=True)
+    dst = host_factory("D", file_and_print_sharing=False)
+    lan.attach(src)
+    lan.attach(dst)
+    assert not send_crafted_print_request(
+        lan, src, dst, [("a.mof", b"", None), ("b.exe", b"", None)])
+
+
+def test_spooler_deleted_dropper_does_not_fire(kernel, lan_pair):
+    lan, src, dst = lan_pair
+    fired = []
+    documents = [
+        ("sysnullevnt.mof", b"m", None),
+        ("winsta.exe", b"d", lambda h, p: fired.append(1)),
+    ]
+    send_crafted_print_request(lan, src, dst, documents)
+    dst.vfs.delete("c:\\windows\\system32\\winsta.exe")
+    kernel.run_for(MOF_TRIGGER_DELAY + 1)
+    assert fired == []

@@ -1,0 +1,98 @@
+"""Windows Update: genuine flow and its policy checks."""
+
+import pytest
+
+from repro.netsim import (
+    Internet,
+    Lan,
+    WindowsUpdateService,
+    run_windows_update,
+)
+from repro.netsim.windowsupdate import UpdateRegistry
+
+
+@pytest.fixture
+def updating_world(kernel, world, host_factory):
+    internet = Internet(kernel)
+    service = WindowsUpdateService(world, internet)
+    lan = Lan(kernel, "office", internet=internet)
+    host = host_factory("PC-1")
+    lan.attach(host)
+    return {"lan": lan, "host": host, "service": service,
+            "registry": UpdateRegistry()}
+
+
+def test_genuine_update_installs(updating_world):
+    outcome = run_windows_update(updating_world["host"],
+                                 updating_world["lan"],
+                                 updating_world["registry"])
+    assert outcome["installed"]
+    assert outcome["verified"]
+    assert outcome["signer"] == "Microsoft Windows Update Publisher"
+
+
+def test_update_disabled_host_skips(updating_world, host_factory):
+    host = host_factory("PC-2", auto_update_enabled=False)
+    updating_world["lan"].attach(host)
+    outcome = run_windows_update(host, updating_world["lan"])
+    assert not outcome["installed"]
+    assert "disabled" in outcome["reason"]
+
+
+def test_air_gapped_host_cannot_update(kernel, host_factory, updating_world):
+    lan = Lan(kernel, "plant", internet=None)
+    host = host_factory("PLANT-PC")
+    lan.attach(host)
+    outcome = run_windows_update(host, lan)
+    assert not outcome["installed"]
+    assert "unreachable" in outcome["reason"]
+
+
+def test_update_registry_attaches_payload(updating_world):
+    service = updating_world["service"]
+    seen = []
+    updating_world["registry"].register(service.genuine_image,
+                                        lambda h, p: seen.append(h.hostname))
+    outcome = run_windows_update(updating_world["host"],
+                                 updating_world["lan"],
+                                 updating_world["registry"])
+    assert outcome["installed"]
+    assert seen == ["PC-1"]
+
+
+def test_unsigned_update_rejected(kernel, world, host_factory):
+    """A tampered update server serving unsigned binaries is refused."""
+    from repro.netsim.http import HttpResponse, HttpServer
+    from repro.netsim.windowsupdate import UPDATE_PATH, WINDOWS_UPDATE_DOMAIN
+    from repro.pe import PeBuilder
+
+    internet = Internet(kernel)
+    rogue = HttpServer("rogue-wu")
+    builder = PeBuilder()
+    builder.add_code_section(b"malicious unsigned update")
+    image = builder.build()
+    rogue.route(UPDATE_PATH, lambda request: HttpResponse(200, image))
+    internet.register_site(WINDOWS_UPDATE_DOMAIN, rogue)
+    lan = Lan(kernel, "office", internet=internet)
+    host = host_factory("PC-3")
+    lan.attach(host)
+    outcome = run_windows_update(host, lan)
+    assert not outcome["installed"]
+    assert "unsigned" in outcome["reason"]
+    assert host.event_log.entries(source="windows-update", severity="warning")
+
+
+def test_garbage_update_rejected(kernel, world, host_factory):
+    from repro.netsim.http import HttpResponse, HttpServer
+    from repro.netsim.windowsupdate import UPDATE_PATH, WINDOWS_UPDATE_DOMAIN
+
+    internet = Internet(kernel)
+    rogue = HttpServer("rogue-wu")
+    rogue.route(UPDATE_PATH, lambda request: HttpResponse(200, b"garbage"))
+    internet.register_site(WINDOWS_UPDATE_DOMAIN, rogue)
+    lan = Lan(kernel, "office", internet=internet)
+    host = host_factory("PC-4")
+    lan.attach(host)
+    outcome = run_windows_update(host, lan)
+    assert not outcome["installed"]
+    assert "unparseable" in outcome["reason"]

@@ -1,0 +1,54 @@
+"""WPAD discovery: DNS path, NetBIOS fallback, and absence."""
+
+import pytest
+
+from repro.netsim import Internet, Lan
+from repro.netsim.wpad import WpadConfig, discover_proxy
+
+
+@pytest.fixture
+def lan(kernel):
+    return Lan(kernel, "office", internet=Internet(kernel))
+
+
+def test_no_wpad_anywhere_returns_none(lan, host_factory):
+    client = host_factory("C")
+    lan.attach(client)
+    assert discover_proxy(lan, client) is None
+
+
+def test_netbios_fallback_serves_config(lan, host_factory):
+    client, squatter = host_factory("C"), host_factory("SQUAT")
+    lan.attach(client)
+    lan.attach(squatter)
+    squatter.netbios_claims["wpad"] = lambda c: WpadConfig("SQUAT", "SQUAT")
+    config = discover_proxy(lan, client)
+    assert config.proxy_hostname == "SQUAT"
+    assert config.served_by == "SQUAT"
+
+
+def test_enterprise_dns_record_wins_over_netbios(lan, host_factory):
+    client, legit, squatter = (host_factory("C"), host_factory("PROXY"),
+                               host_factory("SQUAT"))
+    for host in (client, legit, squatter):
+        lan.attach(host)
+    # The enterprise registered a real wpad record: NetBIOS never asked.
+    lan.local_dns.register("wpad", lan.ip_of(legit))
+    legit.netbios_claims["wpad"] = lambda c: WpadConfig("PROXY", "dns+host")
+    squatter.netbios_claims["wpad"] = lambda c: WpadConfig("SQUAT", "SQUAT")
+    config = discover_proxy(lan, client)
+    assert config.proxy_hostname == "PROXY"
+
+
+def test_dns_record_to_plain_address(lan, host_factory):
+    client = host_factory("C")
+    lan.attach(client)
+    lan.local_dns.register("wpad", "10.9.9.9")  # off-LAN proxy appliance
+    config = discover_proxy(lan, client)
+    assert config.proxy_hostname == "10.9.9.9"
+    assert config.served_by == "dns"
+
+
+def test_wpad_config_repr():
+    config = WpadConfig("P", "S")
+    assert "P" in repr(config)

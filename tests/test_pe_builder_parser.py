@@ -1,0 +1,122 @@
+"""Synthetic PE format: build/parse round trips and policy surface."""
+
+import pytest
+
+from repro.pe import (
+    MACHINE_AMD64,
+    MACHINE_I386,
+    PeBuilder,
+    PeFormatError,
+    machine_name,
+    parse_pe,
+)
+
+
+def _basic_builder():
+    builder = PeBuilder(machine=MACHINE_I386, timestamp=1234, subsystem=2)
+    builder.add_code_section(b"some code bytes")
+    builder.add_section(".data", b"initialised data")
+    builder.add_import("kernel32.dll", ["CreateFileA", "WriteFile"])
+    builder.add_resource("CONFIG", b"plain resource")
+    builder.add_encrypted_resource("PKCS7", b"hidden component", b"\xba")
+    return builder
+
+
+def test_round_trip_preserves_structure():
+    image = _basic_builder().build()
+    pe = parse_pe(image)
+    assert pe.machine == MACHINE_I386
+    assert pe.machine_label == "x86"
+    assert pe.timestamp == 1234
+    assert [s.name for s in pe.sections] == [".text", ".data", ".rsrc", ".idata"]
+    assert pe.section(".data").data == b"initialised data"
+    assert pe.imported_functions() == ["kernel32.dll!CreateFileA",
+                                       "kernel32.dll!WriteFile"]
+
+
+def test_resources_round_trip_and_decrypt():
+    pe = parse_pe(_basic_builder().build())
+    assert pe.resource("CONFIG").decrypt() == b"plain resource"
+    encrypted = pe.resource("PKCS7")
+    assert encrypted.encrypted
+    assert encrypted.data != b"hidden component"
+    assert encrypted.decrypt() == b"hidden component"
+    assert [r.name for r in pe.encrypted_resources()] == ["PKCS7"]
+
+
+def test_x64_machine():
+    builder = PeBuilder(machine=MACHINE_AMD64)
+    builder.add_code_section(b"x64 code")
+    pe = parse_pe(builder.build())
+    assert pe.machine_label == "x64"
+
+
+def test_target_size_padding_exact():
+    image = _basic_builder().build(target_size=64 * 1024)
+    assert len(image) == 64 * 1024
+    pe = parse_pe(image)
+    assert pe.section(".pad").size > 0
+
+
+def test_target_size_too_small_rejected():
+    with pytest.raises(PeFormatError):
+        _basic_builder().build(target_size=64)
+
+
+def test_unsigned_image_has_no_signature():
+    pe = parse_pe(_basic_builder().build())
+    assert not pe.is_signed
+    assert pe.signature_blob is None
+
+
+def test_signature_blob_round_trip():
+    builder = _basic_builder()
+    builder.set_signature_blob(b"opaque signature bytes")
+    image = builder.build()
+    pe = parse_pe(image)
+    assert pe.is_signed
+    assert pe.signature_blob == b"opaque signature bytes"
+    assert pe.signed_span < len(image)
+
+
+def test_duplicate_section_rejected():
+    builder = PeBuilder()
+    builder.add_section(".a", b"1")
+    with pytest.raises(PeFormatError):
+        builder.add_section(".a", b"2")
+
+
+def test_overlong_section_name_rejected():
+    with pytest.raises(PeFormatError):
+        PeBuilder().add_section(".waytoolongname", b"")
+
+
+def test_unknown_machine_rejected():
+    with pytest.raises(PeFormatError):
+        PeBuilder(machine=0x1234)
+
+
+def test_parse_garbage_raises():
+    with pytest.raises(PeFormatError):
+        parse_pe(b"not a pe at all")
+    with pytest.raises(PeFormatError):
+        parse_pe(b"MZ" + b"\x00" * 10)  # truncated
+
+
+def test_parse_truncated_section_raises():
+    image = bytearray(_basic_builder().build())
+    truncated = bytes(image[: len(image) // 2])
+    with pytest.raises(PeFormatError):
+        parse_pe(truncated)
+
+
+def test_missing_section_and_resource_lookups():
+    pe = parse_pe(_basic_builder().build())
+    with pytest.raises(KeyError):
+        pe.section(".nope")
+    with pytest.raises(KeyError):
+        pe.resource("NOPE")
+
+
+def test_machine_name_unknown():
+    assert "unknown" in machine_name(0x9999)

@@ -1,0 +1,75 @@
+"""Property-based tests: C&C database and domain pool invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cnc import DomainPool, MiniDatabase
+from repro.sim import DeterministicRandom
+
+_name = st.text(alphabet="abcdef", min_size=1, max_size=6)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=st.lists(st.tuples(_name, st.integers(min_value=0, max_value=5)),
+                     max_size=20))
+def test_db_count_matches_inserts(rows):
+    db = MiniDatabase()
+    for name, value in rows:
+        db.insert("t", name=name, value=value)
+    assert db.count("t") == len(rows)
+    for name, value in rows:
+        matches = db.select("t", name=name, value=value)
+        assert any(r["name"] == name and r["value"] == value
+                   for r in matches)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=st.lists(st.integers(min_value=0, max_value=3), max_size=20),
+       doomed=st.integers(min_value=0, max_value=3))
+def test_db_delete_partitions_rows(rows, doomed):
+    db = MiniDatabase()
+    for value in rows:
+        db.insert("t", value=value)
+    removed = db.delete("t", value=doomed)
+    assert removed == rows.count(doomed)
+    assert db.count("t") == len(rows) - removed
+    assert all(r["value"] != doomed for r in db.select("t"))
+
+
+@settings(max_examples=50, deadline=None)
+@given(updates=st.lists(st.tuples(_name, st.integers()), min_size=1,
+                        max_size=10))
+def test_db_update_is_visible(updates):
+    db = MiniDatabase()
+    db.insert("t", key="fixed", value=None)
+    for _, value in updates:
+        db.update("t", {"key": "fixed"}, {"value": value})
+    assert db.select_one("t", key="fixed")["value"] == updates[-1][1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(count=st.integers(min_value=1, max_value=120),
+       servers=st.integers(min_value=1, max_value=30),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_domain_pool_invariants(count, servers, seed):
+    pool = DomainPool(DeterministicRandom(seed))
+    ips = ["ip-%03d" % i for i in range(servers)]
+    pool.register_many(count, ips)
+    assert len(pool) == count
+    assert len(set(pool.domains())) == count          # all names unique
+    assert set(pool.server_ips()) <= set(ips)
+    # Partition: each domain belongs to exactly one server's list.
+    total = sum(len(pool.domains_for_server(ip)) for ip in ips)
+    assert total == count
+    # Histogram sums to the pool size.
+    assert sum(pool.country_histogram().values()) == count
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_domain_pool_deterministic_per_seed(seed):
+    a = DomainPool(DeterministicRandom(seed))
+    b = DomainPool(DeterministicRandom(seed))
+    a.register_many(30, ["x", "y"])
+    b.register_many(30, ["x", "y"])
+    assert a.domains() == b.domains()
+    assert a.country_histogram() == b.country_histogram()

@@ -1,0 +1,72 @@
+"""Property-based tests: crypto invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import (
+    Rc4Cipher,
+    SealedBlob,
+    forge_collision_block,
+    generate_keypair,
+    seal,
+    unseal,
+    weak_digest,
+    xor_decrypt,
+    xor_encrypt,
+)
+from repro.crypto.ciphers import xor_stream
+
+#: One session-wide key pair: RSA generation dominates test time.
+_KEYPAIR = generate_keypair("property-tests")
+
+
+@given(data=st.binary(max_size=2048),
+       key=st.binary(min_size=1, max_size=64))
+def test_xor_round_trip(data, key):
+    assert xor_decrypt(xor_encrypt(data, key), key) == data
+
+
+@given(data=st.binary(max_size=4096),
+       key=st.binary(min_size=1, max_size=64))
+def test_xor_stream_equals_reference(data, key):
+    assert xor_stream(data, key) == xor_encrypt(data, key)
+
+
+@given(data=st.binary(max_size=2048),
+       key=st.binary(min_size=1, max_size=64))
+def test_rc4_round_trip(data, key):
+    assert Rc4Cipher.decrypt(key, Rc4Cipher.encrypt(key, data)) == data
+
+
+@given(data=st.binary(max_size=1024))
+def test_weak_digest_deterministic_and_sized(data):
+    assert weak_digest(data) == weak_digest(data)
+    assert len(weak_digest(data)) == 16
+
+
+@given(prefix_blocks=st.integers(min_value=0, max_value=8),
+       prefix_fill=st.binary(min_size=16, max_size=16),
+       target_source=st.binary(max_size=256))
+def test_forged_collision_always_lands(prefix_blocks, prefix_fill,
+                                       target_source):
+    prefix = prefix_fill * prefix_blocks
+    target = weak_digest(target_source)
+    block = forge_collision_block(prefix, target)
+    assert weak_digest(prefix + block) == target
+
+
+@settings(max_examples=25, deadline=None)
+@given(message=st.binary(min_size=1, max_size=512))
+def test_rsa_sign_verify_property(message):
+    signature = _KEYPAIR.sign(message)
+    assert _KEYPAIR.public.verify(message, signature)
+    assert not _KEYPAIR.public.verify(message + b"x", signature)
+
+
+@settings(max_examples=25, deadline=None)
+@given(payload=st.binary(max_size=4096),
+       nonce=st.binary(max_size=16))
+def test_sealed_blob_round_trip_property(payload, nonce):
+    blob = seal(_KEYPAIR.public, payload, nonce=nonce)
+    assert unseal(_KEYPAIR, blob) == payload
+    wire = blob.to_bytes()
+    assert unseal(_KEYPAIR, SealedBlob.from_bytes(wire)) == payload

@@ -1,0 +1,80 @@
+"""Property-based tests: the Lua VM agrees with Python semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.luavm import LuaVM
+
+_small_int = st.integers(min_value=-1000, max_value=1000)
+
+
+@settings(max_examples=60, deadline=None)
+@given(a=_small_int, b=_small_int, c=_small_int)
+def test_arithmetic_matches_python(a, b, c):
+    vm = LuaVM()
+    vm.run("x = %d + %d * %d - (%d - %d)" % (a, b, c, c, a))
+    assert vm.get_global("x") == a + b * c - (c - a)
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_small_int, b=st.integers(min_value=1, max_value=500))
+def test_modulo_matches_python(a, b):
+    vm = LuaVM()
+    vm.run("x = %d %% %d" % (a, b))
+    assert vm.get_global("x") == a % b
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(_small_int, max_size=20))
+def test_table_insert_then_sum_loop(values):
+    vm = LuaVM()
+    vm.run("""
+    items = {}
+    function add(v) table.insert(items, v) end
+    function total()
+      local s = 0
+      for i = 1, #items do s = s + items[i] end
+      return s
+    end
+    """)
+    for value in values:
+        vm.call("add", value)
+    assert vm.call("total") == sum(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(start=st.integers(min_value=-50, max_value=50),
+       stop=st.integers(min_value=-50, max_value=50),
+       step=st.integers(min_value=1, max_value=7))
+def test_numeric_for_matches_range(start, stop, step):
+    vm = LuaVM()
+    vm.run("n = 0 for i = %d, %d, %d do n = n + 1 end" % (start, stop, step))
+    expected = len(range(start, stop + 1, step))
+    assert vm.get_global("n") == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(text=st.text(alphabet=st.characters(min_codepoint=32,
+                                           max_codepoint=126,
+                                           blacklist_characters="'\\"),
+                    max_size=40))
+def test_string_round_trip_through_vm(text):
+    vm = LuaVM()
+    vm.register("echo", lambda s: s)
+    vm.run("out = echo('%s')" % text)
+    assert vm.get_global("out") == text
+    vm.run("n = string.len('%s')" % text)
+    assert vm.get_global("n") == len(text)
+
+
+@settings(max_examples=30, deadline=None)
+@given(items=st.lists(st.text(alphabet="abc", min_size=1, max_size=4),
+                      max_size=10))
+def test_host_bridge_list_round_trip(items):
+    vm = LuaVM()
+    vm.register("provide", lambda: list(items))
+    vm.run("""
+    got = provide()
+    count = #got
+    """)
+    assert vm.get_global("count") == len(items)
+    assert vm.get_global("got") == (list(items) if items else {}) or items == []

@@ -1,0 +1,75 @@
+"""Property-based tests: PE build/parse round trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pe import MACHINE_AMD64, MACHINE_I386, PeBuilder, parse_pe
+
+_section_names = st.text(
+    alphabet=st.sampled_from("abcdefgh."), min_size=1, max_size=8,
+)
+_resource_names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1, max_size=12,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    machine=st.sampled_from([MACHINE_I386, MACHINE_AMD64]),
+    timestamp=st.integers(min_value=0, max_value=2**32 - 1),
+    sections=st.lists(
+        st.tuples(_section_names, st.binary(max_size=512)),
+        max_size=4, unique_by=lambda item: item[0],
+    ),
+    resources=st.lists(
+        st.tuples(_resource_names, st.binary(max_size=256),
+                  st.one_of(st.none(), st.binary(min_size=1, max_size=4))),
+        max_size=4,
+    ),
+)
+def test_round_trip_preserves_everything(machine, timestamp, sections,
+                                         resources):
+    builder = PeBuilder(machine=machine, timestamp=timestamp)
+    for name, data in sections:
+        if name in (".rsrc", ".idata", ".pad"):
+            continue
+        builder.add_section(name, data)
+    for name, plaintext, key in resources:
+        if key is None:
+            builder.add_resource(name, plaintext)
+        else:
+            builder.add_encrypted_resource(name, plaintext, key)
+    image = builder.build()
+    pe = parse_pe(image)
+    assert pe.machine == machine
+    assert pe.timestamp == timestamp
+    for name, data in sections:
+        if name in (".rsrc", ".idata", ".pad"):
+            continue
+        assert pe.section(name).data == data
+    parsed_names = [r.name for r in pe.resources]
+    assert parsed_names == [name for name, _, _ in resources]
+    for name, plaintext, key in resources:
+        matches = [r for r in pe.resources if r.name == name]
+        assert any(r.decrypt() == plaintext for r in matches)
+
+
+@settings(max_examples=30, deadline=None)
+@given(target_kib=st.integers(min_value=4, max_value=256))
+def test_target_size_always_exact(target_kib):
+    builder = PeBuilder()
+    builder.add_code_section(b"x")
+    image = builder.build(target_size=target_kib * 1024)
+    assert len(image) == target_kib * 1024
+    parse_pe(image)  # still well-formed
+
+
+@settings(max_examples=60, deadline=None)
+@given(noise=st.binary(max_size=256))
+def test_parser_never_hangs_or_crashes_weirdly(noise):
+    from repro.pe import PeFormatError
+
+    try:
+        parse_pe(noise)
+    except PeFormatError:
+        pass  # rejecting garbage is the contract

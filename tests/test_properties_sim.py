@@ -1,0 +1,65 @@
+"""Property-based tests: event kernel ordering invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Kernel
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       max_size=40))
+def test_dispatch_order_is_nondecreasing(delays):
+    kernel = Kernel(seed=0)
+    seen = []
+    for delay in delays:
+        kernel.call_later(delay, lambda d=delay: seen.append(kernel.now))
+    kernel.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)
+    if delays:
+        assert kernel.now == max(delays)
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False),
+                       min_size=1, max_size=30),
+       cutoff=st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+def test_run_until_dispatches_exactly_the_due_events(delays, cutoff):
+    kernel = Kernel(seed=0)
+    fired = []
+    for index, delay in enumerate(delays):
+        kernel.call_later(delay, lambda i=index: fired.append(i))
+    kernel.run(until=cutoff)
+    expected = {i for i, d in enumerate(delays) if d <= cutoff}
+    assert set(fired) == expected
+    assert kernel.now == cutoff
+
+
+@settings(max_examples=30, deadline=None)
+@given(interval=st.floats(min_value=0.5, max_value=1000.0,
+                          allow_nan=False),
+       horizon=st.floats(min_value=0.0, max_value=10_000.0,
+                         allow_nan=False))
+def test_periodic_fire_count_matches_floor(interval, horizon):
+    kernel = Kernel(seed=0)
+    ticks = []
+    kernel.every(interval, lambda: ticks.append(kernel.now))
+    kernel.run(until=horizon)
+    assert len(ticks) == int(horizon / interval)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31),
+       count=st.integers(min_value=0, max_value=30))
+def test_trace_is_deterministic_per_seed(seed, count):
+    def build():
+        kernel = Kernel(seed=seed)
+        for i in range(count):
+            kernel.call_later(kernel.rng.uniform(0, 100),
+                              lambda i=i: kernel.trace.record("a", "e%d" % i))
+        kernel.run()
+        return [(r.time, r.action) for r in kernel.trace]
+
+    assert build() == build()

@@ -1,0 +1,77 @@
+"""Property-based tests: filesystem and registry invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.winsim import Registry, VirtualFileSystem
+from repro.winsim.vfs import normalize_path
+
+_name = st.text(alphabet="abcdefgh0123456789", min_size=1, max_size=8)
+_path = st.builds(
+    lambda parts, name, ext: "c:\\" + "\\".join(parts + [name + "." + ext]),
+    st.lists(_name, max_size=3), _name, st.sampled_from(["txt", "docx", "exe"]),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(entries=st.dictionaries(_path, st.binary(max_size=128), max_size=12))
+def test_write_read_consistency(entries):
+    vfs = VirtualFileSystem()
+    for path, data in entries.items():
+        vfs.write(path, data)
+    for path, data in entries.items():
+        assert vfs.read(path) == data
+        assert vfs.exists(path.upper())
+    # Walk finds exactly the user files (case-folded paths dedupe).
+    canonical = {normalize_path(p) for p in entries}
+    user_files = {r.path for r in vfs.walk("c:")
+                  if r.origin is None and not r.path.startswith("c:\\windows")}
+    assert user_files == {p for p in canonical
+                          if not p.startswith("c:\\windows")}
+
+
+@settings(max_examples=40, deadline=None)
+@given(path=_path, original=st.binary(max_size=200),
+       patch=st.binary(max_size=64),
+       offset=st.integers(min_value=0, max_value=128))
+def test_overwrite_data_length_invariant(path, original, patch, offset):
+    vfs = VirtualFileSystem()
+    vfs.write(path, original)
+    vfs.overwrite_data(path, patch, offset=offset)
+    data = vfs.read(path)
+    assert len(data) == max(len(original), offset + len(patch))
+    assert data[offset:offset + len(patch)] == patch
+    if offset <= len(original):
+        assert data[:offset] == original[:offset]
+
+
+@settings(max_examples=40, deadline=None)
+@given(paths=st.lists(_path, min_size=1, max_size=8, unique=True))
+def test_delete_removes_exactly_one(paths):
+    vfs = VirtualFileSystem()
+    for path in paths:
+        vfs.write(path, b"x")
+    canonical = {normalize_path(p) for p in paths}
+    victim = sorted(canonical)[0]
+    before = vfs.file_count()
+    vfs.delete(victim)
+    assert vfs.file_count() == before - 1
+    assert not vfs.exists(victim)
+    for path in canonical - {victim}:
+        assert vfs.exists(path)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    key_parts=st.lists(_name, min_size=1, max_size=3),
+    values=st.dictionaries(_name, st.integers(), min_size=1, max_size=6),
+)
+def test_registry_snapshot_isolation(key_parts, values):
+    registry = Registry()
+    key = "hklm\\" + "\\".join(key_parts)
+    for name, value in values.items():
+        registry.set_value(key, name, value)
+    snapshot = registry.snapshot()
+    for name in values:
+        registry.set_value(key, name, "overwritten")
+    for name, value in values.items():
+        assert snapshot[key.lower()][name.lower()] == value

@@ -1,0 +1,135 @@
+"""Shamoon end-to-end: dropper, spread, timed detonation, reporting."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.malware.shamoon import (
+    DEFAULT_TRIGGER,
+    Shamoon,
+    ShamoonConfig,
+    ShamoonReportSink,
+    WIPER_NAME_POOL,
+)
+from repro.netsim import Internet, Lan
+
+
+AUG_1 = datetime(2012, 8, 1, tzinfo=timezone.utc)
+AUG_20 = datetime(2012, 8, 20, tzinfo=timezone.utc)
+
+
+@pytest.fixture
+def org(kernel, world, host_factory):
+    internet = Internet(kernel)
+    sink = ShamoonReportSink()
+    internet.register_site("home.attacker.net", sink.server)
+    lan = Lan(kernel, "aramco", internet=internet, domain_name="aramco.com")
+    hosts = []
+    for i in range(6):
+        host = host_factory("WS-%02d" % i, file_and_print_sharing=True)
+        host.vfs.write("c:\\users\\e\\documents\\doc-%d.docx" % i, b"D" * 4000)
+        lan.attach(host)
+        hosts.append(host)
+    shamoon = Shamoon(kernel, world, lan.domain_admin_credential,
+                      ShamoonConfig(report_domain="home.attacker.net"))
+    return {"lan": lan, "hosts": hosts, "shamoon": shamoon, "sink": sink,
+            "internet": internet}
+
+
+def _advance_to(kernel, moment):
+    kernel.run(until=kernel.clock.to_seconds(moment))
+
+
+def test_dropper_installs_components_and_persistence(kernel, org):
+    _advance_to(kernel, AUG_1)
+    host = org["hosts"][0]
+    org["shamoon"].infect(host, via="initial")
+    system = host.system_dir
+    assert host.vfs.exists(system + "\\trksvr.exe", raw=True)
+    assert host.vfs.exists(system + "\\netinit.exe", raw=True)
+    wiper_names = [f.name for f in host.vfs.list_dir(system)
+                   if f.name[:-4] in WIPER_NAME_POOL]
+    assert len(wiper_names) == 1
+    assert host.services.exists("TrkSvr")
+    assert host.tasks.exists("at1")
+
+
+def test_spread_covers_lan_before_trigger(kernel, org):
+    _advance_to(kernel, AUG_1)
+    org["shamoon"].infect(org["hosts"][0], via="initial")
+    kernel.run_for(86400.0)
+    assert all(h.is_infected_by("shamoon") for h in org["hosts"])
+    vectors = org["shamoon"].infections_by_vector()
+    assert vectors.get("network-share") == 5
+
+
+def test_detonation_waits_for_hardcoded_date(kernel, org):
+    _advance_to(kernel, AUG_1)
+    org["shamoon"].infect(org["hosts"][0], via="initial")
+    _advance_to(kernel, datetime(2012, 8, 15, 8, 0, tzinfo=timezone.utc))
+    assert all(h.usable() for h in org["hosts"])  # 8 minutes early
+    _advance_to(kernel, datetime(2012, 8, 15, 8, 30, tzinfo=timezone.utc))
+    assert not any(h.usable() for h in org["hosts"])
+    first = kernel.trace.first(actor="shamoon", action="host-wiped")
+    trigger_seconds = kernel.clock.to_seconds(DEFAULT_TRIGGER)
+    assert first.time == pytest.approx(trigger_seconds, abs=1.0)
+
+
+def test_infection_after_trigger_detonates_soon(kernel, org):
+    _advance_to(kernel, datetime(2012, 8, 16, tzinfo=timezone.utc))
+    host = org["hosts"][0]
+    org["shamoon"].infect(host, via="late")
+    kernel.run_for(3600.0)
+    assert not host.usable()
+
+
+def test_reports_reach_attacker(kernel, org):
+    _advance_to(kernel, AUG_1)
+    org["shamoon"].infect(org["hosts"][0], via="initial")
+    _advance_to(kernel, AUG_20)
+    sink = org["sink"]
+    assert len(sink.reports) == 6
+    report = sink.reports[0]
+    assert report["domain"] == "aramco.com"
+    assert report["files_overwritten"] > 0
+    assert report["ip"].startswith("10.0.0.")
+    assert ".docx" in report["f1_inf"]
+    assert sink.total_files_reported() == 6
+
+
+def test_destruction_summary(kernel, org):
+    _advance_to(kernel, AUG_1)
+    org["shamoon"].infect(org["hosts"][0], via="initial")
+    _advance_to(kernel, AUG_20)
+    summary = org["shamoon"].destruction_summary()
+    assert summary["hosts_wiped"] == 6
+    assert summary["hosts_unusable"] == 6
+    assert summary["files_overwritten"] == 6
+    assert 0 < summary["bytes_overwritten"] < summary["bytes_intended"]
+
+
+def test_unpatched_bug_vs_fixed_wiper_fraction(kernel, world, host_factory):
+    lan = Lan(kernel, "org", domain_name="org.com")
+    a = host_factory("A", file_and_print_sharing=True)
+    a.vfs.write("c:\\users\\e\\documents\\big.docx", b"D" * 100_000)
+    lan.attach(a)
+    sham = Shamoon(kernel, world, lan.domain_admin_credential,
+                   ShamoonConfig(faithful_jpeg_bug=False))
+    sham.infect(a, via="initial")
+    sham.detonate(a)
+    stats = sham.wiped_hosts["A"]
+    assert stats["bytes_overwritten"] == stats["bytes_intended"]
+
+
+def test_detonate_is_idempotent(kernel, org):
+    _advance_to(kernel, AUG_1)
+    host = org["hosts"][0]
+    org["shamoon"].infect(host, via="initial")
+    org["shamoon"].detonate(host)
+    assert org["shamoon"].detonate(host) is None
+
+
+def test_no_suicide_capability():
+    """§V.F: Shamoon is the one family *without* an uninstall module."""
+    assert not hasattr(Shamoon, "commit_suicide")
+    assert not hasattr(Shamoon, "uninstall")

@@ -1,0 +1,69 @@
+"""Clock behaviour: monotonicity, datetime anchoring."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.sim import SIM_EPOCH, SimClock
+
+
+def test_clock_starts_at_epoch():
+    clock = SimClock()
+    assert clock.now == 0.0
+    assert clock.now_dt == SIM_EPOCH
+
+
+def test_advance_moves_time_and_datetime():
+    clock = SimClock()
+    clock.advance_to(3600.0)
+    assert clock.now == 3600.0
+    assert clock.now_dt.hour == 1
+
+
+def test_clock_refuses_to_go_backwards():
+    clock = SimClock()
+    clock.advance_to(100.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(99.0)
+
+
+def test_advance_to_same_time_is_allowed():
+    clock = SimClock()
+    clock.advance_to(50.0)
+    clock.advance_to(50.0)
+    assert clock.now == 50.0
+
+
+def test_seconds_until_future_moment():
+    clock = SimClock()
+    moment = datetime(2010, 1, 2, tzinfo=timezone.utc)
+    assert clock.seconds_until(moment) == 86400.0
+
+
+def test_seconds_until_past_moment_is_negative():
+    clock = SimClock()
+    clock.advance_to(86400.0 * 2)
+    moment = datetime(2010, 1, 2, tzinfo=timezone.utc)
+    assert clock.seconds_until(moment) == -86400.0
+
+
+def test_to_seconds_shamoon_trigger_date():
+    clock = SimClock()
+    trigger = datetime(2012, 8, 15, 8, 8, tzinfo=timezone.utc)
+    seconds = clock.to_seconds(trigger)
+    assert clock.epoch.year == 2010
+    # Round-trip through the clock lands on the same instant.
+    clock.advance_to(seconds)
+    assert clock.now_dt == trigger
+
+
+def test_naive_datetime_treated_as_utc():
+    clock = SimClock()
+    naive = datetime(2010, 1, 1, 1, 0)
+    assert clock.to_seconds(naive) == 3600.0
+
+
+def test_custom_epoch():
+    epoch = datetime(2012, 1, 1, tzinfo=timezone.utc)
+    clock = SimClock(epoch)
+    assert clock.now_dt.year == 2012

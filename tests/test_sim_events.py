@@ -1,0 +1,134 @@
+"""Kernel event dispatch: ordering, cancellation, periodics, budgets."""
+
+import pytest
+
+from repro.sim import Kernel, ScheduleInPastError, SimulationError
+
+
+def test_events_dispatch_in_time_order(kernel):
+    seen = []
+    kernel.call_later(5.0, lambda: seen.append("b"))
+    kernel.call_later(1.0, lambda: seen.append("a"))
+    kernel.call_later(9.0, lambda: seen.append("c"))
+    kernel.run()
+    assert seen == ["a", "b", "c"]
+    assert kernel.now == 9.0
+
+
+def test_simultaneous_events_keep_insertion_order(kernel):
+    seen = []
+    for label in "abcde":
+        kernel.call_later(7.0, lambda l=label: seen.append(l))
+    kernel.run()
+    assert seen == list("abcde")
+
+
+def test_cancelled_event_does_not_fire(kernel):
+    seen = []
+    event = kernel.call_later(1.0, lambda: seen.append("x"))
+    event.cancel()
+    kernel.run()
+    assert seen == []
+
+
+def test_cannot_schedule_in_the_past(kernel):
+    kernel.call_later(1.0, lambda: None)
+    kernel.run()
+    with pytest.raises(ScheduleInPastError):
+        kernel.call_at(0.5, lambda: None)
+    with pytest.raises(ScheduleInPastError):
+        kernel.call_later(-1.0, lambda: None)
+
+
+def test_run_until_stops_and_advances_clock(kernel):
+    seen = []
+    kernel.call_later(10.0, lambda: seen.append("late"))
+    kernel.run(until=5.0)
+    assert seen == []
+    assert kernel.now == 5.0
+    kernel.run()
+    assert seen == ["late"]
+
+
+def test_events_scheduled_during_dispatch_run(kernel):
+    seen = []
+
+    def first():
+        seen.append("first")
+        kernel.call_later(1.0, lambda: seen.append("second"))
+
+    kernel.call_later(1.0, first)
+    kernel.run()
+    assert seen == ["first", "second"]
+    assert kernel.now == 2.0
+
+
+def test_periodic_task_fires_until_stopped(kernel):
+    ticks = []
+    task = kernel.every(10.0, lambda: ticks.append(kernel.now))
+    kernel.run(until=35.0)
+    assert ticks == [10.0, 20.0, 30.0]
+    task.stop()
+    kernel.run_for(50.0)
+    assert len(ticks) == 3
+    assert task.stopped
+
+
+def test_periodic_task_stopping_itself_mid_fire(kernel):
+    ticks = []
+    holder = {}
+
+    def tick():
+        ticks.append(kernel.now)
+        if len(ticks) == 2:
+            holder["task"].stop()
+
+    holder["task"] = kernel.every(5.0, tick)
+    kernel.run_for(100.0)
+    assert len(ticks) == 2
+
+
+def test_periodic_rejects_nonpositive_interval(kernel):
+    with pytest.raises(ValueError):
+        kernel.every(0.0, lambda: None)
+
+
+def test_runaway_simulation_raises(kernel):
+    def reschedule():
+        kernel.call_later(0.1, reschedule)
+
+    kernel.call_later(0.1, reschedule)
+    with pytest.raises(SimulationError):
+        kernel.run(max_events=100)
+
+
+def test_call_at_datetime_uses_epoch(kernel):
+    from datetime import datetime, timezone
+
+    seen = []
+    kernel.call_at_datetime(datetime(2010, 1, 1, 0, 1, tzinfo=timezone.utc),
+                            lambda: seen.append(kernel.now))
+    kernel.run()
+    assert seen == [60.0]
+
+
+def test_dispatched_and_pending_counters(kernel):
+    kernel.call_later(1.0, lambda: None)
+    kernel.call_later(2.0, lambda: None)
+    assert kernel.pending_events == 2
+    kernel.run(until=1.5)
+    assert kernel.dispatched_events == 1
+    assert kernel.pending_events == 1
+
+
+def test_determinism_same_seed_same_trace():
+    def build(seed):
+        k = Kernel(seed=seed)
+        for i in range(20):
+            delay = k.rng.uniform(0, 100)
+            k.call_later(delay, lambda i=i: k.trace.record("actor", "act-%d" % i))
+        k.run()
+        return [(r.time, r.action) for r in k.trace]
+
+    assert build(99) == build(99)
+    assert build(99) != build(100)

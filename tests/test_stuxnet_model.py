@@ -1,0 +1,163 @@
+"""Stuxnet end-to-end behaviours on the full model."""
+
+import pytest
+
+from repro.malware.stuxnet import Stuxnet, StuxnetConfig
+from repro.netsim import Lan
+from repro.plc import Step7Application
+from repro.usb import UsbDrive
+from repro.winsim.processes import IntegrityLevel
+
+
+@pytest.fixture
+def stuxnet(kernel, world):
+    return Stuxnet(kernel, world)
+
+
+def _xp_host(host_factory, name="XP-1"):
+    return host_factory(name, os_version="xp", file_and_print_sharing=True)
+
+
+def test_usb_lnk_infection(host_factory, stuxnet):
+    victim = _xp_host(host_factory)
+    drive = stuxnet.weaponize_drive(UsbDrive("stick"))
+    victim.insert_usb(drive)
+    assert victim.is_infected_by("stuxnet")
+    assert stuxnet.infections_by_vector() == {"usb-lnk": 1}
+    # Dropper artefacts are present (raw view; rootkit hides them).
+    assert victim.vfs.exists("c:\\windows\\system32\\winsta.exe", raw=True)
+
+
+def test_infection_is_idempotent(host_factory, stuxnet):
+    victim = _xp_host(host_factory)
+    drive = stuxnet.weaponize_drive(UsbDrive("stick"))
+    victim.insert_usb(drive)
+    assert not stuxnet.infect(victim, via="again")
+    assert stuxnet.infection_count == 1
+
+
+def test_eop_reaches_system_and_installs_rootkit(host_factory, stuxnet):
+    victim = _xp_host(host_factory)
+    victim.insert_usb(stuxnet.weaponize_drive(UsbDrive("stick")))
+    assert stuxnet.integrity_achieved[victim.hostname] == IntegrityLevel.SYSTEM
+    assert victim.hostname in stuxnet.rootkit_hosts
+    # Rootkit active: dropped files invisible through the API.
+    assert not victim.vfs.exists("c:\\windows\\system32\\winsta.exe")
+
+
+def test_fully_patched_host_resists_usb_and_eop(host_factory, stuxnet):
+    victim = _xp_host(host_factory, "PATCHED")
+    victim.patches.apply_all()
+    victim.insert_usb(stuxnet.weaponize_drive(UsbDrive("stick")))
+    assert not victim.is_infected_by("stuxnet")
+
+
+def test_eop_patched_host_gets_user_level_infection_no_rootkit(
+        host_factory, stuxnet):
+    victim = _xp_host(host_factory, "HALFPATCHED")
+    victim.patches.apply("MS10-073")
+    victim.patches.apply("MS10-092")
+    victim.insert_usb(stuxnet.weaponize_drive(UsbDrive("stick")))
+    assert victim.is_infected_by("stuxnet")
+    assert stuxnet.integrity_achieved["HALFPATCHED"] == IntegrityLevel.USER
+    assert "HALFPATCHED" not in stuxnet.rootkit_hosts
+
+
+def test_infected_host_weaponises_new_sticks(host_factory, stuxnet):
+    patient_zero = _xp_host(host_factory, "P0")
+    patient_zero.insert_usb(stuxnet.weaponize_drive(UsbDrive("first")))
+    clean_stick = UsbDrive("clean")
+    patient_zero.insert_usb(clean_stick, open_in_explorer=False)
+    assert clean_stick.exists("copy of shortcut to 7.lnk")
+    # The weaponised stick now infects another machine.
+    second = _xp_host(host_factory, "P1")
+    second.insert_usb(clean_stick)
+    assert second.is_infected_by("stuxnet")
+
+
+def test_usb_spread_disabled_by_config(kernel, world, host_factory):
+    stux = Stuxnet(kernel, world, config=StuxnetConfig(spread_over_usb=False))
+    patient_zero = _xp_host(host_factory, "P0")
+    stux.infect(patient_zero, via="initial")
+    stick = UsbDrive("clean")
+    patient_zero.insert_usb(stick, open_in_explorer=False)
+    assert not stick.exists("copy of shortcut to 7.lnk")
+
+
+def test_spooler_spread_over_lan(kernel, host_factory, stuxnet):
+    lan = Lan(kernel, "plant")
+    a = _xp_host(host_factory, "A")
+    b = _xp_host(host_factory, "B")
+    lan.attach(a)
+    lan.attach(b)
+    stuxnet.infect(a, via="initial")
+    kernel.run_for(2 * 86400.0)
+    assert b.is_infected_by("stuxnet")
+    assert stuxnet.infections_by_vector().get("network-spooler") == 1
+
+
+def test_spooler_spread_blocked_by_patch(kernel, host_factory, stuxnet):
+    lan = Lan(kernel, "plant")
+    a = _xp_host(host_factory, "A")
+    b = _xp_host(host_factory, "B")
+    b.patches.apply("MS10-061")
+    lan.attach(a)
+    lan.attach(b)
+    stuxnet.infect(a, via="initial")
+    kernel.run_for(3 * 86400.0)
+    assert not b.is_infected_by("stuxnet")
+
+
+def test_step7_dll_swap_on_infected_engineering_host(host_factory, stuxnet):
+    eng = _xp_host(host_factory, "ENG")
+    step7 = Step7Application(eng)
+    stuxnet.infect(eng, via="initial")
+    assert eng.vfs.exists("c:\\windows\\system32\\s7otbxsx.dll", raw=True)
+    fake = eng.vfs.get("c:\\windows\\system32\\s7otbxdx.dll", raw=True)
+    assert fake.origin == "stuxnet"
+    assert "ENG" in stuxnet.step7_infections
+
+
+def test_opening_project_infects_folder(host_factory, stuxnet):
+    eng = _xp_host(host_factory, "ENG")
+    step7 = Step7Application(eng)
+    step7.create_project("p", "c:\\projects\\p")
+    stuxnet.infect(eng, via="initial")
+    step7.open_project("c:\\projects\\p")
+    infection = stuxnet.step7_infections["ENG"]
+    assert "c:\\projects\\p" in infection.infected_project_folders
+    assert eng.vfs.exists("c:\\projects\\p\\s7p00001.dbf", raw=True)
+
+
+def test_cnc_beacon_reports_to_futbol_domains(kernel, world, host_factory):
+    from repro.malware.stuxnet import StuxnetCncService
+    from repro.netsim import Internet
+
+    internet = Internet(kernel)
+    from repro.netsim.http import HttpResponse, HttpServer
+
+    probe = HttpServer("wu")
+    probe.route("/", lambda r: HttpResponse(200, b"ok"))
+    internet.register_site("www.windowsupdate.com", probe)
+    service = StuxnetCncService(internet)
+    stux = Stuxnet(kernel, world, cnc_service=service)
+    lan = Lan(kernel, "office", internet=internet)
+    victim = host_factory("V", os_version="xp")
+    lan.attach(victim)
+    stux.infect(victim, via="initial")
+    kernel.run_for(2 * 86400.0)
+    assert service.victim_reports
+    assert service.victim_reports[0]["hostname"] == "V"
+
+
+def test_uninstall_removes_everything(kernel, host_factory, stuxnet):
+    eng = _xp_host(host_factory, "ENG")
+    step7 = Step7Application(eng)
+    stuxnet.infect(eng, via="initial")
+    stuxnet.uninstall(eng)
+    assert not eng.is_infected_by("stuxnet")
+    assert not eng.vfs.exists("c:\\windows\\system32\\winsta.exe", raw=True)
+    assert eng.vfs.exists("c:\\windows\\system32\\s7otbxdx.dll", raw=True)
+    restored = eng.vfs.get("c:\\windows\\system32\\s7otbxdx.dll", raw=True)
+    assert restored.origin == "siemens"
+    assert not eng.vfs.exists("c:\\windows\\system32\\s7otbxsx.dll", raw=True)

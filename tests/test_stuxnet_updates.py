@@ -1,0 +1,62 @@
+"""Stuxnet C&C update distribution: download and execute binaries."""
+
+import pytest
+
+from repro.malware.stuxnet import Stuxnet, StuxnetCncService
+from repro.netsim import Internet, Lan
+from repro.netsim.http import HttpResponse, HttpServer
+
+
+@pytest.fixture
+def connected(kernel, world, host_factory):
+    internet = Internet(kernel)
+    probe = HttpServer("wu")
+    probe.route("/", lambda r: HttpResponse(200, b"ok"))
+    internet.register_site("www.windowsupdate.com", probe)
+    service = StuxnetCncService(internet)
+    stux = Stuxnet(kernel, world, cnc_service=service)
+    lan = Lan(kernel, "office", internet=internet)
+    victim = host_factory("V", os_version="xp")
+    lan.attach(victim)
+    return {"service": service, "stux": stux, "lan": lan, "victim": victim}
+
+
+def test_queued_update_downloaded_and_executed(kernel, connected):
+    executed = []
+    connected["service"].queue_update(
+        "exp-100", b"\x90" * 256,
+        behavior=lambda h, p: executed.append(h.hostname))
+    connected["stux"].infect(connected["victim"], via="initial")
+    kernel.run_for(2 * 86400.0)
+    assert executed == ["V"]
+    assert connected["service"].updates_served == 1
+    record = kernel.trace.first(actor="V", action="stuxnet-update-applied")
+    assert record.target == "exp-100"
+
+
+def test_update_applied_once_per_host(kernel, connected):
+    executed = []
+    connected["service"].queue_update(
+        "exp-200", b"\x90", behavior=lambda h, p: executed.append(1))
+    connected["stux"].infect(connected["victim"], via="initial")
+    kernel.run_for(7 * 86400.0)   # many beacons
+    assert executed == [1]
+
+
+def test_update_binary_lands_on_disk_hidden(kernel, connected):
+    connected["service"].queue_update("exp-300", b"UPDATEBYTES")
+    connected["stux"].infect(connected["victim"], via="initial")
+    kernel.run_for(2 * 86400.0)
+    victim = connected["victim"]
+    dropped = [r for r in victim.vfs.walk("c:", raw=True)
+               if r.data == b"UPDATEBYTES"]
+    assert len(dropped) == 1
+    # Rootkit active on XP: update files are invisible through the API.
+    assert not victim.vfs.exists(dropped[0].path)
+
+
+def test_missing_update_is_404(kernel, connected):
+    internet_response = connected["lan"].http_get(
+        connected["victim"], "http://www.mypremierfutbol.com/update.php",
+        params={"name": "nope"})
+    assert internet_response.status == 404

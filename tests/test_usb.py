@@ -1,0 +1,136 @@
+"""USB drives: autorun, crafted LNKs, the hidden courier DB."""
+
+import pytest
+
+from repro.usb import (
+    HIDDEN_DB_FILENAME,
+    HiddenDatabase,
+    UsbDrive,
+    craft_lnk_files,
+    make_autorun,
+)
+
+
+def test_drive_file_management():
+    drive = UsbDrive("stick")
+    drive.write("Report.DOCX", b"doc")
+    assert drive.exists("report.docx")
+    assert drive.get("report.docx").size == 3
+    assert drive.delete("report.docx")
+    assert not drive.delete("report.docx")
+
+
+def test_hidden_files_excluded_from_explorer_view():
+    drive = UsbDrive("stick")
+    drive.write("visible.txt", b"")
+    drive.write("secretdb", b"", hidden=True)
+    assert [f.name for f in drive.files()] == ["visible.txt"]
+    assert len(drive.files(include_hidden=True)) == 2
+
+
+def test_autorun_fires_only_when_enabled(host_factory):
+    fired = []
+    drive = UsbDrive("stick")
+    drive.add_file(make_autorun(lambda h, d: fired.append(h.hostname)))
+    modern = host_factory("MODERN", autorun_enabled=False)
+    modern.insert_usb(drive, open_in_explorer=False)
+    assert fired == []
+    legacy = host_factory("LEGACY", autorun_enabled=True)
+    legacy.insert_usb(drive, open_in_explorer=False)
+    assert fired == ["LEGACY"]
+
+
+def test_lnk_files_cover_all_os_versions():
+    files = craft_lnk_files(lambda h, d: None)
+    names = [f.name for f in files]
+    assert len(files) == 4
+    assert any("xp" in n for n in names)
+    assert any("server2003" in n for n in names)
+
+
+def test_lnk_fires_on_matching_unpatched_host(host_factory):
+    fired = []
+    drive = UsbDrive("stick")
+    for f in craft_lnk_files(lambda h, d: fired.append(h.hostname)):
+        drive.add_file(f)
+    victim = host_factory("XP-BOX", os_version="xp")
+    victim.insert_usb(drive)  # explorer opens by default
+    assert fired == ["XP-BOX"]
+
+
+def test_lnk_silent_on_patched_host(host_factory):
+    fired = []
+    drive = UsbDrive("stick")
+    for f in craft_lnk_files(lambda h, d: fired.append(1)):
+        drive.add_file(f)
+    victim = host_factory("PATCHED", os_version="7")
+    victim.patches.apply("MS10-046")
+    victim.insert_usb(drive)
+    assert fired == []
+    assert victim.event_log.entries(source="shell")
+
+
+def test_lnk_only_fires_for_matching_version(host_factory):
+    fired = []
+    drive = UsbDrive("stick")
+    for f in craft_lnk_files(lambda h, d: fired.append(1), os_versions=("xp",)):
+        drive.add_file(f)
+    victim = host_factory("SEVEN", os_version="7")
+    victim.insert_usb(drive)
+    assert fired == []
+
+
+def test_visit_history_tracks_internet_exposure(kernel, host_factory, world):
+    from repro.netsim import Internet, Lan
+
+    drive = UsbDrive("courier")
+    airgapped_lan = Lan(kernel, "plant", internet=None)
+    connected_lan = Lan(kernel, "office", internet=Internet(kernel))
+    a = host_factory("PLANT-1")
+    b = host_factory("OFFICE-1")
+    airgapped_lan.attach(a)
+    connected_lan.attach(b)
+    a.insert_usb(drive, open_in_explorer=False)
+    assert not drive.visited_internet_connected_host()
+    b.insert_usb(drive, open_in_explorer=False)
+    assert drive.visited_internet_connected_host()
+
+
+def test_hidden_db_create_and_persist():
+    drive = UsbDrive("stick")
+    assert not HiddenDatabase.exists_on(drive)
+    db = HiddenDatabase.load_or_create(drive)
+    assert HiddenDatabase.exists_on(drive)
+    assert drive.get(HIDDEN_DB_FILENAME).hidden
+    db.store_document("HOST-A", "c:\\secret.docx", 1000, "ext=docx")
+    # Reload from the drive: state survived.
+    db2 = HiddenDatabase.load_or_create(drive)
+    assert db2.documents()[0]["path"] == "c:\\secret.docx"
+    assert db2.used_bytes() == 1000
+
+
+def test_hidden_db_capacity_limit():
+    drive = UsbDrive("stick")
+    db = HiddenDatabase.load_or_create(drive)
+    assert db.store_document("H", "a", 10 * 1024 * 1024, "")
+    assert not db.store_document("H", "b", 10 * 1024 * 1024, "")
+    assert len(db.documents()) == 1
+
+
+def test_hidden_db_drain():
+    drive = UsbDrive("stick")
+    db = HiddenDatabase.load_or_create(drive)
+    db.store_document("H", "a", 10, "")
+    db.store_document("H", "b", 20, "")
+    drained = db.drain_documents()
+    assert len(drained) == 2
+    assert db.documents() == []
+    assert db.used_bytes() == 0
+
+
+def test_hidden_db_internet_stamp():
+    drive = UsbDrive("stick")
+    db = HiddenDatabase.load_or_create(drive)
+    assert not db.seen_internet
+    db.mark_internet_connected()
+    assert HiddenDatabase.load_or_create(drive).seen_internet

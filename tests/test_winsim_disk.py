@@ -1,0 +1,83 @@
+"""Disk, MBR, and partition protection semantics."""
+
+import pytest
+
+from repro.winsim import Disk, DiskAccessDenied, MBR_MAGIC
+
+
+@pytest.fixture
+def disk():
+    return Disk()
+
+
+def test_fresh_disk_boots(disk):
+    assert disk.mbr_intact()
+    assert disk.bootable()
+    assert disk.mbr.endswith(MBR_MAGIC)
+
+
+def test_user_mode_cannot_write_mbr(disk):
+    with pytest.raises(DiskAccessDenied):
+        disk.write_mbr(b"\x00" * 512)
+    assert disk.mbr_intact()
+
+
+def test_kernel_mode_can_write_mbr(disk):
+    disk.write_mbr(b"\x00" * 512, kernel_mode=True)
+    assert not disk.mbr_intact()
+    assert not disk.bootable()
+
+
+def test_raw_access_grant_allows_user_mode_mbr_write(disk):
+    disk.grant_raw_access("drdisk.sys")
+    disk.write_mbr(b"\x00" * 512, grantee="drdisk.sys")
+    assert not disk.mbr_intact()
+
+
+def test_revoked_grant_blocks_again(disk):
+    disk.grant_raw_access("drdisk.sys")
+    disk.revoke_raw_access("drdisk.sys")
+    with pytest.raises(DiskAccessDenied):
+        disk.write_mbr(b"\x00" * 512, grantee="drdisk.sys")
+
+
+def test_wrong_grantee_blocked(disk):
+    disk.grant_raw_access("drdisk.sys")
+    with pytest.raises(DiskAccessDenied):
+        disk.write_mbr(b"\x00" * 512, grantee="other.sys")
+
+
+def test_unprotected_sector_writable_from_user_mode(disk):
+    disk.write_sector(5000, b"data")
+    assert disk.read_sector(5000).startswith(b"data")
+
+
+def test_sector_bounds(disk):
+    with pytest.raises(ValueError):
+        disk.read_sector(disk.total_sectors)
+    with pytest.raises(ValueError):
+        disk.write_sector(-1, b"", kernel_mode=True)
+    with pytest.raises(ValueError):
+        disk.write_sector(5000, b"x" * 513)
+
+
+def test_sectors_padded_to_full_size(disk):
+    disk.write_sector(5000, b"ab")
+    assert len(disk.read_sector(5000)) == 512
+
+
+def test_untouched_sector_reads_zeros(disk):
+    assert disk.read_sector(12345) == b"\x00" * 512
+
+
+def test_wipe_active_partition_kills_boot(disk):
+    partition = disk.active_partition()
+    disk.wipe_partition(partition, kernel_mode=True)
+    assert partition.wiped
+    assert not disk.bootable()
+    assert disk.mbr_intact()  # partition wipe alone leaves the MBR
+
+
+def test_wipe_partition_requires_privilege(disk):
+    with pytest.raises(DiskAccessDenied):
+        disk.wipe_partition(disk.active_partition())

@@ -1,0 +1,79 @@
+"""Driver loading and signature policy."""
+
+import pytest
+
+from repro.certs.codesign import sign_image
+from repro.certs.wellknown import ELDOS, JMICRON
+from repro.pe import PeBuilder
+from repro.winsim import DriverLoadError
+
+
+def _signed_driver_image(world, vendor=ELDOS, marker=b"driver code"):
+    cert, keypair = world.vendor_credentials(vendor)
+    builder = PeBuilder()
+    builder.add_code_section(marker)
+    return sign_image(builder, keypair, [cert])
+
+
+def test_signed_driver_loads(host, world):
+    host.vfs.write("c:\\d.sys", _signed_driver_image(world))
+    driver = host.drivers.load("d.sys", "c:\\d.sys",
+                               capabilities=("raw-disk-access",))
+    assert driver.loaded
+    assert driver.signer == ELDOS
+    assert host.drivers.grants("raw-disk-access")
+
+
+def test_unsigned_driver_refused(host):
+    builder = PeBuilder()
+    builder.add_code_section(b"unsigned")
+    host.vfs.write("c:\\u.sys", builder.build())
+    with pytest.raises(DriverLoadError):
+        host.drivers.load("u.sys", "c:\\u.sys")
+    assert host.event_log.entries(source="driver-load", severity="error")
+
+
+def test_garbage_driver_refused(host):
+    host.vfs.write("c:\\g.sys", b"not a pe")
+    with pytest.raises(DriverLoadError):
+        host.drivers.load("g.sys", "c:\\g.sys")
+
+
+def test_lax_policy_loads_anything(host_factory):
+    host = host_factory("LAX-01", enforce_driver_signatures=False)
+    host.vfs.write("c:\\g.sys", b"whatever bytes")
+    driver = host.drivers.load("g.sys", "c:\\g.sys")
+    assert driver.loaded
+    assert driver.signer is None
+
+
+def test_duplicate_load_rejected(host, world):
+    host.vfs.write("c:\\d.sys", _signed_driver_image(world))
+    host.drivers.load("d.sys", "c:\\d.sys")
+    with pytest.raises(DriverLoadError):
+        host.drivers.load("d.sys", "c:\\d.sys")
+
+
+def test_unload_revokes_raw_access(host, world):
+    host.vfs.write("c:\\d.sys", _signed_driver_image(world))
+    host.drivers.load("d.sys", "c:\\d.sys", capabilities=("raw-disk-access",))
+    assert host.drivers.unload("d.sys")
+    assert not host.drivers.grants("raw-disk-access")
+    assert "d.sys" not in host.disk.raw_access_grants
+    assert not host.drivers.unload("d.sys")
+
+
+def test_driver_payload_runs_on_load(host, world):
+    seen = []
+    host.vfs.write("c:\\d.sys", _signed_driver_image(world, JMICRON))
+    host.drivers.load("d.sys", "c:\\d.sys",
+                      payload=lambda h, d: seen.append(d.name))
+    assert seen == ["d.sys"]
+
+
+def test_revoked_certificate_blocks_driver(host, world):
+    cert, _ = world.vendor_credentials(JMICRON)
+    host.trust_store.revoke_serial(cert.serial)
+    host.vfs.write("c:\\d.sys", _signed_driver_image(world, JMICRON))
+    with pytest.raises(DriverLoadError):
+        host.drivers.load("d.sys", "c:\\d.sys")

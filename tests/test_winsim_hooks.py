@@ -1,0 +1,76 @@
+"""API hook table chaining semantics."""
+
+import pytest
+
+from repro.winsim import ApiHookTable
+
+
+@pytest.fixture
+def hooks():
+    table = ApiHookTable()
+    table.register_api("open", lambda path: "opened:%s" % path)
+    return table
+
+
+def test_unhooked_call_reaches_implementation(hooks):
+    assert hooks.call("open", "file.txt") == "opened:file.txt"
+
+
+def test_unknown_api_raises(hooks):
+    with pytest.raises(KeyError):
+        hooks.call("nope")
+    with pytest.raises(KeyError):
+        hooks.hook("nope", lambda call_next: None)
+
+
+def test_hook_can_observe_and_pass_through(hooks):
+    seen = []
+
+    def spy(call_next, path):
+        seen.append(path)
+        return call_next(path)
+
+    hooks.hook("open", spy, label="spy")
+    assert hooks.call("open", "a") == "opened:a"
+    assert seen == ["a"]
+    assert hooks.hooks_on("open") == ["spy"]
+    assert hooks.hooked_apis() == ["open"]
+
+
+def test_hook_can_rewrite_arguments(hooks):
+    hooks.hook("open", lambda call_next, path: call_next(path.upper()))
+    assert hooks.call("open", "x") == "opened:X"
+
+
+def test_hook_can_swallow_call(hooks):
+    hooks.hook("open", lambda call_next, path: "denied")
+    assert hooks.call("open", "x") == "denied"
+
+
+def test_hooks_chain_outermost_first(hooks):
+    order = []
+
+    def make(tag):
+        def hook(call_next, path):
+            order.append(tag)
+            return call_next(path)
+        return hook
+
+    hooks.hook("open", make("first"))
+    hooks.hook("open", make("second"))
+    hooks.call("open", "x")
+    assert order == ["first", "second"]
+
+
+def test_unhook(hooks):
+    unhook = hooks.hook("open", lambda call_next, path: "blocked")
+    assert hooks.call("open", "x") == "blocked"
+    unhook()
+    assert hooks.call("open", "x") == "opened:x"
+    unhook()  # idempotent
+    assert hooks.hooked_apis() == []
+
+
+def test_is_registered(hooks):
+    assert hooks.is_registered("open")
+    assert not hooks.is_registered("close")

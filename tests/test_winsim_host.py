@@ -1,0 +1,94 @@
+"""WindowsHost integration behaviours."""
+
+import pytest
+
+from repro.winsim import HostConfig, IntegrityLevel
+from repro.winsim.patches import VULNERABILITIES
+
+
+def test_fresh_host_is_usable_and_unpatched(host):
+    assert host.usable()
+    assert host.patches.open_vulnerabilities() == sorted(VULNERABILITIES)
+    assert host.infections == {}
+
+
+def test_unknown_os_version_rejected():
+    with pytest.raises(ValueError):
+        HostConfig(os_version="windows95")
+
+
+def test_execute_file_spawns_and_runs_payload(host):
+    seen = []
+    host.vfs.write("c:\\run.exe", b"bin",
+                   payload=lambda h, p: seen.append((h.hostname, p.name)))
+    process = host.execute_file("c:\\run.exe")
+    assert seen == [("TEST-01", "run.exe")]
+    assert process.integrity == IntegrityLevel.USER
+
+
+def test_infection_registry(host):
+    sentinel = object()
+    host.register_infection("testware", sentinel)
+    assert host.is_infected_by("testware")
+    assert host.infections["testware"] is sentinel
+    assert host.remove_infection("testware") is sentinel
+    assert not host.is_infected_by("testware")
+
+
+def test_trace_records_to_kernel(kernel, host):
+    host.trace("custom-action", target="x", extra=1)
+    record = kernel.trace.last(actor="TEST-01", action="custom-action")
+    assert record.detail == {"extra": 1}
+
+
+def test_boot_starts_auto_services(host):
+    host.vfs.write("c:\\svc.exe", b"")
+    host.services.create("AutoThing", "c:\\svc.exe")
+    started = host.boot()
+    assert started == ["AutoThing"]
+
+
+def test_boot_fails_on_wiped_disk(host):
+    host.disk.write_mbr(b"\x00" * 512, kernel_mode=True)
+    assert host.boot() is None
+    assert not host.usable()
+
+
+def test_share_folder(host):
+    host.share_folder("Public", "c:\\shared")
+    assert host.shares == {"public": "c:\\shared"}
+    assert host.vfs.is_dir("c:\\shared")
+
+
+def test_usb_insert_and_remove_hooks(host):
+    from repro.usb import UsbDrive
+
+    drive = UsbDrive("stick")
+    host.insert_usb(drive, open_in_explorer=False)
+    assert drive in host.usb_ports
+    assert drive.visit_history[0]["host"] == "TEST-01"
+    # Not on a LAN: counts as no-internet host.
+    assert drive.visit_history[0]["had_internet"] is False
+    host.remove_usb(drive)
+    assert drive not in host.usb_ports
+
+
+def test_usb_insertion_notifies_infections(host):
+    from repro.usb import UsbDrive
+
+    class FakeInfection:
+        def __init__(self):
+            self.seen = []
+
+        def on_usb_inserted(self, h, d):
+            self.seen.append((h.hostname, d.label))
+
+    infection = FakeInfection()
+    host.register_infection("fake", infection)
+    host.insert_usb(UsbDrive("walker"), open_in_explorer=False)
+    assert infection.seen == [("TEST-01", "walker")]
+
+
+def test_system_dir_constant(host):
+    assert host.system_dir == "c:\\windows\\system32"
+    assert host.vfs.exists(host.system_dir + "\\kernel32.dll")

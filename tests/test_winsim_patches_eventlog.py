@@ -1,0 +1,81 @@
+"""Patch state and event log."""
+
+import pytest
+
+from repro.winsim import (
+    MS10_046_LNK,
+    MS10_061_SPOOLER,
+    PatchState,
+    VULNERABILITIES,
+)
+from repro.winsim.eventlog import EventLog
+
+
+def test_catalogue_has_the_campaign_bulletins():
+    assert set(VULNERABILITIES) == {
+        "MS10-046", "MS10-061", "MS10-073", "MS10-092", "MSA-2718704",
+    }
+    assert VULNERABILITIES[MS10_061_SPOOLER].effect == "remote-code-execution"
+
+
+def test_fresh_state_fully_vulnerable():
+    state = PatchState()
+    assert state.is_vulnerable(MS10_046_LNK)
+    assert state.applied() == []
+
+
+def test_apply_and_apply_all():
+    state = PatchState()
+    state.apply(MS10_046_LNK)
+    assert not state.is_vulnerable(MS10_046_LNK)
+    assert state.is_vulnerable(MS10_061_SPOOLER)
+    state.apply_all()
+    assert state.open_vulnerabilities() == []
+
+
+def test_unknown_bulletin_rejected():
+    state = PatchState()
+    with pytest.raises(ValueError):
+        state.apply("MS99-999")
+    with pytest.raises(ValueError):
+        state.is_vulnerable("MS99-999")
+    with pytest.raises(ValueError):
+        PatchState(applied=["MS99-999"])
+
+
+def test_eventlog_severity_filters():
+    log = EventLog()
+    log.info("a", "hello")
+    log.warning("b", "watch out")
+    log.error("b", "boom")
+    assert len(log) == 3
+    assert len(log.entries(severity="warning")) == 1
+    assert len(log.entries(source="b")) == 2
+    assert len(log.entries(containing="boo")) == 1
+
+
+def test_eventlog_observers():
+    log = EventLog()
+    seen = []
+    observer = lambda entry: seen.append(entry.message)
+    log.subscribe(observer)
+    log.info("x", "one")
+    log.unsubscribe(observer)
+    log.info("x", "two")
+    assert seen == ["one"]
+    log.unsubscribe(observer)  # idempotent
+
+
+def test_eventlog_clear_returns_count():
+    log = EventLog()
+    log.info("x", "1")
+    log.info("x", "2")
+    assert log.clear() == 2
+    assert len(log) == 0
+
+
+def test_eventlog_timestamps_follow_clock(kernel):
+    log = EventLog(clock=kernel.clock)
+    kernel.clock.advance_to(42.0)
+    entry = log.info("x", "t")
+    assert entry.time == 42.0

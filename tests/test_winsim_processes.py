@@ -1,0 +1,79 @@
+"""Process table and integrity levels."""
+
+import pytest
+
+from repro.winsim import IntegrityLevel, ProcessTable
+
+
+@pytest.fixture
+def table():
+    return ProcessTable()
+
+
+def test_baseline_tree_present(table):
+    names = [p.name for p in table.listing()]
+    assert "explorer.exe" in names
+    assert "lsass.exe" in names
+
+
+def test_spawn_assigns_increasing_pids(table):
+    a = table.spawn("a.exe")
+    b = table.spawn("b.exe")
+    assert b.pid > a.pid
+    assert a.integrity == IntegrityLevel.USER
+
+
+def test_kill(table):
+    process = table.spawn("victim.exe")
+    assert table.kill(process.pid)
+    assert not process.alive
+    assert not table.kill(process.pid)  # already dead
+    assert not table.kill(99999)
+
+
+def test_find_by_name_excludes_dead_and_hidden(table):
+    a = table.spawn("malware.exe")
+    b = table.spawn("malware.exe")
+    b.hidden = True
+    c = table.spawn("malware.exe")
+    table.kill(c.pid)
+    visible = table.find_by_name("MALWARE.EXE")
+    assert visible == [a]
+    with_hidden = table.find_by_name("malware.exe", include_hidden=True)
+    assert set(p.pid for p in with_hidden) == {a.pid, b.pid}
+
+
+def test_listing_hides_rootkit_processes(table):
+    ghost = table.spawn("ghost.exe")
+    ghost.hidden = True
+    assert ghost not in table.listing()
+    assert ghost in table.listing(include_hidden=True)
+
+
+def test_inject(table):
+    process = table.spawn("services.exe")
+    table.inject(process.pid, "stuxnet-loader")
+    assert process.injected_payloads == ["stuxnet-loader"]
+    table.kill(process.pid)
+    with pytest.raises(ValueError):
+        table.inject(process.pid, "again")
+
+
+def test_escalate_only_raises(table):
+    process = table.spawn("user.exe", IntegrityLevel.USER)
+    table.escalate(process.pid, IntegrityLevel.SYSTEM)
+    assert process.integrity == IntegrityLevel.SYSTEM
+    table.escalate(process.pid, IntegrityLevel.USER)  # no demotion
+    assert process.integrity == IntegrityLevel.SYSTEM
+
+
+def test_escalate_dead_process_rejected(table):
+    process = table.spawn("x.exe")
+    table.kill(process.pid)
+    with pytest.raises(ValueError):
+        table.escalate(process.pid, IntegrityLevel.ADMIN)
+
+
+def test_integrity_names():
+    assert IntegrityLevel.name(IntegrityLevel.SYSTEM) == "system"
+    assert "unknown" in IntegrityLevel.name(42)

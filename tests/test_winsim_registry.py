@@ -1,0 +1,67 @@
+"""Registry semantics."""
+
+import pytest
+
+from repro.winsim import Registry
+
+
+@pytest.fixture
+def registry():
+    return Registry()
+
+
+def test_set_get_case_insensitive(registry):
+    registry.set_value(r"HKLM\Software\Test", "Name", "value")
+    assert registry.get_value(r"hklm\software\test", "name") == "value"
+
+
+def test_get_missing_returns_default(registry):
+    assert registry.get_value(r"hklm\nope", "x") is None
+    assert registry.get_value(r"hklm\nope", "x", default=42) == 42
+
+
+def test_delete_value(registry):
+    registry.set_value(r"hklm\k", "a", 1)
+    assert registry.delete_value(r"hklm\k", "a")
+    assert not registry.delete_value(r"hklm\k", "a")
+    assert registry.get_value(r"hklm\k", "a") is None
+
+
+def test_delete_key_removes_subtree(registry):
+    registry.set_value(r"hklm\svc\trksvr", "imagepath", "x")
+    registry.set_value(r"hklm\svc\trksvr\params", "p", 1)
+    assert registry.delete_key(r"hklm\svc\trksvr")
+    assert not registry.key_exists(r"hklm\svc\trksvr")
+    assert not registry.key_exists(r"hklm\svc\trksvr\params")
+
+
+def test_subkeys(registry):
+    registry.set_value(r"hklm\services\a", "v", 1)
+    registry.set_value(r"hklm\services\b", "v", 1)
+    registry.set_value(r"hklm\services\b\deep", "v", 1)
+    assert registry.subkeys(r"hklm\services") == ["a", "b"]
+
+
+def test_values_returns_copy(registry):
+    registry.set_value(r"hklm\k", "a", 1)
+    values = registry.values(r"hklm\k")
+    values["a"] = 999
+    assert registry.get_value(r"hklm\k", "a") == 1
+
+
+def test_snapshot_is_deep(registry):
+    registry.set_value(r"hklm\k", "a", 1)
+    snap = registry.snapshot()
+    registry.set_value(r"hklm\k", "a", 2)
+    assert snap[r"hklm\k"]["a"] == 1
+
+
+def test_empty_key_rejected(registry):
+    with pytest.raises(ValueError):
+        registry.set_value("", "a", 1)
+
+
+def test_all_keys_sorted(registry):
+    registry.set_value(r"hklm\b", "x", 1)
+    registry.set_value(r"hklm\a", "x", 1)
+    assert registry.all_keys() == [r"hklm\a", r"hklm\b"]

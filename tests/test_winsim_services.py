@@ -1,0 +1,116 @@
+"""Services and scheduled tasks."""
+
+import pytest
+
+from repro.winsim import IntegrityLevel
+from repro.winsim.services import Service
+
+
+def test_create_service_writes_registry(host):
+    host.vfs.write("c:\\windows\\system32\\trksvr.exe", b"svc")
+    host.services.create("TrkSvr", "c:\\windows\\system32\\trksvr.exe")
+    assert host.services.exists("trksvr")
+    assert host.registry.get_value(
+        r"hklm\system\currentcontrolset\services\TrkSvr", "imagepath"
+    ) == "c:\\windows\\system32\\trksvr.exe"
+
+
+def test_duplicate_service_rejected(host):
+    host.vfs.write("c:\\x.exe", b"")
+    host.services.create("S", "c:\\x.exe")
+    with pytest.raises(ValueError):
+        host.services.create("s", "c:\\x.exe")
+
+
+def test_start_runs_payload_at_system_integrity(host):
+    seen = []
+    host.vfs.write("c:\\svc.exe", b"bin",
+                   payload=lambda h, p: seen.append(p.integrity))
+    host.services.create("Evil", "c:\\svc.exe")
+    host.services.start("Evil")
+    assert seen == [IntegrityLevel.SYSTEM]
+    assert host.services.get("evil").running
+
+
+def test_start_twice_is_idempotent(host):
+    count = []
+    host.vfs.write("c:\\svc.exe", b"", payload=lambda h, p: count.append(1))
+    host.services.create("S", "c:\\svc.exe")
+    host.services.start("S")
+    host.services.start("S")
+    assert count == [1]
+
+
+def test_start_missing_service_raises(host):
+    with pytest.raises(ValueError):
+        host.services.start("ghost")
+
+
+def test_start_with_missing_image_logs_and_raises(host):
+    host.services.create("Broken", "c:\\missing.exe")
+    from repro.winsim.vfs import FileNotFound
+
+    with pytest.raises(FileNotFound):
+        host.services.start("Broken")
+    assert host.event_log.entries(severity="error", source="service-control")
+
+
+def test_stop_and_delete(host):
+    host.vfs.write("c:\\svc.exe", b"")
+    host.services.create("S", "c:\\svc.exe")
+    host.services.start("S")
+    assert host.services.stop("S")
+    assert not host.services.stop("S")
+    assert host.services.delete("S")
+    assert not host.services.exists("S")
+
+
+def test_start_all_auto_skips_manual(host):
+    host.vfs.write("c:\\a.exe", b"")
+    host.vfs.write("c:\\m.exe", b"")
+    host.services.create("AutoSvc", "c:\\a.exe")
+    host.services.create("ManualSvc", "c:\\m.exe",
+                         start_mode=Service.START_MANUAL)
+    started = host.services.start_all_auto()
+    assert started == ["AutoSvc"]
+
+
+def test_task_runs_after_delay(kernel, host):
+    fired = []
+    host.vfs.write("c:\\t.exe", b"", payload=lambda h, p: fired.append(kernel.now))
+    host.tasks.register("t1", "c:\\t.exe", delay=120.0)
+    kernel.run()
+    assert fired == [120.0]
+    assert host.tasks.get("t1").run_count == 1
+
+
+def test_task_missing_image_logged(kernel, host):
+    host.tasks.register("ghostly", "c:\\none.exe", delay=1.0)
+    kernel.run()
+    assert host.event_log.entries(source="task-scheduler", severity="error")
+
+
+def test_ms10_092_escalation_when_vulnerable(kernel, host):
+    integrities = []
+    host.vfs.write("c:\\e.exe", b"",
+                   payload=lambda h, p: integrities.append(p.integrity))
+    assert host.patches.is_vulnerable("MS10-092")
+    host.tasks.register("eop", "c:\\e.exe", delay=1.0,
+                        integrity=IntegrityLevel.SYSTEM,
+                        caller_integrity=IntegrityLevel.USER)
+    kernel.run()
+    assert integrities == [IntegrityLevel.SYSTEM]
+
+
+def test_ms10_092_patched_clamps_integrity(kernel, host):
+    integrities = []
+    host.patches.apply("MS10-092")
+    host.vfs.write("c:\\e.exe", b"",
+                   payload=lambda h, p: integrities.append(p.integrity))
+    host.tasks.register("eop", "c:\\e.exe", delay=1.0,
+                        integrity=IntegrityLevel.SYSTEM,
+                        caller_integrity=IntegrityLevel.USER)
+    kernel.run()
+    assert integrities == [IntegrityLevel.USER]
+    assert host.event_log.entries(source="task-scheduler",
+                                  severity="warning")

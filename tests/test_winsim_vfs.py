@@ -1,0 +1,151 @@
+"""Virtual filesystem semantics."""
+
+import pytest
+
+from repro.winsim import FileNotFound, VfsError, VirtualFileSystem
+from repro.winsim.vfs import normalize_path, split_path
+
+
+@pytest.fixture
+def vfs():
+    return VirtualFileSystem()
+
+
+def test_paths_are_case_insensitive(vfs):
+    vfs.write("C:\\Windows\\System32\\WINSTA.EXE", b"x")
+    assert vfs.exists("c:\\windows\\system32\\winsta.exe")
+    assert vfs.read("c:\\WINDOWS\\system32\\WinSta.exe") == b"x"
+
+
+def test_forward_slashes_normalised():
+    assert normalize_path("c:/windows/temp") == "c:\\windows\\temp"
+    assert normalize_path("c:\\\\double\\\\sep") == "c:\\double\\sep"
+    assert split_path("c:\\a\\b") == ("c:\\a", "b")
+
+
+def test_empty_path_rejected():
+    with pytest.raises(VfsError):
+        normalize_path("")
+
+
+def test_write_creates_parent_directories(vfs):
+    vfs.write("c:\\users\\bob\\documents\\deep\\file.txt", b"data")
+    assert vfs.is_dir("c:\\users\\bob\\documents\\deep")
+    assert vfs.is_dir("c:\\users\\bob")
+
+
+def test_standard_skeleton_exists(vfs):
+    assert vfs.is_dir("c:\\windows\\system32")
+    assert vfs.is_dir("c:\\windows\\system32\\drivers")
+
+
+def test_read_missing_raises(vfs):
+    with pytest.raises(FileNotFound):
+        vfs.read("c:\\nope.txt")
+
+
+def test_delete(vfs):
+    vfs.write("c:\\f.txt", b"1")
+    assert vfs.delete("c:\\f.txt")
+    assert not vfs.exists("c:\\f.txt")
+    assert vfs.delete("c:\\f.txt", missing_ok=True) is False
+    with pytest.raises(FileNotFound):
+        vfs.delete("c:\\f.txt")
+
+
+def test_rename_preserves_payload_and_content(vfs):
+    marker = []
+    vfs.write("c:\\windows\\system32\\s7otbxdx.dll", b"genuine",
+              payload=lambda h, p: marker.append(1))
+    record = vfs.rename("c:\\windows\\system32\\s7otbxdx.dll",
+                        "c:\\windows\\system32\\s7otbxsx.dll")
+    assert record.path.endswith("s7otbxsx.dll")
+    assert not vfs.exists("c:\\windows\\system32\\s7otbxdx.dll")
+    renamed = vfs.get("c:\\windows\\system32\\s7otbxsx.dll")
+    assert renamed.data == b"genuine"
+    assert renamed.payload is not None
+
+
+def test_overwrite_data_partial_preserves_tail(vfs):
+    vfs.write("c:\\doc.docx", b"A" * 100)
+    vfs.overwrite_data("c:\\doc.docx", b"B" * 10)
+    data = vfs.read("c:\\doc.docx")
+    assert data[:10] == b"B" * 10
+    assert data[10:] == b"A" * 90  # the Shamoon-bug shape
+
+
+def test_overwrite_data_extends_when_longer(vfs):
+    vfs.write("c:\\small.txt", b"ab")
+    vfs.overwrite_data("c:\\small.txt", b"XYZW")
+    assert vfs.read("c:\\small.txt") == b"XYZW"
+
+
+def test_overwrite_data_at_offset(vfs):
+    vfs.write("c:\\f.bin", b"0123456789")
+    vfs.overwrite_data("c:\\f.bin", b"XX", offset=4)
+    assert vfs.read("c:\\f.bin") == b"0123XX6789"
+
+
+def test_overwrite_readonly_rejected(vfs):
+    record = vfs.write("c:\\locked.txt", b"ro")
+    record.attributes.readonly = True
+    with pytest.raises(VfsError):
+        vfs.overwrite_data("c:\\locked.txt", b"x")
+
+
+def test_list_dir_only_direct_children(vfs):
+    vfs.write("c:\\top\\a.txt", b"")
+    vfs.write("c:\\top\\sub\\b.txt", b"")
+    names = [r.name for r in vfs.list_dir("c:\\top")]
+    assert names == ["a.txt"]
+
+
+def test_list_dir_missing_raises(vfs):
+    with pytest.raises(FileNotFound):
+        vfs.list_dir("c:\\ghost")
+
+
+def test_rootkit_hiding_api_vs_raw(vfs):
+    vfs.write("c:\\windows\\system32\\mrxnet.sys", b"rk", origin="stuxnet")
+    vfs.write("c:\\windows\\system32\\clean.dll", b"ok")
+    vfs.hide_filters.append(lambda record: record.origin == "stuxnet")
+    api_names = [r.name for r in vfs.list_dir("c:\\windows\\system32")]
+    raw_names = [r.name for r in vfs.list_dir("c:\\windows\\system32", raw=True)]
+    assert "mrxnet.sys" not in api_names
+    assert "mrxnet.sys" in raw_names
+    assert not vfs.exists("c:\\windows\\system32\\mrxnet.sys")
+    assert vfs.exists("c:\\windows\\system32\\mrxnet.sys", raw=True)
+    with pytest.raises(FileNotFound):
+        vfs.get("c:\\windows\\system32\\mrxnet.sys")
+
+
+def test_find_by_extension(vfs):
+    vfs.write("c:\\users\\u\\documents\\a.docx", b"")
+    vfs.write("c:\\users\\u\\documents\\b.DWG", b"")
+    vfs.write("c:\\users\\u\\documents\\c.txt", b"")
+    found = vfs.find_by_extension(["docx", ".dwg"])
+    assert sorted(r.name for r in found) == ["a.docx", "b.dwg"]
+
+
+def test_find_in_folders_named(vfs):
+    vfs.write("c:\\users\\u\\my documents\\plan.docx", b"")
+    vfs.write("c:\\users\\u\\downloads\\tool.zip", b"")
+    vfs.write("c:\\users\\u\\other\\x.txt", b"")
+    found = vfs.find_in_folders_named(["document", "download"])
+    assert sorted(r.name for r in found) == ["plan.docx", "tool.zip"]
+
+
+def test_walk_and_counts(vfs):
+    base = vfs.file_count()
+    vfs.write("c:\\a\\1.txt", b"123")
+    vfs.write("c:\\a\\b\\2.txt", b"4567")
+    assert vfs.file_count() == base + 2
+    assert len(vfs.walk("c:\\a")) == 2
+    assert vfs.total_bytes() >= 7
+
+
+def test_extension_and_size_properties(vfs):
+    record = vfs.write("c:\\archive.tar.gz", b"12345")
+    assert record.extension == "gz"
+    assert record.size == 5
+    assert vfs.write("c:\\noext", b"").extension == ""
