@@ -1,0 +1,203 @@
+"""ABLATION — fault tolerance: exfil success vs C&C takedown fraction.
+
+The fault-injection engine takes down a growing fraction of Flame's
+domain fleet (defaults first — researchers sinkhole the domains found
+in samples before the rest) and measures whether exfiltration still
+succeeds with the failover stack (domain rotation + retry + USB
+courier fallback) enabled vs disabled.  A separate scenario kills every
+domain a client knows and shows the pending backlog still exits on a
+USB stick via a newer deployment, exactly the §III.B courier channel.
+
+Two runs with the same kernel seed must produce byte-identical traces:
+fault schedules, packet-loss dice, and retry jitter all draw from
+forked, labelled RNG streams.
+"""
+
+from repro import CampaignWorld, comparison_table
+from repro.core import build_flame_infrastructure, build_office_lan
+from repro.malware.flame import Flame, FlameConfig
+from repro.sim import RetryPolicy
+from repro.usb.drive import UsbDrive
+from conftest import show
+
+DAY = 86400.0
+DOMAIN_COUNT = 40
+SERVER_COUNT = 10
+TAKEDOWN_FRACTIONS = (0.0, 0.25, 0.5, 0.75)
+
+#: The disabled arm: no rotation, no backoff, no courier fallback.
+_NO_FAILOVER = dict(rotate_domains=False, enable_usb_fallback=False,
+                    retry_policy=RetryPolicy(max_attempts=1))
+
+
+def _flame_config(failover):
+    kwargs = {} if failover else dict(_NO_FAILOVER)
+    return FlameConfig(enable_wu_mitm=False, enable_bluetooth=False,
+                       beacon_interval=6 * 3600.0,
+                       collect_interval=24 * 3600.0, **kwargs)
+
+
+def _takedown_order(infra):
+    """Defaults first, then the rest of the pool in seeded order."""
+    pool = infra["pool"]
+    defaults = list(infra["default_domains"])
+    rng = pool._rng.fork("takedown-order")
+    rest = rng.shuffle([d for d in pool.domains() if d not in defaults])
+    return defaults + rest
+
+
+def _rotation_run(seed, fraction, failover):
+    """One campaign: warm up, take down ``fraction`` of domains, measure."""
+    world = CampaignWorld(seed=seed)
+    kernel = world.kernel
+    infra = build_flame_infrastructure(world, domain_count=DOMAIN_COUNT,
+                                       server_count=SERVER_COUNT)
+    lan, hosts = build_office_lan(world, "office", host_count=2,
+                                  docs_per_host=4, microphone_fraction=0.0,
+                                  bluetooth_fraction=0.0)
+    flame = Flame(kernel, world.pki,
+                  default_domains=infra["default_domains"],
+                  coordinator_public_key=infra["center"].coordinator_public_key,
+                  config=_flame_config(failover))
+    flame.infect(hosts[0], via="initial")
+    kernel.run_for(2.0 * DAY)  # healthy warm-up: contact + learn rotation
+    uploaded_before = flame.stats["entries_uploaded"]
+
+    doomed = _takedown_order(infra)
+    count = int(round(fraction * DOMAIN_COUNT))
+    kernel.faults.inject_takedown_campaign(doomed[:count],
+                                           start=kernel.now, interval=600.0)
+    kernel.run_for(8.0 * DAY)
+
+    uploaded_after = flame.stats["entries_uploaded"] - uploaded_before
+    pending = len(flame._states[hosts[0].hostname].pending_entries)
+    return {
+        "world": world,
+        "warmed_up": uploaded_before > 0,
+        "uploaded_after_takedown": uploaded_after,
+        "pending": pending,
+        "success_rate": (uploaded_after / float(uploaded_after + pending)
+                         if (uploaded_after + pending) else 0.0),
+    }
+
+
+def _usb_fallback_run(seed, failover):
+    """Kill every domain one deployment knows; measure the courier path.
+
+    A second, newer deployment on another LAN ships the pool's last five
+    domains — the ones the takedown spares — so the stick that collects
+    the dead client's backlog can flush through a live C&C.
+    """
+    world = CampaignWorld(seed=seed)
+    kernel = world.kernel
+    infra = build_flame_infrastructure(world, domain_count=DOMAIN_COUNT,
+                                       server_count=SERVER_COUNT)
+    lan_a, hosts_a = build_office_lan(world, "cutoff", host_count=1,
+                                      docs_per_host=4, microphone_fraction=0.0,
+                                      bluetooth_fraction=0.0)
+    lan_b, hosts_b = build_office_lan(world, "fresh", host_count=1,
+                                      docs_per_host=4, microphone_fraction=0.0,
+                                      bluetooth_fraction=0.0)
+    victim, carrier = hosts_a[0], hosts_b[0]
+    pool_domains = infra["pool"].domains()
+    key = infra["center"].coordinator_public_key
+    flame_old = Flame(kernel, world.pki,
+                      default_domains=infra["default_domains"],
+                      coordinator_public_key=key,
+                      config=_flame_config(failover))
+    flame_new = Flame(kernel, world.pki, default_domains=pool_domains[-5:],
+                      coordinator_public_key=key,
+                      config=_flame_config(True))
+    flame_old.infect(victim, via="initial")
+    flame_new.infect(carrier, via="initial")
+    kernel.run_for(2.0 * DAY)
+
+    # Everything except the newer build's five domains goes dark.
+    kernel.faults.inject_takedown_campaign(pool_domains[:-5],
+                                           start=kernel.now, interval=300.0)
+    kernel.run_for(3.0 * DAY)  # retries exhaust; backlog accumulates
+
+    stick = UsbDrive("courier")
+    victim.insert_usb(stick)
+    victim.remove_usb(stick)
+    carrier.insert_usb(stick)
+    kernel.run_for(1.0 * DAY)
+    return {
+        "cnc_unreachable": flame_old._states[victim.hostname].cnc_unreachable,
+        "fallback_entries": flame_old.stats["fallback_entries"],
+        "couriered_out": flame_new.stats["courier_documents"],
+    }
+
+
+def _run(seed=23):
+    rotation = {}
+    for fraction in TAKEDOWN_FRACTIONS:
+        rotation[fraction] = {
+            "on": _rotation_run(seed, fraction, failover=True),
+            "off": _rotation_run(seed, fraction, failover=False),
+        }
+    usb = {
+        "on": _usb_fallback_run(seed, failover=True),
+        "off": _usb_fallback_run(seed, failover=False),
+    }
+    return {"rotation": rotation, "usb": usb}
+
+
+def test_ablation_fault_tolerance(once):
+    results = once(_run)
+    rotation, usb = results["rotation"], results["usb"]
+
+    for fraction in TAKEDOWN_FRACTIONS:
+        for arm in ("on", "off"):
+            assert rotation[fraction][arm]["warmed_up"]
+    # With nothing taken down both arms keep exfiltrating.
+    assert rotation[0.0]["on"]["uploaded_after_takedown"] > 0
+    assert rotation[0.0]["off"]["uploaded_after_takedown"] > 0
+    # Acceptance: at 50% takedown the failover stack keeps exfil alive;
+    # the pinned/no-retry client is dead (its domain fell in the first
+    # wave) and its backlog just grows.
+    assert rotation[0.5]["on"]["uploaded_after_takedown"] > 0
+    assert rotation[0.5]["off"]["uploaded_after_takedown"] == 0
+    assert rotation[0.5]["off"]["pending"] > 0
+    # Failover never does worse than the disabled arm at any fraction.
+    for fraction in TAKEDOWN_FRACTIONS:
+        assert (rotation[fraction]["on"]["success_rate"]
+                >= rotation[fraction]["off"]["success_rate"])
+
+    # Total blackout: the backlog walks out on the stick — but only with
+    # the fallback enabled.
+    assert usb["on"]["cnc_unreachable"]
+    assert usb["on"]["fallback_entries"] > 0
+    assert usb["on"]["couriered_out"] > 0
+    assert usb["off"]["fallback_entries"] == 0
+    assert usb["off"]["couriered_out"] == 0
+
+    rows = []
+    for fraction in TAKEDOWN_FRACTIONS:
+        on, off = rotation[fraction]["on"], rotation[fraction]["off"]
+        rows.append((
+            "takedown %d%% of %d domains" % (int(fraction * 100),
+                                             DOMAIN_COUNT),
+            "survives via rotation+retry" if fraction else "baseline",
+            "failover on: %.0f%% exfil / off: %.0f%%"
+            % (100 * on["success_rate"], 100 * off["success_rate"]),
+            True,
+        ))
+    rows.append((
+        "all known domains dead",
+        "USB hidden-db courier (III.B)",
+        "%d entries couriered out via stick" % usb["on"]["couriered_out"],
+        True,
+    ))
+    show(comparison_table("ABLATION - fault tolerance vs takedown", rows))
+
+
+def test_fault_tolerance_trace_determinism():
+    """Same seed, same scenario => byte-identical event traces."""
+    run_a = _rotation_run(seed=23, fraction=0.5, failover=True)
+    run_b = _rotation_run(seed=23, fraction=0.5, failover=True)
+    trace_a = run_a["world"].kernel.trace.dump()
+    trace_b = run_b["world"].kernel.trace.dump()
+    assert trace_a.encode("utf-8") == trace_b.encode("utf-8")
+    assert (run_a["world"].kernel.faults.schedule()
+            == run_b["world"].kernel.faults.schedule())

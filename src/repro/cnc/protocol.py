@@ -14,12 +14,20 @@ from repro.netsim.network import NetworkError
 
 
 class CncClient:
-    """The C&C stub embedded in an infected host's malware."""
+    """The C&C stub embedded in an infected host's malware.
 
-    def __init__(self, client_id, default_domains, client_type="CLIENT_TYPE_FL"):
+    ``rotate=False`` is the resilience-ablation lever: the client pins
+    itself to its first default domain and never learns the wider
+    rotation, so a single takedown severs it — exactly what the paper's
+    80-domain design exists to prevent.
+    """
+
+    def __init__(self, client_id, default_domains, client_type="CLIENT_TYPE_FL",
+                 rotate=True):
         self.client_id = client_id
         self.domains = list(default_domains)
         self.client_type = client_type
+        self.rotate = rotate
         self.contact_count = 0
         self.failed_contacts = 0
         self.bytes_uploaded = 0
@@ -27,16 +35,28 @@ class CncClient:
 
     def _try_domains(self, lan, host, send):
         """Walk the domain list until one server answers."""
-        for domain in list(self.domains):
+        candidates = list(self.domains) if self.rotate else self.domains[:1]
+        for domain in candidates:
             try:
                 response = send(domain)
             except NetworkError:
                 self.failed_contacts += 1
                 continue
             if response.ok:
+                self._promote(domain)
                 return domain, response
             self.failed_contacts += 1
         return None, None
+
+    def _promote(self, domain):
+        """Move the last known-good domain to the front of the rotation,
+        so steady-state traffic stops paying for dead list prefixes."""
+        if self.rotate and self.domains and self.domains[0] != domain:
+            try:
+                self.domains.remove(domain)
+            except ValueError:
+                return
+            self.domains.insert(0, domain)
 
     def get_news(self, lan, host):
         """Fetch pending packages; learn new domains on success.
@@ -57,9 +77,10 @@ class CncClient:
             return None
         self.contact_count += 1
         payload = json.loads(response.body.decode("utf-8"))
-        for new_domain in payload.get("domains", []):
-            if new_domain not in self.domains:
-                self.domains.append(new_domain)
+        if self.rotate:
+            for new_domain in payload.get("domains", []):
+                if new_domain not in self.domains:
+                    self.domains.append(new_domain)
         return [decode_package(p.encode("utf-8")) for p in payload.get("packages", [])]
 
     def add_entry(self, lan, host, plaintext, coordinator_public_key):

@@ -7,12 +7,19 @@ domains — which the domain-rotation ablation measures.
 
 
 class DnsServer:
-    """Flat authoritative DNS with sinkhole support."""
+    """Flat authoritative DNS with sinkhole support.
 
-    def __init__(self):
+    ``faults`` is an optional :class:`repro.sim.faults.FaultInjector`;
+    when set, scheduled DNS fault windows (blackouts, takedowns,
+    sinkholing campaigns) override the static record table, so injected
+    failures are indistinguishable from real ones to clients.
+    """
+
+    def __init__(self, faults=None):
         self._records = {}
         self._sinkholed = {}
         self.query_log = []
+        self.faults = faults
 
     @staticmethod
     def _canonical(name):
@@ -45,6 +52,11 @@ class DnsServer:
         """Resolve a name; returns the address or None (NXDOMAIN)."""
         canonical = self._canonical(name)
         self.query_log.append((canonical, client))
+        if self.faults is not None:
+            disposition = self.faults.dns_disposition(canonical)
+            if disposition is not None:
+                action, value = disposition
+                return value if action == "sinkhole" else None
         if canonical in self._sinkholed:
             return self._sinkholed[canonical]
         return self._records.get(canonical)

@@ -4,6 +4,7 @@ from repro.netsim.dns import DnsServer
 from repro.netsim.http import HttpRequest, url_host
 from repro.netsim.packet import PacketCapture
 from repro.netsim.wpad import discover_proxy
+from repro.sim.faults import GLOBAL_SCOPE, REQUEST_TIMEOUT, lan_scope
 
 
 class NetworkError(Exception):
@@ -24,7 +25,8 @@ class Internet:
 
     def __init__(self, kernel):
         self.kernel = kernel
-        self.dns = DnsServer()
+        self.faults = getattr(kernel, "faults", None)
+        self.dns = DnsServer(faults=self.faults)
         self.capture = PacketCapture(kernel.clock)
         self._sites = {}
         self._next_ip = [1]
@@ -65,6 +67,23 @@ class Internet:
                               params=params, body=body)
         self.capture.record(client_label, domain, "http",
                             "%s %s" % (method, request.path), size=request.size)
+        if self.faults is not None:
+            # The request went out (captured above) but never completes:
+            # injected faults surface as the ordinary error taxonomy.
+            if self.faults.site_down(address):
+                raise NoRouteError(
+                    "connection refused: server at %s is down (domain %r)"
+                    % (address, domain))
+            if self.faults.should_drop(GLOBAL_SCOPE, domain):
+                raise NetworkError(
+                    "packet loss: request from %r to %r dropped"
+                    % (client_label, domain))
+            delay = self.faults.extra_latency(GLOBAL_SCOPE, domain)
+            if delay >= REQUEST_TIMEOUT:
+                self.faults.note_timeout(domain)
+                raise NetworkError(
+                    "request to %r timed out (%.0fs injected latency)"
+                    % (domain, delay))
         response = server.handle(request)
         self.capture.record(domain, client_label, "http",
                             "response %d" % response.status, size=response.size)
@@ -73,7 +92,11 @@ class Internet:
     def reachable(self, domain, client_label="probe"):
         """Can ``domain`` be resolved and contacted at all?"""
         address = self.dns.resolve(domain, client=client_label)
-        return address is not None and address in self._sites
+        if address is None or address not in self._sites:
+            return False
+        if self.faults is not None and self.faults.site_down(address):
+            return False
+        return True
 
 
 class Lan:
@@ -89,7 +112,7 @@ class Lan:
         self.name = name
         self.internet = internet
         self.domain_name = domain_name
-        self.local_dns = DnsServer()
+        self.local_dns = DnsServer(faults=getattr(kernel, "faults", None))
         self.capture = PacketCapture(kernel.clock)
         self._hosts_by_ip = {}
         self._hosts_by_name = {}
@@ -102,6 +125,10 @@ class Lan:
 
     def attach(self, host, ip=None, join_domain=True):
         """Connect a host; assigns an address and (optionally) domain trust."""
+        hostname = host.hostname.lower()
+        if hostname in self._hosts_by_name:
+            raise NetworkError(
+                "hostname already on LAN %r: %s" % (self.name, hostname))
         if ip is None:
             ip = "10.0.0.%d" % self._next_ip
             self._next_ip += 1
@@ -109,7 +136,7 @@ class Lan:
             raise NetworkError("address already in use: %s" % ip)
         host.nic = (self, ip)
         self._hosts_by_ip[ip] = host
-        self._hosts_by_name[host.hostname.lower()] = host
+        self._hosts_by_name[hostname] = host
         if join_domain:
             host.accepted_credentials.add(self.domain_admin_credential)
         return ip
@@ -193,6 +220,23 @@ class Lan:
             raise NoRouteError(
                 "LAN %r is air-gapped; cannot reach %r" % (self.name, request.url)
             )
+        faults = getattr(self.kernel, "faults", None)
+        if faults is not None:
+            scope = lan_scope(self.name)
+            if faults.site_down(scope):
+                raise NoRouteError(
+                    "LAN %r uplink is down; cannot reach %r"
+                    % (self.name, request.url))
+            if faults.should_drop(scope):
+                raise NetworkError(
+                    "packet loss on LAN %r uplink: %r dropped"
+                    % (self.name, request.url))
+            delay = faults.extra_latency(scope)
+            if delay >= REQUEST_TIMEOUT:
+                faults.note_timeout(scope)
+                raise NetworkError(
+                    "request via LAN %r uplink timed out (%.0fs injected "
+                    "latency)" % (self.name, delay))
         return self.internet.http(request.client, request.method, request.url,
                                   params=request.params, body=request.body)
 

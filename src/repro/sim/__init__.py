@@ -12,6 +12,8 @@ stable event sequences.
 from repro.sim.clock import SimClock, SIM_EPOCH
 from repro.sim.errors import SimulationError, ScheduleInPastError
 from repro.sim.events import Event, EventQueue, Kernel, PeriodicTask
+from repro.sim.faults import FaultInjector, FaultKind, FaultWindow, lan_scope
+from repro.sim.retry import RetryPolicy, RetryTask
 from repro.sim.rng import DeterministicRandom
 from repro.sim.trace import TraceLog, TraceRecord
 
@@ -20,11 +22,17 @@ __all__ = [
     "DeterministicRandom",
     "Event",
     "EventQueue",
+    "FaultInjector",
+    "FaultKind",
+    "FaultWindow",
     "Kernel",
     "PeriodicTask",
+    "RetryPolicy",
+    "RetryTask",
     "ScheduleInPastError",
     "SimClock",
     "SimulationError",
     "TraceLog",
     "TraceRecord",
+    "lan_scope",
 ]

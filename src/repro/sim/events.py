@@ -4,6 +4,7 @@ import heapq
 
 from repro.sim.clock import SimClock
 from repro.sim.errors import ScheduleInPastError, SimulationError
+from repro.sim.faults import FaultInjector
 from repro.sim.rng import DeterministicRandom
 from repro.sim.trace import TraceLog
 
@@ -16,7 +17,7 @@ class Event:
     figure traces rely on.
     """
 
-    __slots__ = ("time", "sequence", "callback", "label", "cancelled")
+    __slots__ = ("time", "sequence", "callback", "label", "cancelled", "_queue")
 
     def __init__(self, time, sequence, callback, label):
         self.time = time
@@ -24,10 +25,15 @@ class Event:
         self.callback = callback
         self.label = label
         self.cancelled = False
+        self._queue = None
 
     def cancel(self):
         """Mark the event so the kernel skips it at dispatch time."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
+                self._queue = None
 
     def __lt__(self, other):
         return (self.time, self.sequence) < (other.time, other.sequence)
@@ -43,10 +49,15 @@ class EventQueue:
     def __init__(self):
         self._heap = []
         self._sequence = 0
+        #: Count of non-cancelled events, maintained incrementally so
+        #: ``len()`` is O(1) even with millions of pending events.
+        self._live = 0
 
     def push(self, time, callback, label):
         event = Event(time, self._sequence, callback, label)
+        event._queue = self
         self._sequence += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -55,6 +66,10 @@ class EventQueue:
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                self._live -= 1
+                # Detach: cancelling an already-dispatched event must
+                # not decrement the live counter again.
+                event._queue = None
                 return event
         return None
 
@@ -65,7 +80,7 @@ class EventQueue:
         return self._heap[0].time if self._heap else None
 
     def __len__(self):
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self):
         return self.peek_time() is not None
@@ -134,6 +149,7 @@ class Kernel:
         self.clock = SimClock() if epoch is None else SimClock(epoch)
         self.rng = DeterministicRandom(seed)
         self.trace = TraceLog(self.clock)
+        self.faults = FaultInjector(self)
         self._queue = EventQueue()
         self._dispatched = 0
 
@@ -185,22 +201,27 @@ class Kernel:
         Returns the number of events dispatched by this call.
         """
         dispatched = 0
+        last_label = None
         while True:
             next_time = self._queue.peek_time()
             if next_time is None:
                 break
             if until is not None and next_time > until:
                 break
+            if dispatched >= max_events:
+                # Raise *before* dispatching event max_events + 1, so a
+                # budget of N never executes more than N callbacks.
+                raise SimulationError(
+                    "dispatched %d events without draining; runaway "
+                    "simulation (last event label: %r)"
+                    % (dispatched, last_label)
+                )
             event = self._queue.pop()
             self.clock.advance_to(event.time)
             event.callback()
+            last_label = event.label
             dispatched += 1
             self._dispatched += 1
-            if dispatched > max_events:
-                raise SimulationError(
-                    "dispatched more than %d events; runaway simulation "
-                    "(last event label: %r)" % (max_events, event.label)
-                )
         if until is not None and until > self.clock.now:
             self.clock.advance_to(until)
         return dispatched

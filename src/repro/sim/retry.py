@@ -1,0 +1,133 @@
+"""Client-side resilience: bounded retries with exponential backoff.
+
+The malware the paper dissects did not give up after one failed C&C
+contact — Flame rotates through its learned domain list, Stuxnet fails
+over between its two futbol domains, Shamoon's reporter keeps trying
+while the wipe proceeds.  :class:`RetryPolicy` is the shared primitive:
+a bounded number of attempts separated by exponential backoff with
+seeded jitter, scheduled on the kernel so backoff consumes *virtual*
+time and every retry lands in the deterministic event order.
+"""
+
+
+class RetryPolicy:
+    """Attempt schedule: how many tries, how far apart.
+
+    A policy is immutable configuration; each in-flight sequence of
+    attempts is a :class:`RetryTask` created by :meth:`execute`.  The
+    jitter for a task draws from an RNG stream forked off the kernel's
+    by task label and start time, so retries are reproducible without
+    perturbing any other component's randomness.
+    """
+
+    def __init__(self, max_attempts=3, base_delay=60.0, multiplier=2.0,
+                 max_delay=6 * 3600.0, jitter=0.25):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1, got %r" % max_attempts)
+        if base_delay <= 0:
+            raise ValueError("base_delay must be positive, got %r" % base_delay)
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1, got %r" % multiplier)
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be within [0, 1), got %r" % jitter)
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+
+    def delay_for(self, attempt, rng):
+        """Backoff before attempt number ``attempt + 1`` (1-based)."""
+        delay = min(self.base_delay * self.multiplier ** (attempt - 1),
+                    self.max_delay)
+        if self.jitter:
+            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return max(delay, 1e-9)
+
+    def execute(self, kernel, attempt, label="retry",
+                on_success=None, on_give_up=None):
+        """Run ``attempt`` now, retrying on failure until attempts run out.
+
+        ``attempt()`` signals failure by returning ``None`` or raising
+        an exception; any other return value is success.  The first
+        attempt runs synchronously (a beacon that succeeds immediately
+        behaves exactly as before retries existed); subsequent attempts
+        are scheduled with ``kernel.call_later``.  Returns the
+        :class:`RetryTask`.
+        """
+        task = RetryTask(kernel, self, attempt, label,
+                         on_success=on_success, on_give_up=on_give_up)
+        task._attempt()
+        return task
+
+
+class RetryTask:
+    """One in-flight retry sequence.  Created by :meth:`RetryPolicy.execute`."""
+
+    def __init__(self, kernel, policy, attempt, label,
+                 on_success=None, on_give_up=None):
+        self.kernel = kernel
+        self.policy = policy
+        self.label = label
+        self.attempts = 0
+        self.finished = False
+        self.succeeded = False
+        self.result = None
+        self._attempt_fn = attempt
+        self._on_success = on_success
+        self._on_give_up = on_give_up
+        self._pending = None
+        self._cancelled = False
+        self._rng = kernel.rng.fork(
+            "retry:%s@%r" % (label, kernel.clock.now))
+
+    @property
+    def pending(self):
+        """True while another attempt is scheduled or in flight."""
+        return not self.finished and not self._cancelled
+
+    def cancel(self):
+        """Abandon the sequence (e.g. the client suicided mid-backoff)."""
+        self._cancelled = True
+        self.finished = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _attempt(self):
+        if self.finished:
+            return
+        self._pending = None
+        self.attempts += 1
+        try:
+            result = self._attempt_fn()
+        except Exception:
+            result = None
+        if result is not None:
+            self.finished = True
+            self.succeeded = True
+            self.result = result
+            self.kernel.trace.record("retry", "retry-succeeded", self.label,
+                                     attempts=self.attempts)
+            if self._on_success is not None:
+                self._on_success(result)
+            return
+        if self.attempts >= self.policy.max_attempts:
+            self.finished = True
+            self.kernel.trace.record("retry", "retry-exhausted", self.label,
+                                     attempts=self.attempts)
+            if self._on_give_up is not None:
+                self._on_give_up()
+            return
+        delay = self.policy.delay_for(self.attempts, self._rng)
+        self.kernel.trace.record("retry", "retry-backoff", self.label,
+                                 attempt=self.attempts, delay=delay)
+        self._pending = self.kernel.call_later(
+            delay, self._attempt, "retry:%s" % self.label)
+
+    def __repr__(self):
+        state = ("cancelled" if self._cancelled
+                 else "ok" if self.succeeded
+                 else "exhausted" if self.finished else "pending")
+        return "RetryTask(%r, attempts=%d, %s)" % (
+            self.label, self.attempts, state)

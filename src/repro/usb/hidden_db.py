@@ -23,7 +23,32 @@ class HiddenDatabase:
         self._state = {"seen_internet": False, "documents": [], "beacons": []}
         existing = drive.get(HIDDEN_DB_FILENAME)
         if existing is not None and existing.data:
-            self._state = json.loads(existing.data.decode("utf-8"))
+            loaded = self._parse(existing.data)
+            if loaded is not None:
+                self._state = loaded
+
+    @staticmethod
+    def _parse(blob):
+        """Decode a hidden-db blob, or None when it is corrupt.
+
+        Couriers get yanked mid-write and FAT entries rot; per §III.B
+        ("if it does not exist, it will create one") a corrupt or
+        truncated database is treated as absent and recreated rather
+        than crashing the insertion handler.
+        """
+        try:
+            loaded = json.loads(blob.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(loaded, dict):
+            return None
+        if not isinstance(loaded.get("seen_internet"), bool):
+            return None
+        if not isinstance(loaded.get("documents"), list):
+            return None
+        if not isinstance(loaded.get("beacons"), list):
+            return None
+        return loaded
 
     @classmethod
     def load_or_create(cls, drive):

@@ -1,0 +1,284 @@
+"""Malware-level resilience: rotation, failover, retry, USB fallback.
+
+These tests exercise the behaviours the paper attributes to each
+family against *injected* infrastructure failures: Flame rotates its
+domain list and falls back to the hidden USB database, Stuxnet fails
+over between its two futbol domains and backs off through outages,
+Shamoon's reporter retries and degrades to a lost report while the
+wipe proceeds regardless.
+"""
+
+import pytest
+
+from repro.cnc import AttackCenter, CncServer
+from repro.malware.flame import Flame, FlameConfig
+from repro.malware.shamoon import Shamoon, ShamoonConfig
+from repro.malware.shamoon.reporter import ShamoonReportSink
+from repro.malware.stuxnet import Stuxnet, StuxnetConfig
+from repro.malware.stuxnet.cnc import STUXNET_DOMAINS, StuxnetCncService
+from repro.netsim import Internet, Lan
+from repro.netsim.http import HttpResponse, HttpServer
+from repro.sim import RetryPolicy
+from repro.usb.drive import UsbDrive
+
+DAY = 86400.0
+
+
+# -- Flame: domain rotation under takedown -------------------------------------
+
+@pytest.fixture
+def rotation_world(kernel, world, host_factory):
+    """Two C&C servers, two domains each; clients default to one of each."""
+    internet = Internet(kernel)
+    center = AttackCenter(kernel)
+    addresses = {}
+    for name, domains in (("srv-a", ["a1.example.com", "a2.example.com"]),
+                          ("srv-b", ["b1.example.com", "b2.example.com"])):
+        server = CncServer(kernel, name, center.coordinator_public_key,
+                           extra_domains=domains[1:])
+        addresses[name] = center.provision_server(server, internet, domains)
+    lan = Lan(kernel, "office", internet=internet)
+    victim = host_factory("ROT-V")
+    lan.attach(victim)
+    victim.vfs.write("c:\\users\\u\\documents\\secret.docx", b"S" * 300)
+    return {"internet": internet, "center": center, "lan": lan,
+            "victim": victim, "pki": world}
+
+
+def _flame(kernel, rotation_world, **config_kwargs):
+    config = FlameConfig(enable_wu_mitm=False, enable_bluetooth=False,
+                        beacon_interval=3600.0, collect_interval=4 * 3600.0,
+                        **config_kwargs)
+    return Flame(kernel, rotation_world["pki"],
+                 default_domains=["a1.example.com", "b1.example.com"],
+                 coordinator_public_key=rotation_world["center"].coordinator_public_key,
+                 config=config)
+
+
+def test_rotation_survives_takedown_of_primary(kernel, rotation_world):
+    flame = _flame(kernel, rotation_world)
+    flame.infect(rotation_world["victim"], via="initial")
+    kernel.run_for(1.0 * DAY)
+    before = flame.stats["entries_uploaded"]
+    assert before > 0
+    # Researchers seize server A's entire presence.
+    kernel.faults.inject_takedown("a1.example.com")
+    kernel.faults.inject_takedown("a2.example.com")
+    kernel.run_for(2.0 * DAY)
+    # Rotation walked to the b-family; exfil continued.
+    assert flame.stats["entries_uploaded"] > before
+    assert not flame._states["ROT-V"].cnc_unreachable
+
+
+def test_pinned_client_dies_with_its_single_domain(kernel, rotation_world):
+    flame = _flame(kernel, rotation_world, rotate_domains=False,
+                   retry_policy=RetryPolicy(max_attempts=1))
+    flame.infect(rotation_world["victim"], via="initial")
+    kernel.run_for(1.0 * DAY)
+    before = flame.stats["entries_uploaded"]
+    assert before > 0
+    kernel.faults.inject_takedown("a1.example.com")
+    kernel.run_for(2.0 * DAY)
+    # b1 is alive and in the default list, but the pinned client never
+    # rotates to it: this is the resilience gap the 80-domain fleet buys.
+    assert flame.stats["entries_uploaded"] == before
+    assert flame._states["ROT-V"].cnc_unreachable
+
+
+def test_retry_bridges_a_short_outage_within_one_beacon(kernel,
+                                                        rotation_world):
+    flame = _flame(kernel, rotation_world, retry_policy=RetryPolicy(
+        max_attempts=3, base_delay=1200.0, multiplier=2.0, jitter=0.0))
+    flame.infect(rotation_world["victim"], via="initial")
+    kernel.run_for(0.5 * DAY)
+    before = flame.stats["entries_uploaded"]
+    # Both server addresses dark for 30 minutes starting just before a
+    # beacon: the first attempt fails, a backoff attempt lands after.
+    for address in rotation_world["internet"]._sites:
+        kernel.faults.inject_outage(address, duration=1800.0)
+    kernel.run_for(0.5 * DAY)
+    assert flame.stats["entries_uploaded"] > before
+    assert kernel.trace.count(actor="retry", action="retry-succeeded") >= 1
+
+
+def test_usb_fallback_carries_backlog_to_live_deployment(kernel,
+                                                         rotation_world,
+                                                         host_factory):
+    """All of client A's domains die; the backlog exits on a stick via a
+    second deployment whose (newer) domains still resolve."""
+    flame_a = _flame(kernel, rotation_world)
+    flame_a.default_domains = ["a1.example.com", "a2.example.com"]
+    victim = rotation_world["victim"]
+    flame_a.infect(victim, via="initial")
+
+    flame_b = _flame(kernel, rotation_world)
+    flame_b.default_domains = ["b1.example.com", "b2.example.com"]
+    carrier = host_factory("ROT-C")
+    rotation_world["lan"].attach(carrier)
+    flame_b.infect(carrier, via="initial")
+
+    kernel.run_for(1.0 * DAY)
+    kernel.faults.inject_takedown("a1.example.com")
+    kernel.faults.inject_takedown("a2.example.com")
+    kernel.run_for(2.0 * DAY)  # retries exhaust; backlog accumulates
+    state = flame_a._states[victim.hostname]
+    assert state.cnc_unreachable
+    assert state.pending_entries
+
+    stick = UsbDrive("courier")
+    victim.insert_usb(stick)
+    assert flame_a.stats["fallback_entries"] > 0
+    victim.remove_usb(stick)
+    carrier.insert_usb(stick)
+    assert flame_b.stats["courier_documents"] > 0
+
+
+def test_usb_fallback_respects_disable_flag(kernel, rotation_world):
+    flame = _flame(kernel, rotation_world, enable_usb_fallback=False,
+                   retry_policy=RetryPolicy(max_attempts=1))
+    victim = rotation_world["victim"]
+    flame.infect(victim, via="initial")
+    kernel.run_for(0.5 * DAY)
+    kernel.faults.inject_takedown_campaign(
+        ["a1.example.com", "a2.example.com",
+         "b1.example.com", "b2.example.com"])
+    kernel.run_for(1.0 * DAY)
+    assert flame._states[victim.hostname].cnc_unreachable
+    stick = UsbDrive("courier")
+    victim.insert_usb(stick)
+    assert flame.stats["fallback_entries"] == 0
+
+
+def test_courier_keeps_cargo_when_flush_host_is_also_cut_off(kernel,
+                                                             rotation_world,
+                                                             host_factory):
+    flame = _flame(kernel, rotation_world)
+    victim = rotation_world["victim"]
+    flame.infect(victim, via="initial")
+    other = host_factory("ROT-O")
+    rotation_world["lan"].attach(other)
+    flame.infect(other, via="initial")
+    kernel.run_for(1.0 * DAY)
+    kernel.faults.inject_takedown_campaign(
+        ["a1.example.com", "a2.example.com",
+         "b1.example.com", "b2.example.com"])
+    kernel.run_for(2.0 * DAY)
+    stick = UsbDrive("courier")
+    victim.insert_usb(stick)
+    stored = flame.stats["fallback_entries"]
+    assert stored > 0
+    victim.remove_usb(stick)
+    # The second host's rotation is just as dead: nothing uploads, the
+    # original cargo survives, and the second host piles its own backlog
+    # onto the same courier.
+    other.insert_usb(stick)
+    assert flame.stats["courier_documents"] == 0
+    from repro.usb.hidden_db import HiddenDatabase
+    assert len(HiddenDatabase(stick).documents()) >= stored
+
+
+# -- Stuxnet: futbol-domain failover -------------------------------------------
+
+@pytest.fixture
+def stuxnet_world(kernel, world, host_factory):
+    internet = Internet(kernel)
+    probe = HttpServer("wu")
+    probe.route("/", lambda r: HttpResponse(200, b"ok"))
+    internet.register_site("www.windowsupdate.com", probe)
+    service = StuxnetCncService(internet)
+    lan = Lan(kernel, "office", internet=internet)
+    victim = host_factory("STX-V", os_version="xp")
+    lan.attach(victim)
+    return {"internet": internet, "service": service, "lan": lan,
+            "victim": victim, "pki": world}
+
+
+def test_stuxnet_fails_over_to_second_futbol_domain(kernel, stuxnet_world):
+    kernel.faults.inject_takedown(STUXNET_DOMAINS[0])
+    stux = Stuxnet(kernel, stuxnet_world["pki"],
+                   cnc_service=stuxnet_world["service"])
+    stux.infect(stuxnet_world["victim"], via="initial")
+    kernel.run_for(2.0 * DAY)
+    assert stuxnet_world["service"].victim_reports
+    assert kernel.trace.count(actor="STX-V", action="stuxnet-cnc-failover") >= 1
+    assert "STX-V" not in stux.cnc_unreachable_hosts
+
+
+def test_stuxnet_without_failover_loses_contact(kernel, stuxnet_world):
+    kernel.faults.inject_takedown(STUXNET_DOMAINS[0])
+    stux = Stuxnet(kernel, stuxnet_world["pki"],
+                   cnc_service=stuxnet_world["service"],
+                   config=StuxnetConfig(cnc_failover=False,
+                                        spread_over_network=False))
+    stux.infect(stuxnet_world["victim"], via="initial")
+    kernel.run_for(2.0 * DAY)
+    assert not stuxnet_world["service"].victim_reports
+    assert "STX-V" in stux.cnc_unreachable_hosts
+
+
+def test_stuxnet_retry_rides_out_short_blackout(kernel, stuxnet_world):
+    # Both domains dark across the first beacon; the backoff attempt
+    # lands after the window closes.
+    for domain in STUXNET_DOMAINS:
+        kernel.faults.inject_dns_blackout(domain, start=0.0,
+                                          duration=1.05 * DAY)
+    stux = Stuxnet(kernel, stuxnet_world["pki"],
+                   cnc_service=stuxnet_world["service"],
+                   config=StuxnetConfig(
+                       spread_over_network=False,
+                       retry_policy=RetryPolicy(max_attempts=3,
+                                                base_delay=3 * 3600.0,
+                                                multiplier=2.0, jitter=0.0)))
+    stux.infect(stuxnet_world["victim"], via="initial")
+    kernel.run_for(1.5 * DAY)
+    assert stuxnet_world["service"].victim_reports
+
+
+# -- Shamoon: reporter retry and graceful loss ---------------------------------
+
+@pytest.fixture
+def shamoon_world(kernel, world, host_factory):
+    internet = Internet(kernel)
+    sink = ShamoonReportSink()
+    address = internet.register_site("report.example.com", sink.server)
+    lan = Lan(kernel, "org", internet=internet, domain_name="org.com")
+    victim = host_factory("SHM-V", file_and_print_sharing=True)
+    lan.attach(victim)
+    victim.vfs.write("c:\\users\\u\\documents\\doc.docx", b"D" * 5000)
+    return {"internet": internet, "sink": sink, "sink_address": address,
+            "lan": lan, "victim": victim, "pki": world}
+
+
+def _shamoon(kernel, shamoon_world, **config_kwargs):
+    config = ShamoonConfig(report_domain="report.example.com",
+                           **config_kwargs)
+    return Shamoon(kernel, shamoon_world["pki"],
+                   shamoon_world["lan"].domain_admin_credential, config)
+
+
+def test_report_retries_through_sink_outage(kernel, shamoon_world):
+    sham = _shamoon(kernel, shamoon_world, report_retry=RetryPolicy(
+        max_attempts=4, base_delay=600.0, multiplier=2.0, jitter=0.0))
+    sham.infect(shamoon_world["victim"], via="initial")
+    # The sink is dark when the wiper fires but recovers 30 min later.
+    trigger_at = kernel.clock.seconds_until(sham.config.trigger)
+    kernel.faults.inject_outage(shamoon_world["sink_address"],
+                                start=trigger_at - 60.0, duration=1800.0)
+    kernel.run_for(trigger_at + DAY)
+    assert sham.wiped_hosts  # the wipe never waited on the report
+    assert sham.reports_sent == 1
+    assert sham.reports_lost == 0
+    assert shamoon_world["sink"].total_files_reported() > 0
+
+
+def test_report_marked_lost_when_sink_never_returns(kernel, shamoon_world):
+    sham = _shamoon(kernel, shamoon_world)
+    sham.infect(shamoon_world["victim"], via="initial")
+    kernel.faults.inject_takedown("report.example.com")
+    trigger_at = kernel.clock.seconds_until(sham.config.trigger)
+    kernel.run_for(trigger_at + DAY)
+    # Degraded success: the host is wiped, the telemetry is gone.
+    assert sham.wiped_hosts
+    assert sham.reports_sent == 0
+    assert sham.reports_lost == 1
+    assert kernel.trace.count(actor="shamoon", action="report-lost") == 1

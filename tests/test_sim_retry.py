@@ -1,0 +1,112 @@
+"""RetryPolicy/RetryTask: bounded attempts, virtual-time backoff."""
+
+import pytest
+
+from repro.sim import Kernel
+from repro.sim.retry import RetryPolicy
+
+
+def test_first_attempt_runs_synchronously(kernel):
+    calls = []
+    task = RetryPolicy(max_attempts=3).execute(
+        kernel, lambda: calls.append("x") or "done", label="t")
+    assert task.succeeded and task.result == "done"
+    assert task.attempts == 1
+    assert calls == ["x"]
+    assert kernel.pending_events == 0  # nothing left scheduled
+
+
+def test_backoff_consumes_virtual_time(kernel):
+    policy = RetryPolicy(max_attempts=3, base_delay=100.0, multiplier=2.0,
+                         jitter=0.0)
+    seen = []
+
+    def attempt():
+        seen.append(kernel.now)
+        return "ok" if len(seen) == 3 else None
+
+    task = policy.execute(kernel, attempt, label="t")
+    assert not task.finished  # first attempt failed; backoff pending
+    kernel.run()
+    assert task.succeeded and task.attempts == 3
+    # Attempts at t=0, t=100, t=100+200 exactly (jitter disabled).
+    assert seen == [0.0, 100.0, 300.0]
+
+
+def test_exhaustion_calls_give_up(kernel):
+    policy = RetryPolicy(max_attempts=4, base_delay=10.0, jitter=0.0)
+    outcomes = []
+    task = policy.execute(kernel, lambda: None, label="t",
+                          on_give_up=lambda: outcomes.append("lost"))
+    kernel.run()
+    assert task.finished and not task.succeeded
+    assert task.attempts == 4
+    assert outcomes == ["lost"]
+
+
+def test_exceptions_count_as_failed_attempts(kernel):
+    policy = RetryPolicy(max_attempts=2, base_delay=5.0, jitter=0.0)
+
+    def attempt():
+        raise RuntimeError("substrate said no")
+
+    task = policy.execute(kernel, attempt, label="t")
+    kernel.run()
+    assert task.finished and not task.succeeded and task.attempts == 2
+
+
+def test_delay_caps_at_max_delay(kernel):
+    policy = RetryPolicy(max_attempts=10, base_delay=100.0, multiplier=10.0,
+                         max_delay=500.0, jitter=0.0)
+    rng = kernel.rng.fork("check")
+    assert policy.delay_for(1, rng) == 100.0
+    assert policy.delay_for(2, rng) == 500.0
+    assert policy.delay_for(5, rng) == 500.0
+
+
+def test_cancel_stops_future_attempts(kernel):
+    policy = RetryPolicy(max_attempts=5, base_delay=10.0, jitter=0.0)
+    calls = []
+    task = policy.execute(kernel, lambda: calls.append("x") and None,
+                          label="t")
+    task.cancel()
+    kernel.run()
+    assert calls == ["x"]  # only the synchronous first attempt
+    assert task.finished and not task.succeeded
+
+
+def test_retries_are_traced(kernel):
+    policy = RetryPolicy(max_attempts=2, base_delay=10.0, jitter=0.0)
+    policy.execute(kernel, lambda: None, label="beacon")
+    kernel.run()
+    assert kernel.trace.count(actor="retry", action="retry-backoff") == 1
+    assert kernel.trace.count(actor="retry", action="retry-exhausted") == 1
+
+
+def _jittered_delays(seed):
+    kernel = Kernel(seed=seed)
+    policy = RetryPolicy(max_attempts=4, base_delay=100.0, jitter=0.5)
+    times = []
+    policy.execute(kernel, lambda: times.append(kernel.now) and None,
+                   label="jitter-test")
+    kernel.run()
+    return times
+
+
+def test_same_seed_same_jittered_schedule():
+    assert _jittered_delays(7) == _jittered_delays(7)
+
+
+def test_different_seed_different_jitter():
+    assert _jittered_delays(7) != _jittered_delays(8)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
