@@ -8,6 +8,19 @@ with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="shrink sweep benchmark workloads so CI finishes in seconds",
+    )
+
+
+@pytest.fixture
+def quick(request):
+    """True when the run should use the scaled-down benchmark sizes."""
+    return bool(request.config.getoption("--quick", default=False))
+
+
 @pytest.fixture
 def once(benchmark):
     """Run a scenario exactly once under the benchmark timer.

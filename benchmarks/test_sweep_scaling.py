@@ -1,0 +1,83 @@
+"""Sweep engine scaling: serial vs parallel wall time, identical results.
+
+Runs the same 16-replica Stuxnet ensemble through the serial fallback
+and the worker pool, asserts the two paths produce bit-identical
+per-replica measurements and trace digests, and writes the wall-time
+comparison to ``BENCH_sweep.json`` at the repository root so CI can
+track the perf trajectory across PRs.
+
+The >= 1.5x speedup assertion only applies on machines with at least
+four cores (on fewer, a process pool is pure overhead and only the
+identity guarantees are checked).  ``--quick`` shrinks the replica
+count for CI smoke runs.
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.core.ensemble import CampaignSpec
+from repro.sim.sweep import SweepConfig, run_sweep
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
+
+#: Cores below which the speedup assertion is vacuous (matches the
+#: acceptance criterion: ">= 1.5x ... on >= 4 cores").
+MIN_CORES_FOR_SPEEDUP = 4
+
+SPEEDUP_FLOOR = 1.5
+
+
+def test_sweep_scaling_serial_vs_parallel(quick):
+    replicas = 6 if quick else 16
+    cores = os.cpu_count() or 1
+    workers = min(4, cores) if cores > 1 else 2
+    spec = CampaignSpec.quick("stuxnet")
+
+    serial = run_sweep(spec, SweepConfig(
+        replicas=replicas, workers=1, mode="serial", base_seed=2013))
+    parallel = run_sweep(spec, SweepConfig(
+        replicas=replicas, workers=workers, mode="parallel", base_seed=2013))
+
+    # The engine's core guarantee: the pool changes wall time, never
+    # results.
+    assert serial.measurements() == parallel.measurements()
+    assert serial.digests() == parallel.digests()
+    assert [r.seed for r in serial.replicas] == \
+        [r.seed for r in parallel.replicas]
+
+    speedup = (serial.wall_seconds / parallel.wall_seconds
+               if parallel.wall_seconds else float("inf"))
+    payload = {
+        "benchmark": "sweep-scaling",
+        "campaign": "stuxnet",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "cpu_count": cores,
+        "replicas": replicas,
+        "workers": parallel.workers,
+        "chunk_size": parallel.chunk_size,
+        "serial_wall_seconds": serial.wall_seconds,
+        "parallel_wall_seconds": parallel.wall_seconds,
+        "speedup": speedup,
+        "speedup_asserted": cores >= MIN_CORES_FOR_SPEEDUP,
+        "identical_measurements": True,
+        "mean_replica_wall_seconds": (
+            sum(r.wall_seconds for r in serial.replicas) / replicas),
+        "events_dispatched_total": (
+            sum(r.events_dispatched for r in serial.replicas)),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print()
+    print("sweep scaling (%d replicas, %d cores): serial %.2fs, "
+          "parallel %.2fs with %d workers -> %.2fx"
+          % (replicas, cores, serial.wall_seconds, parallel.wall_seconds,
+             parallel.workers, speedup))
+    print("wrote %s" % BENCH_PATH)
+
+    if cores >= MIN_CORES_FOR_SPEEDUP:
+        assert speedup >= SPEEDUP_FLOOR, (
+            "parallel sweep only %.2fx faster than serial on %d cores "
+            "(floor: %.1fx)" % (speedup, cores, SPEEDUP_FLOOR))

@@ -8,6 +8,8 @@ and prints the findings.
     python examples/dissection_lab.py
 """
 
+import os
+
 from repro import CampaignWorld
 from repro.analysis import (
     Sandbox,
@@ -19,6 +21,9 @@ from repro.analysis import (
 from repro.malware.shamoon import Shamoon, ShamoonConfig, build_trksvr_image
 from repro.netsim import Lan
 from repro.pe import parse_pe
+
+#: REPRO_EXAMPLE_QUICK=1 shrinks the IOC-sweep fleet for the smoke tests.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "") not in ("", "0")
 
 
 def main():
@@ -75,7 +80,7 @@ def main():
     world2 = CampaignWorld(seed=2)
     lan = Lan(world2.kernel, "fleet")
     fleet = []
-    for i in range(5):
+    for i in range(4 if QUICK else 5):
         host = world2.make_host("FLEET-%02d" % i,
                                 file_and_print_sharing=True)
         lan.attach(host)

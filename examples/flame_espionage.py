@@ -9,6 +9,8 @@ courier, and finally broadcasts SUICIDE.
     python examples/flame_espionage.py
 """
 
+import os
+
 from repro import CampaignWorld, build_flame_infrastructure, build_office_lan
 from repro.core.environments import place_bluetooth_neighborhood
 from repro.malware.flame import Flame, FlameOperatorConsole
@@ -18,6 +20,10 @@ from repro.netsim import Lan, run_windows_update
 from repro.usb import UsbDrive
 
 DAY = 86400.0
+
+#: REPRO_EXAMPLE_QUICK=1 shrinks the LAN and the espionage window so
+#: the smoke tests can run this example in seconds.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "") not in ("", "0")
 
 
 def main():
@@ -29,7 +35,8 @@ def main():
     geography = infra["pool"].country_histogram()
     print("  fake registrants by country:", dict(sorted(geography.items())))
 
-    lan, hosts = build_office_lan(world, "ministry", 10, docs_per_host=8,
+    lan, hosts = build_office_lan(world, "ministry", 4 if QUICK else 10,
+                                  docs_per_host=3 if QUICK else 8,
                                   microphone_fraction=0.3,
                                   bluetooth_fraction=0.3)
     place_bluetooth_neighborhood(world, hosts)
@@ -53,15 +60,18 @@ def main():
         print("  %-14s installed=%s signer=%r"
               % (victim.hostname, outcome["installed"], outcome["signer"]))
 
-    print("\nTwo weeks of espionage with daily operator reviews...")
+    days = 3 if QUICK else 14
+    print("\n%d days of espionage with daily operator reviews..." % days)
     infra["center"].push_module_update("jimmy", JIMMY_V2_SOURCE)
-    for day in range(14):
+    for day in range(days):
         kernel.run_for(DAY)
         console.review_cycle()
     stolen = sum(s.bytes_received for s in infra["servers"])
+    weeks = days / 7.0
     print("  entries uploaded: %d" % flame.stats["entries_uploaded"])
     print("  stolen data on servers: %.1f MB (%.2f MB/server-week)"
-          % (stolen / 1048576.0, stolen / len(infra["servers"]) / 2 / 1048576.0))
+          % (stolen / 1048576.0,
+             stolen / len(infra["servers"]) / weeks / 1048576.0))
     print("  metadata reviewed: %d, files requested: %d, recovered: %d"
           % (console.metadata_reviewed, console.files_requested,
              console.documents_recovered))

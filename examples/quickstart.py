@@ -7,11 +7,17 @@ Everything is simulated in memory — run it as often as you like.
     python examples/quickstart.py
 """
 
+import os
+
 from repro import (
     FlameEspionageCampaign,
     ShamoonWiperCampaign,
     StuxnetNatanzCampaign,
 )
+
+#: REPRO_EXAMPLE_QUICK=1 shrinks every scenario so the smoke tests can
+#: run each example in seconds (tests/test_examples_smoke.py).
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "") not in ("", "0")
 
 
 def banner(text):
@@ -23,8 +29,9 @@ def banner(text):
 
 def main():
     banner("1/3 STUXNET - sabotage an enrichment plant (paper SII, Fig. 1)")
-    stuxnet = StuxnetNatanzCampaign(seed=7, centrifuge_count=300,
-                                    duration_days=150).run()
+    stuxnet = StuxnetNatanzCampaign(seed=7,
+                                    centrifuge_count=60 if QUICK else 300,
+                                    duration_days=30 if QUICK else 150).run()
     print("infection vectors:     ", stuxnet["infection_vectors"])
     print("PLC payloads armed:    ", stuxnet["payloads_armed"])
     print("attack cycles run:     ", stuxnet["attack_cycles"])
@@ -35,8 +42,9 @@ def main():
     print("safety system tripped: ", stuxnet["safety_tripped"])
 
     banner("2/3 FLAME - industrial-scale espionage (paper SIII, Figs. 2-5)")
-    flame = FlameEspionageCampaign(seed=8, victim_count=8,
-                                   duration_weeks=2).run(suicide_at_end=True)
+    flame = FlameEspionageCampaign(seed=8, victim_count=4 if QUICK else 8,
+                                   duration_weeks=1 if QUICK else 2,
+                                   ).run(suicide_at_end=True)
     print("victims infected:      ", flame["victims_infected"],
           "via", flame["infection_vectors"])
     print("C&C infrastructure:    ", "%d domains -> %d servers"
@@ -48,7 +56,8 @@ def main():
           % flame["active_infections"])
 
     banner("3/3 SHAMOON - maximum destruction on a date (paper SIV, Fig. 6)")
-    shamoon = ShamoonWiperCampaign(seed=9, host_count=200).run()
+    shamoon = ShamoonWiperCampaign(seed=9,
+                                   host_count=60 if QUICK else 200).run()
     print("workstations wiped:    ", shamoon["hosts_wiped"])
     print("still bootable:        ", shamoon["hosts_usable_after"])
     print("detonation instant:    ", shamoon["first_wipe_at"])

@@ -8,13 +8,21 @@ hardcoded instant — 2012-08-15 08:08 UTC.
     python examples/shamoon_aramco.py --full    (30,000 hosts, ~1 GB RAM)
 """
 
+import os
 import sys
 
 from repro import ShamoonWiperCampaign
 
+#: REPRO_EXAMPLE_QUICK=1 shrinks the organisation so the smoke tests
+#: can run this example in seconds (overridden by --full).
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "") not in ("", "0")
+
 
 def main(full=False):
-    host_count = 30_000 if full else 2_000
+    if full:
+        host_count = 30_000
+    else:
+        host_count = 80 if QUICK else 2_000
     print("Building a %d-workstation organisation..." % host_count)
     campaign = ShamoonWiperCampaign(seed=2012, host_count=host_count,
                                     docs_per_host=2)

@@ -10,18 +10,25 @@ kill chain by hand so you can watch the three compromise levels happen:
     python examples/stuxnet_natanz.py
 """
 
+import os
+
 from repro import CampaignWorld, build_natanz_plant
 from repro.malware.stuxnet import Stuxnet
 from repro.usb import UsbDrive
 
 DAY = 86400.0
 
+#: REPRO_EXAMPLE_QUICK=1 shrinks the plant and the campaign window so
+#: the smoke tests can run this example in seconds.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "") not in ("", "0")
+
 
 def main():
     world = CampaignWorld(seed=2010)
     kernel = world.kernel
-    plant = build_natanz_plant(world, centrifuge_count=984,
-                               workstation_count=3)
+    plant = build_natanz_plant(world,
+                               centrifuge_count=96 if QUICK else 984,
+                               workstation_count=1 if QUICK else 3)
     step7 = plant["step7"]
     plc = plant["plc"]
     engineer_pc = plant["engineering_host"]
@@ -64,13 +71,16 @@ def main():
     print("  blocks really on the PLC:   ", plc.block_names())
     print("  blocks the engineer can see:", step7.list_plc_blocks(plc))
 
-    print("\nRunning 8 months of plant operation...")
-    kernel.run_for(240 * DAY)
+    months = 1 if QUICK else 8
+    print("\nRunning %d month%s of plant operation..."
+          % (months, "" if months == 1 else "s"))
+    kernel.run_for(months * 30 * DAY)
     plant["bus"].sync_all()
     destroyed = sum(c.destroyed_count() for c in plant["cascades"])
+    total = sum(len(c) for c in plant["cascades"])
     payload = next(iter(infection.plc_payloads.values()))
     print("  attack cycles completed:", payload.cycles_completed)
-    print("  centrifuges destroyed:  %d / 984" % destroyed)
+    print("  centrifuges destroyed:  %d / %d" % (destroyed, total))
     print("  operator HMI still says: %.0f Hz"
           % step7.monitor_frequency(plc))
     print("  digital safety system tripped:", plant["safety"].tripped)

@@ -9,6 +9,8 @@ claims.
     python examples/trends_survey.py
 """
 
+import os
+
 from repro import CampaignWorld, build_office_lan
 from repro.analysis import score_campaign
 from repro.analysis.trends import duqu_artifacts, gauss_artifacts
@@ -23,6 +25,9 @@ from repro.malware.stuxnet import Stuxnet
 from repro.usb import UsbDrive
 
 DAY = 86400.0
+
+#: REPRO_EXAMPLE_QUICK=1 shrinks the survey fleets for the smoke tests.
+QUICK = os.environ.get("REPRO_EXAMPLE_QUICK", "") not in ("", "0")
 
 
 def main():
@@ -76,7 +81,7 @@ def main():
     target.installed_software.add("step7")
     warhead = seal_godel_payload(derive_godel_key(target), b"stage two")
     gauss = Gauss(kernel, world.pki, GaussConfig(godel_ciphertext=warhead))
-    for index in range(5):
+    for index in range(3 if QUICK else 5):
         victim = world.make_host("BANK-%d" % index)
         victim.banking_credentials = [{"bank": "b", "user": "u%d" % index}]
         victim.insert_usb(gauss.weaponize_drive(UsbDrive("g%d" % index)))

@@ -18,6 +18,7 @@ Quickstart::
 """
 
 from repro.core import (
+    CampaignSpec,
     CampaignWorld,
     FlameEspionageCampaign,
     ShamoonWiperCampaign,
@@ -26,22 +27,27 @@ from repro.core import (
     build_natanz_plant,
     build_office_lan,
     comparison_table,
+    ensemble_table,
     seed_user_documents,
 )
-from repro.sim import Kernel
+from repro.sim import Kernel, SweepConfig, run_sweep
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignSpec",
     "CampaignWorld",
     "FlameEspionageCampaign",
     "Kernel",
     "ShamoonWiperCampaign",
     "StuxnetNatanzCampaign",
+    "SweepConfig",
     "__version__",
     "build_flame_infrastructure",
     "build_natanz_plant",
     "build_office_lan",
     "comparison_table",
+    "ensemble_table",
+    "run_sweep",
     "seed_user_documents",
 ]

@@ -5,8 +5,11 @@ Usage::
     python -m repro stuxnet  [--seed N] [--days D] [--centrifuges C]
     python -m repro flame    [--seed N] [--victims V] [--weeks W] [--suicide]
     python -m repro shamoon  [--seed N] [--hosts H]
+    python -m repro sweep    --campaign NAME [--replicas N] [--workers W]
+                             [--seed N] [--serial] [--fault-profile P] [--full]
 
-Each subcommand prints the campaign's headline measurements; exit code 0
+Each subcommand prints the campaign's headline measurements (``sweep``
+prints ensemble statistics over N seeded replicas instead); exit code 0
 means the simulation completed.
 """
 
@@ -15,10 +18,15 @@ import json
 import sys
 
 from repro import (
+    CampaignSpec,
     FlameEspionageCampaign,
     ShamoonWiperCampaign,
     StuxnetNatanzCampaign,
+    SweepConfig,
+    ensemble_table,
+    run_sweep,
 )
+from repro.core.ensemble import CAMPAIGNS, FAULT_PROFILES
 
 
 def _print_result(result, as_json):
@@ -56,6 +64,34 @@ def _cmd_shamoon(args):
     _print_result(result, args.json)
 
 
+def _cmd_sweep(args):
+    if args.full:
+        spec = CampaignSpec(args.campaign, fault_profile=args.fault_profile)
+    else:
+        spec = CampaignSpec.quick(args.campaign,
+                                  fault_profile=args.fault_profile)
+    config = SweepConfig(replicas=args.replicas, workers=args.workers,
+                         chunk_size=args.chunk_size, base_seed=args.seed,
+                         mode="serial" if args.serial else "auto")
+    result = run_sweep(spec, config)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2, default=str))
+        return
+    profile = (" + %s faults" % spec.fault_profile
+               if spec.fault_profile else "")
+    print("Monte-Carlo sweep: %s%s, %d replicas (%s, %d worker%s, "
+          "chunk %d) in %.2fs"
+          % (args.campaign, profile, len(result.replicas), result.mode,
+             result.workers, "" if result.workers == 1 else "s",
+             result.chunk_size, result.wall_seconds))
+    print("distinct trace digests: %d / %d"
+          % (len(set(result.digests())), len(result.replicas)))
+    print(ensemble_table(
+        "per-measurement statistics over %d replicas (base seed %r)"
+        % (len(result.replicas), result.base_seed),
+        result.aggregate()))
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -84,6 +120,30 @@ def build_parser():
     shamoon.add_argument("--seed", type=int, default=2012)
     shamoon.add_argument("--hosts", type=int, default=1000)
     shamoon.set_defaults(func=_cmd_shamoon)
+
+    sweep = sub.add_parser(
+        "sweep", help="Monte-Carlo ensemble of seeded campaign replicas")
+    sweep.add_argument("--campaign", required=True,
+                       choices=sorted(CAMPAIGNS))
+    sweep.add_argument("--replicas", type=int, default=16)
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: CPU count)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="base seed each replica's seed is forked from")
+    sweep.add_argument("--chunk-size", type=int, default=None,
+                       help="replicas per dispatched work unit")
+    sweep.add_argument("--serial", action="store_true",
+                       help="force the bit-identical serial fallback path")
+    sweep.add_argument("--fault-profile", default=None,
+                       choices=sorted(FAULT_PROFILES),
+                       help="apply a named fault-injection profile")
+    sweep.add_argument("--full", action="store_true",
+                       help="paper-scale campaign parameters instead of "
+                            "the quick ensemble preset")
+    # Also accepted after the subcommand (the global flag must precede it).
+    sweep.add_argument("--json", action="store_true",
+                       help="print the full sweep result as JSON")
+    sweep.set_defaults(func=_cmd_sweep)
 
     return parser
 

@@ -18,17 +18,42 @@ from repro.core.campaign import (
     ShamoonWiperCampaign,
     StuxnetNatanzCampaign,
 )
-from repro.core.reporting import comparison_table, format_row
+from repro.core.ensemble import (
+    CAMPAIGNS,
+    CampaignSpec,
+    FAULT_PROFILES,
+    QUICK_PARAMS,
+    ReplicaResult,
+    aggregate,
+    percentile,
+    replica_seed,
+    run_replica,
+    summarize,
+    trace_digest,
+)
+from repro.core.reporting import comparison_table, ensemble_table, format_row
 
 __all__ = [
+    "CAMPAIGNS",
+    "CampaignSpec",
     "CampaignWorld",
+    "FAULT_PROFILES",
     "FlameEspionageCampaign",
+    "QUICK_PARAMS",
+    "ReplicaResult",
     "ShamoonWiperCampaign",
     "StuxnetNatanzCampaign",
+    "aggregate",
     "build_flame_infrastructure",
     "build_natanz_plant",
     "build_office_lan",
     "comparison_table",
+    "ensemble_table",
     "format_row",
+    "percentile",
+    "replica_seed",
+    "run_replica",
     "seed_user_documents",
+    "summarize",
+    "trace_digest",
 ]

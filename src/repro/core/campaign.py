@@ -11,7 +11,12 @@ from repro.core.environments import (
 )
 from repro.malware.flame import Flame, FlameConfig, FlameOperatorConsole
 from repro.malware.shamoon import Shamoon, ShamoonConfig, ShamoonReportSink
-from repro.malware.stuxnet import Stuxnet, StuxnetCncService, StuxnetConfig
+from repro.malware.stuxnet import (
+    STUXNET_DOMAINS,
+    Stuxnet,
+    StuxnetCncService,
+    StuxnetConfig,
+)
 from repro.netsim import run_windows_update
 from repro.usb import UsbDrive
 
@@ -32,6 +37,14 @@ class StuxnetNatanzCampaign:
                                cnc_service=self.cnc, config=stuxnet_config)
         self.duration_days = duration_days
         self.result = None
+
+    def cnc_domains(self):
+        """The campaign's C&C domains, for fault-profile targeting."""
+        return list(STUXNET_DOMAINS)
+
+    def fault_epoch(self):
+        """Virtual time at which the campaign's action begins."""
+        return 0.0
 
     def run(self, settle_days=2):
         """Execute the whole kill chain and return the measurements."""
@@ -108,6 +121,14 @@ class FlameEspionageCampaign:
         self.duration_weeks = duration_weeks
         self.result = None
 
+    def cnc_domains(self):
+        """The campaign's C&C domains, for fault-profile targeting."""
+        return list(self.infra["default_domains"])
+
+    def fault_epoch(self):
+        """Virtual time at which the campaign's action begins."""
+        return 0.0
+
     def run(self, suicide_at_end=False):
         kernel = self.world.kernel
         self.flame.infect(self.hosts[0], via="initial")
@@ -178,6 +199,19 @@ class ShamoonWiperCampaign:
         self.start = start
         self.end = end
         self.result = None
+
+    def cnc_domains(self):
+        """The campaign's C&C domains, for fault-profile targeting."""
+        domain = self.shamoon.config.report_domain
+        return [domain] if domain else []
+
+    def fault_epoch(self):
+        """Virtual time at which the campaign's action begins.
+
+        Shamoon idles until the patient-zero date, so faults anchored
+        to t=0 would expire years before the wiper moves.
+        """
+        return self.world.kernel.clock.to_seconds(self.start)
 
     def run(self):
         kernel = self.world.kernel

@@ -11,6 +11,27 @@ def format_row(label, paper_value, measured_value, verdict=None):
     )
 
 
+def format_stats_row(key, stats):
+    """One aligned row of ensemble statistics for a measurement key."""
+    return ("%-38s mean %12.3f  sd %10.3f  ci95 +/-%10.3f  "
+            "p5 %10.2f  p50 %10.2f  p95 %10.2f"
+            % (key, stats["mean"], stats["stddev"], stats["ci95"],
+               stats["p5"], stats["p50"], stats["p95"]))
+
+
+def ensemble_table(title, aggregated):
+    """Render the per-key summary of a Monte-Carlo sweep.
+
+    ``aggregated`` is the mapping :func:`repro.core.ensemble.aggregate`
+    returns: measurement key -> summary-statistics dict.
+    """
+    lines = ["", "=" * 118, title, "-" * 118]
+    for key in sorted(aggregated):
+        lines.append(format_stats_row(key, aggregated[key]))
+    lines.append("=" * 118)
+    return "\n".join(lines)
+
+
 def comparison_table(title, rows):
     """Render a titled block of :func:`format_row` rows.
 

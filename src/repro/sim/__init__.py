@@ -15,6 +15,7 @@ from repro.sim.events import Event, EventQueue, Kernel, PeriodicTask
 from repro.sim.faults import FaultInjector, FaultKind, FaultWindow, lan_scope
 from repro.sim.retry import RetryPolicy, RetryTask
 from repro.sim.rng import DeterministicRandom
+from repro.sim.sweep import SweepConfig, SweepResult, run_sweep, shard_indices
 from repro.sim.trace import TraceLog, TraceRecord
 
 __all__ = [
@@ -32,7 +33,11 @@ __all__ = [
     "ScheduleInPastError",
     "SimClock",
     "SimulationError",
+    "SweepConfig",
+    "SweepResult",
     "TraceLog",
     "TraceRecord",
     "lan_scope",
+    "run_sweep",
+    "shard_indices",
 ]

@@ -1,6 +1,7 @@
 """Event queue and kernel: the heart of the discrete-event simulation."""
 
 import heapq
+import math
 
 from repro.sim.clock import SimClock
 from repro.sim.errors import ScheduleInPastError, SimulationError
@@ -227,5 +228,15 @@ class Kernel:
         return dispatched
 
     def run_for(self, duration, max_events=DEFAULT_MAX_EVENTS):
-        """Run for ``duration`` seconds of virtual time from now."""
+        """Run for ``duration`` seconds of virtual time from now.
+
+        A negative or NaN duration is always a caller bug (a miscomputed
+        interval), so it raises rather than silently no-opping.
+        """
+        duration = float(duration)
+        if math.isnan(duration) or duration < 0:
+            raise ValueError(
+                "run_for() duration must be a non-negative number of "
+                "seconds, got %r" % duration
+            )
         return self.run(until=self.clock.now + duration, max_events=max_events)

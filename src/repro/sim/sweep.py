@@ -1,0 +1,192 @@
+"""Process-parallel Monte-Carlo sweep engine.
+
+Shards N seeded campaign replicas across a worker pool.  Three
+properties make the ensemble trustworthy:
+
+1. **Deterministic sharding** — replica *i*'s seed is a pure function
+   of (base seed, *i*) (:func:`repro.core.ensemble.replica_seed`), so
+   results are independent of worker count, chunk size, and dispatch
+   order.
+2. **Worker-side reduction** — each worker runs the full campaign but
+   ships home only a :class:`~repro.core.ensemble.ReplicaResult`
+   (scalars plus a trace digest); full event traces never cross the
+   process boundary.
+3. **A bit-identical serial fallback** — both paths execute the same
+   :func:`~repro.core.ensemble.run_replica`, so ``mode="serial"``
+   reproduces the parallel results exactly, replica for replica.
+
+This module sits in :mod:`repro.sim` but drives :mod:`repro.core`
+campaigns — the one place the layering inverts — so it imports the
+ensemble helpers lazily inside functions to keep package import order
+acyclic.
+"""
+
+import math
+import multiprocessing
+import os
+import time
+
+#: Prefer fork (cheap, no re-import) where the platform offers it; the
+#: spawn fallback works because the chunk worker and everything it
+#: pickles are module-level and primitive-only.
+_START_METHOD = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                 else "spawn")
+
+
+class SweepConfig:
+    """How to run an ensemble: size, pool shape, and dispatch mode."""
+
+    __slots__ = ("replicas", "workers", "chunk_size", "base_seed", "mode")
+
+    MODES = ("auto", "serial", "parallel")
+
+    def __init__(self, replicas=16, workers=None, chunk_size=None,
+                 base_seed=0, mode="auto"):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1, got %r" % replicas)
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % workers)
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1, got %r" % chunk_size)
+        if mode not in self.MODES:
+            raise ValueError("mode must be one of %s, got %r"
+                             % (self.MODES, mode))
+        self.replicas = replicas
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.base_seed = base_seed
+        self.mode = mode
+
+    def resolved_mode(self):
+        """The dispatch path ``run_sweep`` will actually take."""
+        if self.mode != "auto":
+            return self.mode
+        if self.workers > 1 and self.replicas > 1:
+            return "parallel"
+        return "serial"
+
+    def resolved_chunk_size(self):
+        """Chunk size balancing dispatch overhead against load balance.
+
+        Four chunks per worker amortises per-task pickling while still
+        smoothing over replicas with uneven runtimes.
+        """
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(self.replicas / (self.workers * 4)))
+
+    def __repr__(self):
+        return ("SweepConfig(replicas=%d, workers=%d, chunk_size=%r, "
+                "base_seed=%r, mode=%r)"
+                % (self.replicas, self.workers, self.chunk_size,
+                   self.base_seed, self.mode))
+
+
+def shard_indices(replicas, chunk_size):
+    """Split ``range(replicas)`` into consecutive chunks."""
+    return [list(range(start, min(start + chunk_size, replicas)))
+            for start in range(0, replicas, chunk_size)]
+
+
+def _run_chunk(payload):
+    """Pool worker: run one chunk of replicas, return their reductions."""
+    from repro.core.ensemble import run_replica
+
+    spec, base_seed, indices = payload
+    return [run_replica(spec, index, base_seed) for index in indices]
+
+
+class SweepResult:
+    """An ensemble's replicas plus how they were produced."""
+
+    __slots__ = ("spec", "mode", "workers", "chunk_size", "base_seed",
+                 "replicas", "wall_seconds")
+
+    def __init__(self, spec, mode, workers, chunk_size, base_seed,
+                 replicas, wall_seconds):
+        self.spec = spec
+        self.mode = mode
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.base_seed = base_seed
+        #: :class:`~repro.core.ensemble.ReplicaResult` list, by index.
+        self.replicas = replicas
+        self.wall_seconds = wall_seconds
+
+    def measurements(self):
+        """Per-replica measurement dicts, in replica order."""
+        return [replica.measurements for replica in self.replicas]
+
+    def digests(self):
+        """Per-replica trace digests, in replica order."""
+        return [replica.trace_digest for replica in self.replicas]
+
+    def aggregate(self):
+        """Summary statistics per measurement key (see ensemble module)."""
+        from repro.core.ensemble import aggregate
+
+        return aggregate(self.replicas)
+
+    def as_dict(self):
+        """JSON-ready rendering (CLI ``--json`` and BENCH_sweep.json)."""
+        return {
+            "spec": self.spec.as_dict(),
+            "mode": self.mode,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "base_seed": self.base_seed,
+            "replica_count": len(self.replicas),
+            "wall_seconds": self.wall_seconds,
+            "distinct_trace_digests": len(set(self.digests())),
+            "replicas": [replica.as_dict() for replica in self.replicas],
+            "aggregate": self.aggregate(),
+        }
+
+    def __repr__(self):
+        return ("SweepResult(%r, %d replicas, mode=%s, %.2fs)"
+                % (self.spec, len(self.replicas), self.mode,
+                   self.wall_seconds))
+
+
+def run_sweep(spec, config=None, **overrides):
+    """Run an ensemble of seeded replicas of ``spec``.
+
+    Pass a :class:`SweepConfig`, or keyword overrides to build one
+    (``run_sweep(spec, replicas=32, workers=8)``).  Returns a
+    :class:`SweepResult` whose replicas are always in index order,
+    whichever path produced them.
+    """
+    if config is None:
+        config = SweepConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a SweepConfig or keyword overrides, "
+                        "not both")
+    from repro.core.ensemble import run_replica
+
+    mode = config.resolved_mode()
+    chunk_size = config.resolved_chunk_size()
+    started = time.perf_counter()
+    if mode == "serial":
+        replicas = [run_replica(spec, index, config.base_seed)
+                    for index in range(config.replicas)]
+        workers_used = 1
+    else:
+        chunks = [(spec, config.base_seed, indices)
+                  for indices in shard_indices(config.replicas, chunk_size)]
+        workers_used = min(config.workers, len(chunks))
+        context = multiprocessing.get_context(_START_METHOD)
+        with context.Pool(processes=workers_used) as pool:
+            chunk_results = pool.map(_run_chunk, chunks)
+        replicas = [replica for chunk in chunk_results for replica in chunk]
+        replicas.sort(key=lambda replica: replica.index)
+    return SweepResult(
+        spec=spec,
+        mode=mode,
+        workers=workers_used,
+        chunk_size=chunk_size,
+        base_seed=config.base_seed,
+        replicas=replicas,
+        wall_seconds=time.perf_counter() - started,
+    )

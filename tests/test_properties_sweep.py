@@ -1,0 +1,138 @@
+"""Property-based tests: the sweep engine's aggregation layer.
+
+The statistics the ensemble reports (mean/stddev/percentiles/CI) are
+what turns the paper's single-trajectory anecdotes into defensible
+distributions, so they get invariant-level scrutiny: percentile
+monotonicity, mean bounded by the sample extremes, confidence intervals
+that shrink as replicas accumulate, and explicit empty/single-replica
+behaviour.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ensemble import aggregate, percentile, summarize
+
+finite = st.floats(min_value=-1e9, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+
+samples = st.lists(finite, min_size=1, max_size=200)
+
+
+def tolerance(value):
+    """Float-rounding slack for comparisons against ``value``."""
+    return 1e-9 * (1.0 + abs(value))
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=samples)
+def test_percentiles_are_monotonic(values):
+    stats = summarize(values)
+    ladder = [stats["min"], stats["p5"], stats["p25"], stats["p50"],
+              stats["p75"], stats["p95"], stats["max"]]
+    for low, high in zip(ladder, ladder[1:]):
+        assert low <= high + tolerance(high)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=samples)
+def test_mean_lies_within_min_and_max(values):
+    stats = summarize(values)
+    assert stats["min"] - tolerance(stats["min"]) <= stats["mean"]
+    assert stats["mean"] <= stats["max"] + tolerance(stats["max"])
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=samples)
+def test_stddev_and_ci_are_nonnegative_and_consistent(values):
+    stats = summarize(values)
+    assert stats["stddev"] >= 0.0
+    assert stats["ci95"] >= 0.0
+    assert stats["ci_low"] <= stats["mean"] <= stats["ci_high"]
+    assert stats["n"] == len(values)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(finite, min_size=2, max_size=100))
+def test_ci_shrinks_as_replicas_accumulate(values):
+    """Doubling the sample (same empirical distribution) tightens the CI.
+
+    Sample stddev cannot grow when every point is duplicated, and n
+    doubles, so the normal-approximation half-width must shrink (or
+    stay zero for degenerate samples).
+    """
+    single = summarize(values)
+    doubled = summarize(values + values)
+    assert doubled["ci95"] <= single["ci95"] + tolerance(single["ci95"])
+    if single["stddev"] > 1e-6:
+        assert doubled["ci95"] < single["ci95"]
+
+
+def test_summarize_rejects_an_empty_ensemble():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(value=finite)
+def test_single_replica_collapses_every_statistic(value):
+    stats = summarize([value])
+    for key in ("mean", "min", "max", "p5", "p25", "p50", "p75", "p95",
+                "ci_low", "ci_high"):
+        assert stats[key] == pytest.approx(value)
+    assert stats["stddev"] == 0.0
+    assert stats["ci95"] == 0.0
+    assert stats["n"] == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=samples)
+def test_percentile_endpoints_are_the_extremes(values):
+    ordered = sorted(values)
+    assert percentile(ordered, 0) == pytest.approx(ordered[0])
+    assert percentile(ordered, 100) == pytest.approx(ordered[-1])
+    assert percentile(ordered, 50) == pytest.approx(summarize(values)["p50"])
+
+
+def test_percentile_input_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+
+
+def test_aggregate_of_empty_ensemble_is_empty():
+    assert aggregate([]) == {}
+
+
+def test_aggregate_keeps_numeric_keys_and_drops_strings():
+    replicas = [
+        {"destroyed": 3, "tripped": True, "first_wipe_at": "2012-08-15"},
+        {"destroyed": 5, "tripped": False, "first_wipe_at": "2012-08-15"},
+    ]
+    stats = aggregate(replicas)
+    assert set(stats) == {"destroyed", "tripped"}
+    assert stats["destroyed"]["n"] == 2
+    assert stats["destroyed"]["mean"] == pytest.approx(4.0)
+    # Booleans aggregate as 0/1 fractions.
+    assert stats["tripped"]["mean"] == pytest.approx(0.5)
+
+
+def test_aggregate_handles_keys_missing_from_some_replicas():
+    stats = aggregate([{"a": 1.0, "b": 2.0}, {"a": 3.0}])
+    assert stats["a"]["n"] == 2
+    assert stats["b"]["n"] == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(finite, min_size=2, max_size=50))
+def test_stddev_matches_the_textbook_formula(values):
+    stats = summarize(values)
+    mean = sum(values) / len(values)
+    expected = math.sqrt(sum((v - mean) ** 2 for v in values)
+                         / (len(values) - 1))
+    assert stats["stddev"] == pytest.approx(expected, rel=1e-6, abs=1e-6)

@@ -143,3 +143,37 @@ def test_intact_hidden_db_still_loads():
     reloaded = HiddenDatabase(drive)
     assert reloaded.seen_internet
     assert len(reloaded.documents()) == 1
+
+
+# -- Kernel.run_for duration validation ----------------------------------------
+
+def test_run_for_rejects_negative_duration():
+    kernel = Kernel()
+    with pytest.raises(ValueError, match="non-negative"):
+        kernel.run_for(-1.0)
+
+
+def test_run_for_rejects_nan_duration():
+    kernel = Kernel()
+    with pytest.raises(ValueError, match="non-negative"):
+        kernel.run_for(float("nan"))
+
+
+def test_run_for_zero_dispatches_only_events_due_now():
+    kernel = Kernel()
+    fired = []
+    kernel.call_later(0.0, lambda: fired.append("now"))
+    kernel.call_later(1.0, lambda: fired.append("later"))
+    kernel.run_for(0.0)
+    assert fired == ["now"]
+    assert kernel.now == 0.0
+
+
+def test_run_for_rejects_bad_durations_without_moving_the_clock():
+    kernel = Kernel()
+    kernel.call_later(5.0, lambda: None)
+    for bad in (-0.5, float("nan")):
+        with pytest.raises(ValueError):
+            kernel.run_for(bad)
+    assert kernel.now == 0.0
+    assert kernel.pending_events == 1
