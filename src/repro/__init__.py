@@ -30,6 +30,14 @@ from repro.core import (
     ensemble_table,
     seed_user_documents,
 )
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    export_digest,
+    merge_snapshots,
+    prometheus_text,
+    write_jsonl,
+)
 from repro.sim import Kernel, SweepConfig, run_sweep
 
 __version__ = "1.0.0"
@@ -39,7 +47,9 @@ __all__ = [
     "CampaignWorld",
     "FlameEspionageCampaign",
     "Kernel",
+    "MetricsRegistry",
     "ShamoonWiperCampaign",
+    "SpanRecorder",
     "StuxnetNatanzCampaign",
     "SweepConfig",
     "__version__",
@@ -48,6 +58,10 @@ __all__ = [
     "build_office_lan",
     "comparison_table",
     "ensemble_table",
+    "export_digest",
+    "merge_snapshots",
+    "prometheus_text",
     "run_sweep",
     "seed_user_documents",
+    "write_jsonl",
 ]

@@ -2,15 +2,19 @@
 
 Usage::
 
-    python -m repro stuxnet  [--seed N] [--days D] [--centrifuges C]
+    python -m repro stuxnet  [--seed N] [--days D] [--centrifuges C] [--metrics]
     python -m repro flame    [--seed N] [--victims V] [--weeks W] [--suicide]
     python -m repro shamoon  [--seed N] [--hosts H]
     python -m repro sweep    --campaign NAME [--replicas N] [--workers W]
                              [--seed N] [--serial] [--fault-profile P] [--full]
+    python -m repro trace    --campaign NAME [--quick|--full] [--seed N]
+                             [--out PATH|-] [--figures DIR]
 
 Each subcommand prints the campaign's headline measurements (``sweep``
-prints ensemble statistics over N seeded replicas instead); exit code 0
-means the simulation completed.
+prints ensemble statistics over N seeded replicas instead; ``trace``
+exports the observability record — spans, trace, metrics — as JSONL);
+exit code 0 means the simulation completed.  ``--metrics`` appends a
+Prometheus-style metrics dump (or a ``metrics`` key under ``--json``).
 """
 
 import argparse
@@ -26,7 +30,12 @@ from repro import (
     ensemble_table,
     run_sweep,
 )
-from repro.core.ensemble import CAMPAIGNS, FAULT_PROFILES
+from repro.core.ensemble import CAMPAIGNS, FAULT_PROFILES, QUICK_PARAMS
+from repro.obs.export import (
+    export_figures,
+    prometheus_text,
+    write_jsonl,
+)
 
 
 def _print_result(result, as_json):
@@ -38,13 +47,27 @@ def _print_result(result, as_json):
         print("  %-*s  %s" % (width, key, result[key]))
 
 
+def _emit_campaign(args, header, result, kernel):
+    """Shared tail of the single-campaign subcommands."""
+    metrics = kernel.metrics.snapshot() if args.metrics else None
+    if args.json:
+        payload = (result if metrics is None
+                   else {"result": result, "metrics": metrics})
+        print(json.dumps(payload, indent=2, default=str))
+        return
+    print(header)
+    _print_result(result, False)
+    if metrics is not None:
+        print(prometheus_text(metrics), end="")
+
+
 def _cmd_stuxnet(args):
     campaign = StuxnetNatanzCampaign(seed=args.seed,
                                      centrifuge_count=args.centrifuges,
                                      duration_days=args.days)
     result = campaign.run()
-    print("Stuxnet / Natanz (%d days):" % args.days)
-    _print_result(result, args.json)
+    _emit_campaign(args, "Stuxnet / Natanz (%d days):" % args.days,
+                   result, campaign.world.kernel)
 
 
 def _cmd_flame(args):
@@ -52,16 +75,44 @@ def _cmd_flame(args):
                                       victim_count=args.victims,
                                       duration_weeks=args.weeks)
     result = campaign.run(suicide_at_end=args.suicide)
-    print("Flame espionage (%d victims, %d weeks):"
-          % (args.victims, args.weeks))
-    _print_result(result, args.json)
+    _emit_campaign(args, "Flame espionage (%d victims, %d weeks):"
+                   % (args.victims, args.weeks),
+                   result, campaign.world.kernel)
 
 
 def _cmd_shamoon(args):
     campaign = ShamoonWiperCampaign(seed=args.seed, host_count=args.hosts)
     result = campaign.run()
-    print("Shamoon wiper (%d hosts):" % args.hosts)
-    _print_result(result, args.json)
+    _emit_campaign(args, "Shamoon wiper (%d hosts):" % args.hosts,
+                   result, campaign.world.kernel)
+
+
+def _cmd_trace(args):
+    params = {} if args.full else dict(QUICK_PARAMS[args.campaign])
+    campaign = CAMPAIGNS[args.campaign](seed=args.seed, **params)
+    campaign.run()
+    kernel = campaign.world.kernel
+    meta = {"campaign": args.campaign, "seed": args.seed,
+            "preset": "full" if args.full else "quick"}
+    if args.out == "-":
+        write_jsonl(kernel, sys.stdout, meta=meta)
+    else:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            lines = write_jsonl(kernel, stream, meta=meta)
+        print("wrote %d lines (%d spans, %d records, %d metrics) to %s"
+              % (lines, len(kernel.spans), len(kernel.trace),
+                 len(kernel.metrics), args.out))
+    if args.figures is not None:
+        import os
+
+        os.makedirs(args.figures, exist_ok=True)
+        for figure, edges in sorted(export_figures(kernel).items()):
+            path = os.path.join(args.figures, "%s.json" % figure)
+            with open(path, "w", encoding="utf-8") as stream:
+                json.dump({"figure": figure, "campaign": args.campaign,
+                           "seed": args.seed, "edges": edges},
+                          stream, indent=2, sort_keys=True)
+                stream.write("\n")
 
 
 def _cmd_sweep(args):
@@ -75,7 +126,11 @@ def _cmd_sweep(args):
                          mode="serial" if args.serial else "auto")
     result = run_sweep(spec, config)
     if args.json:
-        print(json.dumps(result.as_dict(), indent=2, default=str))
+        payload = result.as_dict()
+        if not args.metrics:
+            payload.pop("metrics_merged", None)
+            payload.pop("metrics_aggregate", None)
+        print(json.dumps(payload, indent=2, default=str))
         return
     profile = (" + %s faults" % spec.fault_profile
                if spec.fault_profile else "")
@@ -90,6 +145,8 @@ def _cmd_sweep(args):
         "per-measurement statistics over %d replicas (base seed %r)"
         % (len(result.replicas), result.base_seed),
         result.aggregate()))
+    if args.metrics:
+        print(prometheus_text(result.merged_metrics()), end="")
 
 
 def build_parser():
@@ -102,10 +159,17 @@ def build_parser():
                         help="print results as JSON")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_metrics_flag(subparser):
+        subparser.add_argument(
+            "--metrics", action="store_true",
+            help="also dump the kernel metrics registry (Prometheus "
+                 "text, or a 'metrics' key under --json)")
+
     stuxnet = sub.add_parser("stuxnet", help="the Natanz campaign (SII)")
     stuxnet.add_argument("--seed", type=int, default=2010)
     stuxnet.add_argument("--days", type=int, default=180)
     stuxnet.add_argument("--centrifuges", type=int, default=984)
+    add_metrics_flag(stuxnet)
     stuxnet.set_defaults(func=_cmd_stuxnet)
 
     flame = sub.add_parser("flame", help="the espionage campaign (SIII)")
@@ -114,11 +178,13 @@ def build_parser():
     flame.add_argument("--weeks", type=int, default=2)
     flame.add_argument("--suicide", action="store_true",
                        help="broadcast SUICIDE at the end")
+    add_metrics_flag(flame)
     flame.set_defaults(func=_cmd_flame)
 
     shamoon = sub.add_parser("shamoon", help="the wiper campaign (SIV)")
     shamoon.add_argument("--seed", type=int, default=2012)
     shamoon.add_argument("--hosts", type=int, default=1000)
+    add_metrics_flag(shamoon)
     shamoon.set_defaults(func=_cmd_shamoon)
 
     sweep = sub.add_parser(
@@ -140,10 +206,32 @@ def build_parser():
     sweep.add_argument("--full", action="store_true",
                        help="paper-scale campaign parameters instead of "
                             "the quick ensemble preset")
-    # Also accepted after the subcommand (the global flag must precede it).
+    # Also accepted after the subcommand; SUPPRESS keeps the
+    # subparser's default from clobbering a global "--json" given
+    # before it.
     sweep.add_argument("--json", action="store_true",
+                       default=argparse.SUPPRESS,
                        help="print the full sweep result as JSON")
+    add_metrics_flag(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    trace = sub.add_parser(
+        "trace", help="run a campaign and export its spans, trace "
+                      "records, and metrics as JSONL")
+    trace.add_argument("--campaign", required=True,
+                       choices=sorted(CAMPAIGNS))
+    trace.add_argument("--seed", type=int, default=0)
+    preset = trace.add_mutually_exclusive_group()
+    preset.add_argument("--quick", action="store_true", default=True,
+                        help="scaled-down campaign parameters (default)")
+    preset.add_argument("--full", action="store_true",
+                        help="paper-scale campaign parameters")
+    trace.add_argument("--out", default="-",
+                       help="output path, or '-' for stdout (default)")
+    trace.add_argument("--figures", default=None, metavar="DIR",
+                       help="also write per-figure edge lists "
+                            "(fig*.json) into DIR")
+    trace.set_defaults(func=_cmd_trace)
 
     return parser
 

@@ -21,6 +21,7 @@ import json
 
 from repro.cnc.database import MiniDatabase
 from repro.netsim.http import HttpResponse, HttpServer
+from repro.obs.metrics import BYTE_BUCKETS
 
 NEWSFORYOU = "/newsforyou"
 ADS_FOLDER = "newsforyou/ads"
@@ -117,6 +118,7 @@ class CncServer:
                 self.db.delete("packages", entry_id=entry_id)
                 removed += 1
         if removed:
+            self.kernel.metrics.inc("cnc.entries_shredded", removed)
             self.kernel.trace.record(self.name, "cnc-entries-shredded",
                                      count=removed)
 
@@ -169,6 +171,9 @@ class CncServer:
         return HttpResponse(400, "unknown command")
 
     def _handle_get_news(self, request):
+        # One GET_NEWS answered = one full C&C round-trip completed.
+        self.kernel.metrics.inc("cnc.round_trips")
+        self.kernel.metrics.inc("cnc.get_news")
         client_id = request.params.get("client_id", "anonymous")
         client_type = request.params.get("client_type", "CLIENT_TYPE_FL")
         if self.db.select_one("clients", client_id=client_id) is None:
@@ -191,6 +196,10 @@ class CncServer:
         return HttpResponse(200, body)
 
     def _handle_add_entry(self, request):
+        self.kernel.metrics.inc("cnc.round_trips")
+        self.kernel.metrics.inc("cnc.add_entry")
+        self.kernel.metrics.observe("cnc.entry_bytes", len(request.body),
+                                    buckets=BYTE_BUCKETS)
         client_id = request.params.get("client_id", "anonymous")
         self._entry_counter += 1
         entry_id = "entry-%06d" % self._entry_counter

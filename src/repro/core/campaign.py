@@ -47,25 +47,36 @@ class StuxnetNatanzCampaign:
         return 0.0
 
     def run(self, settle_days=2):
-        """Execute the whole kill chain and return the measurements."""
+        """Execute the whole kill chain and return the measurements.
+
+        Each stage runs inside a named kernel span, so the exported
+        trace shows the Fig. 1 kill chain as a tree of intervals.
+        """
         kernel = self.world.kernel
         plant = self.plant
-        # Let the plant reach steady state first.
-        kernel.run_for(settle_days * SECONDS_PER_DAY)
-        baseline_freq = plant["plc"].actual_frequency()
+        with kernel.span("stuxnet.campaign", days=self.duration_days):
+            # Let the plant reach steady state first.
+            with kernel.span("stuxnet.settle", days=settle_days):
+                kernel.run_for(settle_days * SECONDS_PER_DAY)
+            baseline_freq = plant["plc"].actual_frequency()
 
-        # Initial vector: a contractor's weaponised USB stick (§V.E).
-        stick = self.stuxnet.weaponize_drive(UsbDrive("contractor-stick"))
-        plant["engineering_host"].insert_usb(stick)
+            # Initial vector: a contractor's weaponised USB stick (§V.E).
+            with kernel.span("stuxnet.usb_entry"):
+                stick = self.stuxnet.weaponize_drive(
+                    UsbDrive("contractor-stick"))
+                plant["engineering_host"].insert_usb(stick)
 
-        # The engineer's routine: open the project, program, monitor.
-        step7 = plant["step7"]
-        step7.open_project(plant["project"].folder)
-        step7.download_project(plant["project"], plant["plc"])
-        step7.monitor_frequency(plant["plc"])
+            # The engineer's routine: open the project, program, monitor.
+            step7 = plant["step7"]
+            with kernel.span("stuxnet.step7_infect"):
+                step7.open_project(plant["project"].folder)
+                step7.download_project(plant["project"], plant["plc"])
+                step7.monitor_frequency(plant["plc"])
 
-        kernel.run_for(self.duration_days * SECONDS_PER_DAY)
-        plant["bus"].sync_all()
+            with kernel.span("stuxnet.operation",
+                             days=self.duration_days):
+                kernel.run_for(self.duration_days * SECONDS_PER_DAY)
+                plant["bus"].sync_all()
 
         cascades = plant["cascades"]
         total = sum(len(c) for c in cascades)
@@ -131,21 +142,28 @@ class FlameEspionageCampaign:
 
     def run(self, suicide_at_end=False):
         kernel = self.world.kernel
-        self.flame.infect(self.hosts[0], via="initial")
-        # Week one: patient zero collects alone.
-        kernel.run_for(7 * SECONDS_PER_DAY)
-        # The rest of the LAN catches the fake Windows update (Fig. 2).
-        for host in self.hosts[1:]:
-            self.lan.browser_start(host)
-            run_windows_update(host, self.lan, self.world.update_registry)
-        # Remaining weeks: daily operator review cycles.
-        remaining_days = max(self.duration_weeks * 7 - 7, 1)
-        for _ in range(remaining_days):
-            kernel.run_for(SECONDS_PER_DAY)
-            self.console.review_cycle()
-        if suicide_at_end:
-            self.infra["center"].broadcast_suicide()
-            kernel.run_for(2 * SECONDS_PER_DAY)
+        with kernel.span("flame.campaign", weeks=self.duration_weeks):
+            # Week one: patient zero collects alone.
+            with kernel.span("flame.patient_zero"):
+                self.flame.infect(self.hosts[0], via="initial")
+                kernel.run_for(7 * SECONDS_PER_DAY)
+            # The rest of the LAN catches the fake Windows update (Fig. 2).
+            with kernel.span("flame.wu_spread",
+                             hosts=len(self.hosts) - 1):
+                for host in self.hosts[1:]:
+                    self.lan.browser_start(host)
+                    run_windows_update(host, self.lan,
+                                       self.world.update_registry)
+            # Remaining weeks: daily operator review cycles.
+            remaining_days = max(self.duration_weeks * 7 - 7, 1)
+            with kernel.span("flame.operations", days=remaining_days):
+                for _ in range(remaining_days):
+                    kernel.run_for(SECONDS_PER_DAY)
+                    self.console.review_cycle()
+            if suicide_at_end:
+                with kernel.span("flame.suicide_broadcast"):
+                    self.infra["center"].broadcast_suicide()
+                    kernel.run_for(2 * SECONDS_PER_DAY)
         servers = self.infra["servers"]
         center = self.infra["center"]
         self.result = {
@@ -215,9 +233,14 @@ class ShamoonWiperCampaign:
 
     def run(self):
         kernel = self.world.kernel
-        kernel.run(until=kernel.clock.to_seconds(self.start))
-        self.shamoon.infect(self.hosts[0], via="initial")
-        kernel.run(until=kernel.clock.to_seconds(self.end))
+        with kernel.span("shamoon.campaign", hosts=len(self.hosts)):
+            # The wiper idles until the operators strike (§IV).
+            with kernel.span("shamoon.dormant"):
+                kernel.run(until=kernel.clock.to_seconds(self.start))
+            with kernel.span("shamoon.patient_zero"):
+                self.shamoon.infect(self.hosts[0], via="initial")
+            with kernel.span("shamoon.operation"):
+                kernel.run(until=kernel.clock.to_seconds(self.end))
         summary = self.shamoon.destruction_summary()
         usable = sum(1 for h in self.hosts if h.usable())
         first_wipe = kernel.trace.first(actor="shamoon", action="host-wiped")

@@ -238,11 +238,11 @@ class ReplicaResult:
 
     __slots__ = ("index", "seed", "measurements", "trace_digest",
                  "trace_records", "events_dispatched", "sim_seconds",
-                 "wall_seconds")
+                 "wall_seconds", "metrics")
 
     def __init__(self, index, seed, measurements, trace_digest,
                  trace_records, events_dispatched, sim_seconds,
-                 wall_seconds):
+                 wall_seconds, metrics=None):
         self.index = index
         self.seed = seed
         self.measurements = measurements
@@ -251,6 +251,9 @@ class ReplicaResult:
         self.events_dispatched = events_dispatched
         self.sim_seconds = sim_seconds
         self.wall_seconds = wall_seconds
+        #: Metrics-registry snapshot (primitive dicts; see
+        #: :meth:`repro.obs.metrics.MetricsRegistry.snapshot`).
+        self.metrics = metrics or {}
 
     def as_dict(self):
         return {slot: getattr(self, slot) for slot in self.__slots__}
@@ -282,6 +285,7 @@ def run_replica(spec, index, base_seed=0):
         events_dispatched=kernel.dispatched_events,
         sim_seconds=kernel.now,
         wall_seconds=time.perf_counter() - started,
+        metrics=kernel.metrics.snapshot(),
     )
 
 
@@ -363,3 +367,36 @@ def aggregate(results):
             if isinstance(value, (int, float)):
                 series.setdefault(key, []).append(value)
     return {key: summarize(values) for key, values in sorted(series.items())}
+
+
+def merge_metric_snapshots(results):
+    """Ensemble-wide metric totals: one snapshot as if a single
+    registry had observed every replica (counters/histograms add,
+    gauges take the max — see :func:`repro.obs.metrics.merge_snapshots`).
+
+    ``results`` may be :class:`ReplicaResult` objects or raw snapshot
+    mappings.
+    """
+    from repro.obs.metrics import merge_snapshots
+
+    snapshots = [getattr(result, "metrics", result) for result in results]
+    return merge_snapshots(*snapshots)
+
+
+def aggregate_metrics(results):
+    """Per-metric :func:`summarize` across an ensemble's replicas.
+
+    Counters and gauges summarise their scalar value; histograms
+    summarise their observation count (their full merged shape is in
+    :func:`merge_metric_snapshots`).  Returns ``{}`` for an empty
+    ensemble.
+    """
+    series = {}
+    for result in results:
+        snapshot = getattr(result, "metrics", result)
+        for name, entry in snapshot.items():
+            value = (entry["count"] if entry["type"] == "histogram"
+                     else entry["value"])
+            series.setdefault(name, []).append(value)
+    return {name: summarize(values)
+            for name, values in sorted(series.items())}

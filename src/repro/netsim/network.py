@@ -56,37 +56,48 @@ class Internet:
 
     def http(self, client_label, method, url, params=None, body=b""):
         """Resolve and dispatch an HTTP request from ``client_label``."""
+        metrics = self.kernel.metrics
+        metrics.inc("net.http_requests")
         domain = url_host(url)
         address = self.dns.resolve(domain, client=client_label)
         if address is None:
+            metrics.inc("net.dns_nxdomain")
+            metrics.inc("net.http_failures")
             raise NoRouteError("NXDOMAIN: %r" % domain)
         server = self._sites.get(address)
         if server is None:
+            metrics.inc("net.http_failures")
             raise NoRouteError("no server at %s (domain %r)" % (address, domain))
         request = HttpRequest(method, url, client=client_label,
                               params=params, body=body)
         self.capture.record(client_label, domain, "http",
                             "%s %s" % (method, request.path), size=request.size)
+        metrics.inc("net.bytes_sent", request.size)
         if self.faults is not None:
             # The request went out (captured above) but never completes:
             # injected faults surface as the ordinary error taxonomy.
             if self.faults.site_down(address):
+                metrics.inc("net.http_failures")
                 raise NoRouteError(
                     "connection refused: server at %s is down (domain %r)"
                     % (address, domain))
             if self.faults.should_drop(GLOBAL_SCOPE, domain):
+                metrics.inc("net.http_failures")
                 raise NetworkError(
                     "packet loss: request from %r to %r dropped"
                     % (client_label, domain))
             delay = self.faults.extra_latency(GLOBAL_SCOPE, domain)
             if delay >= REQUEST_TIMEOUT:
                 self.faults.note_timeout(domain)
+                metrics.inc("net.http_failures")
                 raise NetworkError(
                     "request to %r timed out (%.0fs injected latency)"
                     % (domain, delay))
         response = server.handle(request)
         self.capture.record(domain, client_label, "http",
                             "response %d" % response.status, size=response.size)
+        metrics.inc("net.http_responses")
+        metrics.inc("net.bytes_received", response.size)
         return response
 
     def reachable(self, domain, client_label="probe"):
@@ -220,6 +231,7 @@ class Lan:
             raise NoRouteError(
                 "LAN %r is air-gapped; cannot reach %r" % (self.name, request.url)
             )
+        self.kernel.metrics.inc("net.lan_uplink_requests")
         faults = getattr(self.kernel, "faults", None)
         if faults is not None:
             scope = lan_scope(self.name)

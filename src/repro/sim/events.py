@@ -3,6 +3,8 @@
 import heapq
 import math
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
 from repro.sim.clock import SimClock
 from repro.sim.errors import ScheduleInPastError, SimulationError
 from repro.sim.faults import FaultInjector
@@ -150,9 +152,16 @@ class Kernel:
         self.clock = SimClock() if epoch is None else SimClock(epoch)
         self.rng = DeterministicRandom(seed)
         self.trace = TraceLog(self.clock)
+        #: Observability: kill-chain spans and the metrics registry.
+        #: Both are pure recorders — they consume no randomness and
+        #: schedule no events, so instrumentation never perturbs a
+        #: seeded run.
+        self.spans = SpanRecorder(self.clock)
+        self.metrics = MetricsRegistry()
         self.faults = FaultInjector(self)
         self._queue = EventQueue()
         self._dispatched = 0
+        self._events_metric = self.metrics.counter("sim.events_dispatched")
 
     @property
     def now(self):
@@ -196,6 +205,16 @@ class Kernel:
         """Create a :class:`PeriodicTask` firing every ``interval`` seconds."""
         return PeriodicTask(self, interval, callback, label, jitter=jitter)
 
+    def span(self, name, **attrs):
+        """Open a named kill-chain span for the duration of a ``with``
+        block (see :class:`repro.obs.spans.SpanRecorder`).
+
+        Virtual time may advance inside the block (e.g. around
+        :meth:`run_for`), so the span's start/end times delimit the
+        stage in the simulated timeline.
+        """
+        return self.spans.span(name, **attrs)
+
     def run(self, until=None, max_events=DEFAULT_MAX_EVENTS):
         """Dispatch events until the queue drains (or ``until`` seconds).
 
@@ -223,6 +242,7 @@ class Kernel:
             last_label = event.label
             dispatched += 1
             self._dispatched += 1
+            self._events_metric.value += 1
         if until is not None and until > self.clock.now:
             self.clock.advance_to(until)
         return dispatched

@@ -113,6 +113,8 @@ class FaultInjector:
         window = FaultWindow(kind, target, start, end, param)
         self._windows.append(window)
         self.stats["windows_scheduled"] += 1
+        self.kernel.metrics.inc("faults.windows_scheduled")
+        self.kernel.metrics.inc("faults.windows_scheduled.%s" % kind)
         self.kernel.trace.record(
             "faults", "fault-scheduled", target, kind=kind, start=start,
             end=(math.inf if end is None else end), param=param,
@@ -199,6 +201,9 @@ class FaultInjector:
     def _fire(self, window, stat, target, detail):
         window.fired += 1
         self.stats[stat] += 1
+        metrics = self.kernel.metrics
+        metrics.inc("faults.window_hits")
+        metrics.inc("faults.%s" % stat)
         self.kernel.trace.record("faults", "fault-injected", target,
                                  kind=window.kind, **detail)
 
@@ -273,4 +278,5 @@ class FaultInjector:
     def note_timeout(self, target):
         """Record that accumulated latency turned into a client timeout."""
         self.stats["timeouts"] += 1
+        self.kernel.metrics.inc("faults.timeouts")
         self.kernel.trace.record("faults", "fault-timeout", target)

@@ -94,11 +94,17 @@ class RetryTask:
             self._pending.cancel()
             self._pending = None
 
+    #: Buckets for the attempts-per-sequence histogram: retry policies
+    #: in this codebase top out at single-digit attempt counts.
+    ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+
     def _attempt(self):
         if self.finished:
             return
         self._pending = None
         self.attempts += 1
+        metrics = self.kernel.metrics
+        metrics.inc("retry.attempts")
         try:
             result = self._attempt_fn()
         except Exception:
@@ -107,6 +113,9 @@ class RetryTask:
             self.finished = True
             self.succeeded = True
             self.result = result
+            metrics.inc("retry.succeeded")
+            metrics.observe("retry.attempts_per_task", self.attempts,
+                            buckets=self.ATTEMPT_BUCKETS)
             self.kernel.trace.record("retry", "retry-succeeded", self.label,
                                      attempts=self.attempts)
             if self._on_success is not None:
@@ -114,12 +123,16 @@ class RetryTask:
             return
         if self.attempts >= self.policy.max_attempts:
             self.finished = True
+            metrics.inc("retry.exhausted")
+            metrics.observe("retry.attempts_per_task", self.attempts,
+                            buckets=self.ATTEMPT_BUCKETS)
             self.kernel.trace.record("retry", "retry-exhausted", self.label,
                                      attempts=self.attempts)
             if self._on_give_up is not None:
                 self._on_give_up()
             return
         delay = self.policy.delay_for(self.attempts, self._rng)
+        metrics.inc("retry.backoffs")
         self.kernel.trace.record("retry", "retry-backoff", self.label,
                                  attempt=self.attempts, delay=delay)
         self._pending = self.kernel.call_later(

@@ -123,11 +123,27 @@ class SweepResult:
         """Per-replica trace digests, in replica order."""
         return [replica.trace_digest for replica in self.replicas]
 
+    def metrics(self):
+        """Per-replica metric snapshots, in replica order."""
+        return [replica.metrics for replica in self.replicas]
+
+    def merged_metrics(self):
+        """One ensemble-wide metrics snapshot (counters/histograms add)."""
+        from repro.core.ensemble import merge_metric_snapshots
+
+        return merge_metric_snapshots(self.replicas)
+
     def aggregate(self):
         """Summary statistics per measurement key (see ensemble module)."""
         from repro.core.ensemble import aggregate
 
         return aggregate(self.replicas)
+
+    def aggregate_metrics(self):
+        """Summary statistics per metric across replicas."""
+        from repro.core.ensemble import aggregate_metrics
+
+        return aggregate_metrics(self.replicas)
 
     def as_dict(self):
         """JSON-ready rendering (CLI ``--json`` and BENCH_sweep.json)."""
@@ -142,6 +158,8 @@ class SweepResult:
             "distinct_trace_digests": len(set(self.digests())),
             "replicas": [replica.as_dict() for replica in self.replicas],
             "aggregate": self.aggregate(),
+            "metrics_merged": self.merged_metrics(),
+            "metrics_aggregate": self.aggregate_metrics(),
         }
 
     def __repr__(self):

@@ -55,9 +55,12 @@ class TraceLog:
     def query(self, actor=None, action=None, target=None, since=None, until=None):
         """Return records matching every given filter.
 
-        ``actor``/``action``/``target`` match exactly, except that a
-        trailing ``*`` turns the filter into a prefix match (useful for
-        namespaced actions like ``"flame.*"``).
+        ``actor``, ``action``, and ``target`` all match exactly, except
+        that a trailing ``*`` turns the filter into a prefix match —
+        this applies uniformly to all three, so namespaced actions
+        (``action="flame.*"``) and hostname families
+        (``target="aramco-*"``) filter the same way.  A record with no
+        target never matches a ``target`` filter, even ``"*"``.
         """
 
         def matches(value, pattern):

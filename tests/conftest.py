@@ -7,6 +7,22 @@ from repro.sim import Kernel
 from repro.winsim import HostConfig, WindowsHost
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite the golden-trace conformance files under "
+             "tests/golden/ from the current behaviour, instead of "
+             "asserting against them")
+
+
+@pytest.fixture
+def update_golden(request):
+    """Whether this run should rewrite the golden files."""
+    # getoption with a default keeps collection alive even if this
+    # conftest was not the one that registered the flag.
+    return bool(request.config.getoption("--update-golden", default=False))
+
+
 @pytest.fixture
 def kernel():
     return Kernel(seed=1)

@@ -39,3 +39,117 @@ def test_flame_subcommand_with_suicide(capsys):
 def test_unknown_subcommand_rejected():
     with pytest.raises(SystemExit):
         main(["explode"])
+
+
+# -- the trace exporter --------------------------------------------------------
+
+TRACE_ARGS = ["trace", "--campaign", "stuxnet", "--quick", "--seed", "7"]
+
+
+def test_trace_subcommand_emits_valid_jsonl(capsys):
+    assert main(TRACE_ARGS + ["--out", "-"]) == 0
+    lines = [json.loads(line)
+             for line in capsys.readouterr().out.strip().split("\n")]
+    assert lines[0]["kind"] == "meta"
+    assert lines[0]["campaign"] == "stuxnet"
+    assert lines[0]["seed"] == 7
+    assert lines[0]["preset"] == "quick"
+    kinds = {line["kind"] for line in lines}
+    assert kinds == {"meta", "span", "record", "metric"}
+    span_names = {line["name"] for line in lines
+                  if line["kind"] == "span"}
+    # The full Fig. 1 kill chain, settle to operation, is spanned.
+    assert {"stuxnet.campaign", "stuxnet.settle", "stuxnet.usb_entry",
+            "stuxnet.step7_infect", "stuxnet.operation",
+            "stuxnet.infect"} <= span_names
+
+
+def test_trace_same_seed_is_byte_identical(capsys):
+    assert main(TRACE_ARGS + ["--out", "-"]) == 0
+    first = capsys.readouterr().out
+    assert main(TRACE_ARGS + ["--out", "-"]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_trace_writes_file_and_figures(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    figures = tmp_path / "figs"
+    assert main(["trace", "--campaign", "shamoon", "--seed", "3",
+                 "--out", str(out), "--figures", str(figures)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    lines = out.read_text().strip().split("\n")
+    assert json.loads(lines[0])["kind"] == "meta"
+    fig = json.loads((figures / "fig6-shamoon-components.json").read_text())
+    assert fig["campaign"] == "shamoon"
+    assert any(edge["label"] == "stage" for edge in fig["edges"])
+    for edge in fig["edges"]:
+        assert set(edge) == {"src", "dst", "label", "count"}
+
+
+def test_trace_rejects_unknown_campaign(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["trace", "--campaign", "conficker", "--out", "-"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_trace_rejects_quick_and_full_together():
+    with pytest.raises(SystemExit) as excinfo:
+        main(TRACE_ARGS + ["--full"])
+    assert excinfo.value.code == 2
+
+
+# -- the --metrics flag --------------------------------------------------------
+
+def test_metrics_flag_json_shape(capsys):
+    assert main(["--json", "shamoon", "--hosts", "10", "--seed", "4",
+                 "--metrics"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    assert set(payload) == {"result", "metrics"}
+    assert payload["result"]["hosts_wiped"] == 10
+    metrics = payload["metrics"]
+    assert metrics["shamoon.hosts_wiped"] == {"type": "counter",
+                                              "value": 10}
+    assert metrics["sim.events_dispatched"]["value"] > 0
+    assert metrics["shamoon.infection_day"]["type"] == "histogram"
+
+
+def test_metrics_flag_prometheus_text(capsys):
+    assert main(["shamoon", "--hosts", "5", "--seed", "4",
+                 "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE shamoon_hosts_wiped counter" in out
+    assert "shamoon_hosts_wiped 5" in out
+    assert '_bucket{le="+Inf"}' in out
+
+
+def test_metrics_flag_off_keeps_legacy_output(capsys):
+    assert main(["--json", "shamoon", "--hosts", "5", "--seed", "4"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    assert "metrics" not in payload
+    assert payload["hosts_wiped"] == 5
+
+
+def test_sweep_metrics_flag(capsys):
+    assert main(["--json", "sweep", "--campaign", "shamoon",
+                 "--replicas", "2", "--serial", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    merged = payload["metrics_merged"]
+    per_replica = [replica["metrics"] for replica in payload["replicas"]]
+    assert len(per_replica) == 2
+    assert merged["shamoon.hosts_wiped"]["value"] == sum(
+        snapshot["shamoon.hosts_wiped"]["value"]
+        for snapshot in per_replica)
+    assert payload["metrics_aggregate"]["shamoon.hosts_wiped"]["n"] == 2
+
+
+def test_sweep_without_metrics_flag_omits_metric_keys(capsys):
+    assert main(["--json", "sweep", "--campaign", "shamoon",
+                 "--replicas", "2", "--serial"]) == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    assert "metrics_merged" not in payload
+    assert "metrics_aggregate" not in payload

@@ -1,0 +1,138 @@
+"""Golden-trace conformance: the exported JSONL is pinned by digest.
+
+Each campaign's quick preset runs at a fixed seed; the export's SHA-256
+(over the normalised JSONL lines) is committed under ``tests/golden/``
+together with the span and metric name sets.  Any behavioural drift —
+a reordered event, a renamed span, a new metric — fails here first,
+with the name sets giving a readable diff before the digest does.
+
+To accept intentional changes::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py \
+        --update-golden
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.ensemble import CAMPAIGNS, QUICK_PARAMS
+from repro.obs.export import export_digest, trace_lines
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+#: One fixed seed per campaign; changing it is a golden update.
+GOLDEN_SEED = 20130708
+
+#: Kill-chain stages each campaign's quick run must always emit —
+#: asserted independently of the digest so a missing stage is named.
+REQUIRED_STAGES = {
+    "stuxnet": {"stuxnet.campaign", "stuxnet.settle", "stuxnet.usb_entry",
+                "stuxnet.step7_infect", "stuxnet.operation",
+                "stuxnet.infect"},
+    "flame": {"flame.campaign", "flame.patient_zero", "flame.wu_spread",
+              "flame.operations", "flame.infect", "flame.collect",
+              "flame.beetlejuice", "flame.cnc_exchange"},
+    "shamoon": {"shamoon.campaign", "shamoon.dormant",
+                "shamoon.patient_zero", "shamoon.operation",
+                "shamoon.infect", "shamoon.wipe", "shamoon.report"},
+}
+
+
+def _golden_path(name):
+    return os.path.join(GOLDEN_DIR, "%s.json" % name)
+
+
+@pytest.fixture(scope="module")
+def finished_kernels():
+    """Run each campaign's quick preset once for the whole module."""
+    kernels = {}
+    for name in sorted(CAMPAIGNS):
+        campaign = CAMPAIGNS[name](seed=GOLDEN_SEED,
+                                   **dict(QUICK_PARAMS[name]))
+        campaign.run()
+        kernels[name] = campaign.world.kernel
+    return kernels
+
+
+def _observed(name, kernel):
+    """The facts a golden file pins, freshly computed."""
+    meta = {"campaign": name, "seed": GOLDEN_SEED, "preset": "quick"}
+    return {
+        "campaign": name,
+        "seed": GOLDEN_SEED,
+        "preset": "quick",
+        "digest": export_digest(kernel, meta=meta),
+        "span_names": sorted(kernel.spans.names()),
+        "metric_names": kernel.metrics.names(),
+        "span_count": len(kernel.spans),
+        "record_count": len(kernel.trace),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_export_matches_golden(name, finished_kernels, update_golden):
+    observed = _observed(name, finished_kernels[name])
+    path = _golden_path(name)
+    if update_golden:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(observed, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        return
+    if not os.path.exists(path):
+        pytest.fail("missing golden file %s — generate it with "
+                    "--update-golden" % path)
+    with open(path, encoding="utf-8") as stream:
+        golden = json.load(stream)
+    # Name sets first: their diffs explain most digest mismatches.
+    assert observed["span_names"] == golden["span_names"]
+    assert observed["metric_names"] == golden["metric_names"]
+    assert observed["span_count"] == golden["span_count"]
+    assert observed["record_count"] == golden["record_count"]
+    assert observed["digest"] == golden["digest"], (
+        "export digest drifted for %s: names and counts match, so an "
+        "existing line's content changed (timing, attrs, or details); "
+        "rerun with --update-golden if intentional" % name)
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_every_kill_chain_stage_is_spanned(name, finished_kernels):
+    names = finished_kernels[name].spans.names()
+    missing = REQUIRED_STAGES[name] - names
+    assert not missing, "campaign %s never opened: %s" % (name,
+                                                          sorted(missing))
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_spans_are_well_formed(name, finished_kernels):
+    """Every span closed, timed sanely, and parented within the run."""
+    spans = list(finished_kernels[name].spans)
+    by_id = {span.span_id: span for span in spans}
+    assert [span.span_id for span in spans] == list(range(1, len(spans) + 1))
+    for span in spans:
+        assert span.finished, "%s left open" % span
+        assert span.end >= span.start
+        if span.parent_id is not None:
+            parent = by_id[span.parent_id]
+            assert parent.start <= span.start
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_export_lines_are_strict_json(name, finished_kernels):
+    """Every exported line survives a strict JSON round trip."""
+    for line in trace_lines(finished_kernels[name]):
+        text = json.dumps(line, sort_keys=True, allow_nan=False)
+        assert json.loads(text) == json.loads(json.dumps(line,
+                                                         sort_keys=True))
+
+
+def test_same_seed_reruns_are_byte_identical(finished_kernels):
+    name = "stuxnet"
+    campaign = CAMPAIGNS[name](seed=GOLDEN_SEED,
+                               **dict(QUICK_PARAMS[name]))
+    campaign.run()
+    meta = {"campaign": name, "seed": GOLDEN_SEED, "preset": "quick"}
+    assert export_digest(campaign.world.kernel, meta=meta) == \
+        export_digest(finished_kernels[name], meta=meta)

@@ -1,0 +1,137 @@
+"""Property-based tests: the metrics registry's algebra.
+
+The sweep engine leans on three invariants: histogram bucket counts
+always sum to the observation count, counters never decrease, and
+merging snapshots is exactly "observe the union of the events" — in
+any order.  Hypothesis hammers those with arbitrary observation
+streams and arbitrary ways of splitting them across registries.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+finite = st.floats(min_value=-1e12, max_value=1e12,
+                   allow_nan=False, allow_infinity=False)
+
+observations = st.lists(finite, min_size=0, max_size=200)
+
+bounds = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=12, unique=True,
+).map(sorted).map(tuple)
+
+increments = st.lists(st.integers(min_value=0, max_value=10_000),
+                      min_size=0, max_size=100)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=observations, bnds=bounds)
+def test_histogram_bucket_counts_sum_to_observation_count(values, bnds):
+    hist = Histogram("h", bounds=bnds)
+    for value in values:
+        hist.observe(value)
+    assert sum(hist.bucket_counts()) == hist.count == len(values)
+    # Every observation landed in exactly one bucket, and each value is
+    # <= its bucket's bound (or fell through to the overflow bucket).
+    below_or_at = [sum(1 for v in values if v <= bound) for bound in bnds]
+    cumulative = 0
+    for bucket, expected in zip(hist.bucket_counts(), below_or_at):
+        cumulative += bucket
+        assert cumulative == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(amounts=increments)
+def test_counter_is_monotone_over_any_increment_stream(amounts):
+    counter = Counter("c")
+    previous = counter.value
+    for amount in amounts:
+        counter.inc(amount)
+        assert counter.value >= previous
+        previous = counter.value
+    assert counter.value == sum(amounts)
+
+
+def _observe_all(events):
+    """One registry that saw every event; returns its snapshot."""
+    registry = MetricsRegistry()
+    for kind, name, value in events:
+        if kind == "counter":
+            registry.inc("c." + name, value)
+        elif kind == "gauge":
+            # Merge takes the max, so feed it max-like updates only.
+            gauge = registry.gauge("g." + name)
+            gauge.set(max(gauge.value, value))
+        else:
+            registry.observe("h." + name, value)
+    return registry.snapshot()
+
+
+metric_events = st.lists(
+    st.tuples(st.sampled_from(["counter", "gauge", "histogram"]),
+              st.sampled_from(["a", "b", "c"]),
+              st.integers(min_value=0, max_value=10_000)),
+    min_size=0, max_size=80,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=metric_events, split=st.integers(min_value=0, max_value=80))
+def test_merging_two_snapshots_equals_observing_the_union(events, split):
+    split = min(split, len(events))
+    left, right = events[:split], events[split:]
+    merged = merge_snapshots(_observe_all(left), _observe_all(right))
+    union = _observe_all(events)
+    # Gauges only coincide when both halves saw the name; keep the
+    # exact-equality claim to the names the union and merge share with
+    # identical visibility, which for counters/histograms is all names.
+    for name, entry in union.items():
+        if entry["type"] == "gauge" and name not in merged:
+            continue
+        if entry["type"] == "gauge":
+            assert merged[name]["value"] <= entry["value"]
+            continue
+        assert merged[name] == entry
+    non_gauge = {n for n, e in union.items() if e["type"] != "gauge"}
+    assert non_gauge <= set(merged)
+
+
+@settings(max_examples=100, deadline=None)
+@given(events=metric_events,
+       cut_a=st.integers(min_value=0, max_value=80),
+       cut_b=st.integers(min_value=0, max_value=80))
+def test_merge_is_order_independent_and_associative(events, cut_a, cut_b):
+    cut_a, cut_b = sorted((min(cut_a, len(events)), min(cut_b, len(events))))
+    parts = [events[:cut_a], events[cut_a:cut_b], events[cut_b:]]
+    snapshots = [_observe_all(part) for part in parts]
+    forward = merge_snapshots(*snapshots)
+    backward = merge_snapshots(*reversed(snapshots))
+    assert forward == backward
+    nested = merge_snapshots(merge_snapshots(snapshots[0], snapshots[1]),
+                             snapshots[2])
+    assert nested == forward
+    # Merging with an empty snapshot is the identity.
+    assert merge_snapshots(forward, {}) == forward
+
+
+@settings(max_examples=50, deadline=None)
+@given(events=metric_events)
+def test_snapshot_round_trips_and_never_aliases_registry_state(events):
+    registry_snapshot = _observe_all(events)
+    merged = merge_snapshots(registry_snapshot)
+    assert merged == registry_snapshot
+    # The merge result is a fresh structure: mutating it must not leak.
+    for entry in merged.values():
+        if entry["type"] == "histogram":
+            entry["counts"][0] += 1
+            entry["sum"] += 1
+        else:
+            entry["value"] += 1
+    assert merge_snapshots(registry_snapshot) == registry_snapshot

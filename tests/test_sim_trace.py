@@ -54,6 +54,20 @@ def test_target_filter_with_none_target():
     assert trace.query(target="server-1", action="flame.suicide") == []
 
 
+def test_target_filter_honours_trailing_star_prefix():
+    """Regression: ``target`` filters use the same trailing-``*``
+    prefix syntax as ``actor``/``action`` — the figure exporters rely
+    on filtering by hostname family (``target="server-*"``)."""
+    trace = _populated_kernel().trace
+    assert len(trace.query(target="server-*")) == 3
+    assert len(trace.query(target="server-1*")) == 2
+    assert len(trace.query(actor="alice", target="server-*")) == 2
+    assert trace.count(target="nomatch-*") == 0
+    # A record with no target never matches, even the match-all prefix.
+    assert len(trace.query(target="*")) == 3
+    assert trace.first(target="server-2*").detail == {"size": 100}
+
+
 def test_actions_and_timeline():
     trace = _populated_kernel().trace
     assert "flame.upload" in trace.actions()

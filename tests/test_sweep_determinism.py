@@ -64,6 +64,34 @@ def test_serial_and_parallel_sweeps_are_bit_identical(name):
     assert [r.index for r in parallel.replicas] == [0, 1, 2]
 
 
+def test_serial_and_parallel_metric_snapshots_are_identical():
+    """Metric snapshots ride home with each replica; both dispatch
+    paths must produce the same snapshot per replica, and therefore
+    the same ensemble merge."""
+    spec = CampaignSpec.quick("shamoon")
+    serial = run_sweep(spec, SweepConfig(
+        replicas=3, workers=1, mode="serial", base_seed=11))
+    parallel = run_sweep(spec, SweepConfig(
+        replicas=3, workers=2, mode="parallel", base_seed=11,
+        chunk_size=1))
+    assert serial.metrics() == parallel.metrics()
+    assert serial.merged_metrics() == parallel.merged_metrics()
+    assert serial.aggregate_metrics() == parallel.aggregate_metrics()
+    # The snapshots are real: the wiper's headline counter is in them.
+    merged = serial.merged_metrics()
+    assert merged["shamoon.hosts_wiped"]["value"] == sum(
+        r.metrics["shamoon.hosts_wiped"]["value"] for r in serial.replicas)
+
+
+def test_replica_metrics_survive_as_dict_round_trip():
+    spec = CampaignSpec.quick("stuxnet")
+    replica = run_replica(spec, 0, base_seed=3)
+    rendered = replica.as_dict()
+    assert rendered["metrics"] == replica.metrics
+    assert rendered["metrics"]["sim.events_dispatched"]["value"] == \
+        replica.events_dispatched
+
+
 def test_chunk_size_does_not_affect_results():
     spec = CampaignSpec.quick("stuxnet")
     by_one = run_sweep(spec, SweepConfig(
