@@ -61,19 +61,29 @@ def _emit_campaign(args, header, result, kernel):
         print(prometheus_text(metrics), end="")
 
 
+def _apply_trace_limit(campaign, args):
+    """Honour ``--trace-limit`` before the campaign starts recording."""
+    limit = getattr(args, "trace_limit", None)
+    if limit is not None:
+        campaign.world.kernel.trace.bound(limit)
+    return campaign
+
+
 def _cmd_stuxnet(args):
-    campaign = StuxnetNatanzCampaign(seed=args.seed,
-                                     centrifuge_count=args.centrifuges,
-                                     duration_days=args.days)
+    campaign = _apply_trace_limit(
+        StuxnetNatanzCampaign(seed=args.seed,
+                              centrifuge_count=args.centrifuges,
+                              duration_days=args.days), args)
     result = campaign.run()
     _emit_campaign(args, "Stuxnet / Natanz (%d days):" % args.days,
                    result, campaign.world.kernel)
 
 
 def _cmd_flame(args):
-    campaign = FlameEspionageCampaign(seed=args.seed,
-                                      victim_count=args.victims,
-                                      duration_weeks=args.weeks)
+    campaign = _apply_trace_limit(
+        FlameEspionageCampaign(seed=args.seed,
+                               victim_count=args.victims,
+                               duration_weeks=args.weeks), args)
     result = campaign.run(suicide_at_end=args.suicide)
     _emit_campaign(args, "Flame espionage (%d victims, %d weeks):"
                    % (args.victims, args.weeks),
@@ -81,7 +91,8 @@ def _cmd_flame(args):
 
 
 def _cmd_shamoon(args):
-    campaign = ShamoonWiperCampaign(seed=args.seed, host_count=args.hosts)
+    campaign = _apply_trace_limit(
+        ShamoonWiperCampaign(seed=args.seed, host_count=args.hosts), args)
     result = campaign.run()
     _emit_campaign(args, "Shamoon wiper (%d hosts):" % args.hosts,
                    result, campaign.world.kernel)
@@ -89,7 +100,8 @@ def _cmd_shamoon(args):
 
 def _cmd_trace(args):
     params = {} if args.full else dict(QUICK_PARAMS[args.campaign])
-    campaign = CAMPAIGNS[args.campaign](seed=args.seed, **params)
+    campaign = _apply_trace_limit(
+        CAMPAIGNS[args.campaign](seed=args.seed, **params), args)
     campaign.run()
     kernel = campaign.world.kernel
     meta = {"campaign": args.campaign, "seed": args.seed,
@@ -165,11 +177,19 @@ def build_parser():
             help="also dump the kernel metrics registry (Prometheus "
                  "text, or a 'metrics' key under --json)")
 
+    def add_trace_limit_flag(subparser):
+        subparser.add_argument(
+            "--trace-limit", type=int, default=None, metavar="N",
+            help="bound the trace log to the newest N records "
+                 "(caps memory on million-event runs; the default "
+                 "keeps everything)")
+
     stuxnet = sub.add_parser("stuxnet", help="the Natanz campaign (SII)")
     stuxnet.add_argument("--seed", type=int, default=2010)
     stuxnet.add_argument("--days", type=int, default=180)
     stuxnet.add_argument("--centrifuges", type=int, default=984)
     add_metrics_flag(stuxnet)
+    add_trace_limit_flag(stuxnet)
     stuxnet.set_defaults(func=_cmd_stuxnet)
 
     flame = sub.add_parser("flame", help="the espionage campaign (SIII)")
@@ -179,12 +199,14 @@ def build_parser():
     flame.add_argument("--suicide", action="store_true",
                        help="broadcast SUICIDE at the end")
     add_metrics_flag(flame)
+    add_trace_limit_flag(flame)
     flame.set_defaults(func=_cmd_flame)
 
     shamoon = sub.add_parser("shamoon", help="the wiper campaign (SIV)")
     shamoon.add_argument("--seed", type=int, default=2012)
     shamoon.add_argument("--hosts", type=int, default=1000)
     add_metrics_flag(shamoon)
+    add_trace_limit_flag(shamoon)
     shamoon.set_defaults(func=_cmd_shamoon)
 
     sweep = sub.add_parser(
@@ -231,6 +253,7 @@ def build_parser():
     trace.add_argument("--figures", default=None, metavar="DIR",
                        help="also write per-figure edge lists "
                             "(fig*.json) into DIR")
+    add_trace_limit_flag(trace)
     trace.set_defaults(func=_cmd_trace)
 
     return parser

@@ -225,11 +225,26 @@ def trace_digest(trace):
     the only trace artefact cheap enough to ship back from a worker.
     """
     digest = hashlib.sha256()
+    # Feed the hash in ~64 KiB batches: one encode+update per buffer
+    # instead of per record.  UTF-8 encoding distributes over
+    # concatenation, so the digest is byte-identical to the per-line
+    # version — this runs once per replica, right on the sweep engine's
+    # hot path.
+    buffered = []
+    buffered_bytes = 0
     for record in trace:
         line = "%r|%s|%s|%s|%s\n" % (record.time, record.actor,
                                      record.action, record.target,
                                      _stable(record.detail))
-        digest.update(line.encode("utf-8", "backslashreplace"))
+        buffered.append(line)
+        buffered_bytes += len(line)
+        if buffered_bytes >= 65536:
+            digest.update("".join(buffered).encode("utf-8",
+                                                   "backslashreplace"))
+            buffered = []
+            buffered_bytes = 0
+    if buffered:
+        digest.update("".join(buffered).encode("utf-8", "backslashreplace"))
     return digest.hexdigest()
 
 

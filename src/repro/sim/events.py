@@ -35,7 +35,7 @@ class Event:
         if not self.cancelled:
             self.cancelled = True
             if self._queue is not None:
-                self._queue._live -= 1
+                self._queue._note_cancelled()
                 self._queue = None
 
     def __lt__(self, other):
@@ -47,7 +47,17 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of pending events ordered by (time, insertion order)."""
+    """Min-heap of pending events ordered by (time, insertion order).
+
+    Cancelled events stay in the heap until they surface (lazy
+    deletion); when they pile up faster than they surface — a campaign
+    cancelling thousands of pending retries at suicide time — the queue
+    compacts itself, rebuilding the heap from the live events only.
+    """
+
+    #: Compact only once at least this many cancelled entries linger,
+    #: so small queues never pay the heapify.
+    COMPACT_MIN_GARBAGE = 64
 
     def __init__(self):
         self._heap = []
@@ -66,21 +76,57 @@ class EventQueue:
 
     def pop(self):
         """Remove and return the next non-cancelled event, or None."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                self._live -= 1
-                # Detach: cancelling an already-dispatched event must
-                # not decrement the live counter again.
-                event._queue = None
-                return event
+        return self.pop_due(None)
+
+    def pop_due(self, until):
+        """Pop the next live event if it is due by ``until``.
+
+        Folds ``peek_time`` + ``pop`` into a single heap traversal for
+        the kernel's dispatch loop.  Returns None when the queue is
+        drained or the next live event lies beyond ``until``; in the
+        latter case the event stays queued.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and event.time > until:
+                return None
+            heapq.heappop(heap)
+            self._live -= 1
+            # Detach: cancelling an already-dispatched event must
+            # not decrement the live counter again.
+            event._queue = None
+            return event
         return None
+
+    def restore(self, event):
+        """Re-queue an event popped but not dispatched (budget aborts)."""
+        event._queue = self
+        self._live += 1
+        heapq.heappush(self._heap, event)
 
     def peek_time(self):
         """Time of the next live event, or None if the queue is drained."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
+
+    def _note_cancelled(self):
+        """Bookkeeping from :meth:`Event.cancel`: maybe compact.
+
+        Compaction triggers when cancelled entries both exceed the
+        minimum garbage floor and outnumber the live events, keeping
+        the heap within 2x of its live size at O(live) amortised cost.
+        """
+        self._live -= 1
+        garbage = len(self._heap) - self._live
+        if garbage >= self.COMPACT_MIN_GARBAGE and garbage > self._live:
+            self._heap = [event for event in self._heap
+                          if not event.cancelled]
+            heapq.heapify(self._heap)
 
     def __len__(self):
         return self._live
@@ -148,10 +194,13 @@ class Kernel:
     #: assumed to be stuck in a self-rescheduling loop.
     DEFAULT_MAX_EVENTS = 5_000_000
 
-    def __init__(self, seed=0, epoch=None):
+    def __init__(self, seed=0, epoch=None, trace_max_records=None):
         self.clock = SimClock() if epoch is None else SimClock(epoch)
         self.rng = DeterministicRandom(seed)
-        self.trace = TraceLog(self.clock)
+        #: ``trace_max_records`` caps trace memory for million-event
+        #: runs (see :meth:`repro.sim.trace.TraceLog.bound`); the
+        #: default keeps every record, as the golden exports require.
+        self.trace = TraceLog(self.clock, max_records=trace_max_records)
         #: Observability: kill-chain spans and the metrics registry.
         #: Both are pure recorders — they consume no randomness and
         #: schedule no events, so instrumentation never perturbs a
@@ -182,13 +231,32 @@ class Kernel:
         return len(self._queue)
 
     def call_at(self, when, callback, label="event"):
-        """Schedule ``callback`` at absolute virtual time ``when``."""
+        """Schedule ``callback`` at absolute virtual time ``when``.
+
+        NaN is rejected explicitly (mirroring :meth:`run_for`): it
+        compares False against every bound, so it would slip past both
+        this method's in-past guard and ``run(until=...)``'s stop
+        condition, corrupting the heap order along the way.
+        """
+        if math.isnan(when):
+            raise ValueError(
+                "call_at() time must be a non-NaN number of seconds, "
+                "got %r" % when)
         if when < self.clock.now:
             raise ScheduleInPastError(self.clock.now, when)
         return self._queue.push(when, callback, label)
 
     def call_later(self, delay, callback, label="event"):
-        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        """Schedule ``callback`` after ``delay`` seconds of virtual time.
+
+        NaN is rejected for the same reason as in :meth:`call_at` — a
+        NaN delay would schedule a NaN-timed event that defeats every
+        ordering and stop-condition comparison downstream.
+        """
+        if math.isnan(delay):
+            raise ValueError(
+                "call_later() delay must be a non-NaN number of "
+                "seconds, got %r" % delay)
         if delay < 0:
             raise ScheduleInPastError(self.clock.now, self.clock.now + delay)
         return self._queue.push(self.clock.now + delay, callback, label)
@@ -219,30 +287,41 @@ class Kernel:
         """Dispatch events until the queue drains (or ``until`` seconds).
 
         Returns the number of events dispatched by this call.
+
+        This is the hot path of every simulation: each iteration makes
+        a single heap access (:meth:`EventQueue.pop_due` folds the old
+        peek+pop pair), the per-event attribute lookups are hoisted out
+        of the loop, and the ``sim.events_dispatched`` metric and
+        :attr:`dispatched_events` counter are batched — they update
+        once per ``run()`` call (including on error exits), which is
+        the granularity every consumer in the codebase reads them at.
         """
         dispatched = 0
         last_label = None
-        while True:
-            next_time = self._queue.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                break
-            if dispatched >= max_events:
-                # Raise *before* dispatching event max_events + 1, so a
-                # budget of N never executes more than N callbacks.
-                raise SimulationError(
-                    "dispatched %d events without draining; runaway "
-                    "simulation (last event label: %r)"
-                    % (dispatched, last_label)
-                )
-            event = self._queue.pop()
-            self.clock.advance_to(event.time)
-            event.callback()
-            last_label = event.label
-            dispatched += 1
-            self._dispatched += 1
-            self._events_metric.value += 1
+        pop_due = self._queue.pop_due
+        advance_to = self.clock.advance_to
+        try:
+            while True:
+                event = pop_due(until)
+                if event is None:
+                    break
+                if dispatched >= max_events:
+                    # Raise *before* dispatching event max_events + 1,
+                    # so a budget of N never executes more than N
+                    # callbacks; the undispatched event stays queued.
+                    self._queue.restore(event)
+                    raise SimulationError(
+                        "dispatched %d events without draining; runaway "
+                        "simulation (last event label: %r)"
+                        % (dispatched, last_label)
+                    )
+                advance_to(event.time)
+                event.callback()
+                last_label = event.label
+                dispatched += 1
+        finally:
+            self._dispatched += dispatched
+            self._events_metric.value += dispatched
         if until is not None and until > self.clock.now:
             self.clock.advance_to(until)
         return dispatched

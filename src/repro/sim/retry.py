@@ -28,6 +28,11 @@ class RetryPolicy:
             raise ValueError("base_delay must be positive, got %r" % base_delay)
         if multiplier < 1.0:
             raise ValueError("multiplier must be >= 1, got %r" % multiplier)
+        if not max_delay > 0:
+            # A zero/negative (or NaN) cap would clamp every backoff to
+            # the 1e-9 floor in delay_for(), silently turning
+            # exponential backoff into a hot loop of retries.
+            raise ValueError("max_delay must be positive, got %r" % max_delay)
         if not 0.0 <= jitter < 1.0:
             raise ValueError("jitter must be within [0, 1), got %r" % jitter)
         self.max_attempts = max_attempts
@@ -107,7 +112,15 @@ class RetryTask:
         metrics.inc("retry.attempts")
         try:
             result = self._attempt_fn()
-        except Exception:
+        except Exception as exc:
+            # An exception still counts as a failed attempt, but it is
+            # a different signal from a clean None (the substrate broke
+            # rather than declined) — record it instead of silently
+            # folding it into the failure path.
+            metrics.inc("retry.attempt_errors")
+            self.kernel.trace.record(
+                "retry", "retry-attempt-error", self.label,
+                attempt=self.attempts, error=type(exc).__name__)
             result = None
         if result is not None:
             self.finished = True

@@ -33,6 +33,20 @@ _START_METHOD = ("fork" if "fork" in multiprocessing.get_all_start_methods()
                  else "spawn")
 
 
+def _integral(name, value):
+    """Validate a pool-shape parameter as a true positive integer.
+
+    A float like ``replicas=2.5`` would pass a bare ``< 1`` check and
+    then blow up as a ``TypeError`` deep inside ``range()`` in
+    ``run_sweep``; bools are ints but are always a caller mistake here.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError("%s must be an integer, got %r" % (name, value))
+    if value < 1:
+        raise ValueError("%s must be >= 1, got %r" % (name, value))
+    return value
+
+
 class SweepConfig:
     """How to run an ensemble: size, pool shape, and dispatch mode."""
 
@@ -42,14 +56,12 @@ class SweepConfig:
 
     def __init__(self, replicas=16, workers=None, chunk_size=None,
                  base_seed=0, mode="auto"):
-        if replicas < 1:
-            raise ValueError("replicas must be >= 1, got %r" % replicas)
+        replicas = _integral("replicas", replicas)
         if workers is None:
             workers = os.cpu_count() or 1
-        if workers < 1:
-            raise ValueError("workers must be >= 1, got %r" % workers)
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError("chunk_size must be >= 1, got %r" % chunk_size)
+        workers = _integral("workers", workers)
+        if chunk_size is not None:
+            chunk_size = _integral("chunk_size", chunk_size)
         if mode not in self.MODES:
             raise ValueError("mode must be one of %s, got %r"
                              % (self.MODES, mode))
@@ -99,10 +111,17 @@ def _run_chunk(payload):
 
 
 class SweepResult:
-    """An ensemble's replicas plus how they were produced."""
+    """An ensemble's replicas plus how they were produced.
+
+    The derived views (:meth:`aggregate`, :meth:`merged_metrics`,
+    :meth:`aggregate_metrics`) are memoised: a result is immutable once
+    built, and the CLI renders the same aggregates two or three times
+    per sweep (table, ``--json``, ``--metrics``), so each is computed
+    once and the cached mapping returned — treat them as read-only.
+    """
 
     __slots__ = ("spec", "mode", "workers", "chunk_size", "base_seed",
-                 "replicas", "wall_seconds")
+                 "replicas", "wall_seconds", "_cache")
 
     def __init__(self, spec, mode, workers, chunk_size, base_seed,
                  replicas, wall_seconds):
@@ -114,6 +133,14 @@ class SweepResult:
         #: :class:`~repro.core.ensemble.ReplicaResult` list, by index.
         self.replicas = replicas
         self.wall_seconds = wall_seconds
+        self._cache = {}
+
+    def _cached(self, key, compute):
+        try:
+            return self._cache[key]
+        except KeyError:
+            value = self._cache[key] = compute()
+            return value
 
     def measurements(self):
         """Per-replica measurement dicts, in replica order."""
@@ -131,19 +158,21 @@ class SweepResult:
         """One ensemble-wide metrics snapshot (counters/histograms add)."""
         from repro.core.ensemble import merge_metric_snapshots
 
-        return merge_metric_snapshots(self.replicas)
+        return self._cached("merged_metrics",
+                            lambda: merge_metric_snapshots(self.replicas))
 
     def aggregate(self):
         """Summary statistics per measurement key (see ensemble module)."""
         from repro.core.ensemble import aggregate
 
-        return aggregate(self.replicas)
+        return self._cached("aggregate", lambda: aggregate(self.replicas))
 
     def aggregate_metrics(self):
         """Summary statistics per metric across replicas."""
         from repro.core.ensemble import aggregate_metrics
 
-        return aggregate_metrics(self.replicas)
+        return self._cached("aggregate_metrics",
+                            lambda: aggregate_metrics(self.replicas))
 
     def as_dict(self):
         """JSON-ready rendering (CLI ``--json`` and BENCH_sweep.json)."""
@@ -195,9 +224,16 @@ def run_sweep(spec, config=None, **overrides):
                   for indices in shard_indices(config.replicas, chunk_size)]
         workers_used = min(config.workers, len(chunks))
         context = multiprocessing.get_context(_START_METHOD)
+        # Stream the reduction: imap_unordered hands each chunk back
+        # the moment its worker finishes, so reduced replicas never
+        # queue up behind a straggler chunk the way pool.map()'s
+        # ordered, hold-everything result list does.  Replica order is
+        # restored by the index sort below, so dispatch-completion
+        # order never leaks into the result.
+        replicas = []
         with context.Pool(processes=workers_used) as pool:
-            chunk_results = pool.map(_run_chunk, chunks)
-        replicas = [replica for chunk in chunk_results for replica in chunk]
+            for chunk in pool.imap_unordered(_run_chunk, chunks):
+                replicas.extend(chunk)
         replicas.sort(key=lambda replica: replica.index)
     return SweepResult(
         spec=spec,

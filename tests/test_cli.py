@@ -153,3 +153,24 @@ def test_sweep_without_metrics_flag_omits_metric_keys(capsys):
     payload = json.loads(out[out.index("{"):])
     assert "metrics_merged" not in payload
     assert "metrics_aggregate" not in payload
+
+
+def test_trace_limit_bounds_the_exported_trace(capsys):
+    """``--trace-limit`` caps trace memory: the JSONL export carries
+    only the newest N records plus a ``records_evicted`` meta count."""
+    assert main(["trace", "--campaign", "shamoon", "--seed", "3",
+                 "--quick", "--trace-limit", "40", "--out", "-"]) == 0
+    lines = [json.loads(line)
+             for line in capsys.readouterr().out.strip().split("\n")]
+    meta = lines[0]
+    assert meta["kind"] == "meta"
+    assert meta["records"] == 40
+    assert meta["records_evicted"] > 0
+    records = [line for line in lines if line["kind"] == "record"]
+    assert len(records) == 40
+
+
+def test_campaign_trace_limit_flag_runs(capsys):
+    assert main(["shamoon", "--hosts", "10", "--seed", "4",
+                 "--trace-limit", "25"]) == 0
+    assert "Shamoon wiper" in capsys.readouterr().out

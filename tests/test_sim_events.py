@@ -132,3 +132,76 @@ def test_determinism_same_seed_same_trace():
 
     assert build(99) == build(99)
     assert build(99) != build(100)
+
+
+def test_call_at_and_call_later_reject_nan(kernel):
+    """Regression: NaN compares False against every bound, so a
+    NaN-scheduled event used to slip past both the in-past guard and
+    ``run(until=...)``'s stop condition, corrupting heap order."""
+    nan = float("nan")
+    with pytest.raises(ValueError):
+        kernel.call_at(nan, lambda: None)
+    with pytest.raises(ValueError):
+        kernel.call_later(nan, lambda: None)
+    # The queue stayed clean: a bounded run still honours `until`.
+    seen = []
+    kernel.call_later(1.0, lambda: seen.append("ok"))
+    kernel.run(until=5.0)
+    assert seen == ["ok"]
+    assert kernel.pending_events == 0
+
+
+def test_budget_abort_leaves_the_next_event_queued(kernel):
+    """The event that would exceed ``max_events`` stays dispatchable."""
+    seen = []
+    for index in range(5):
+        kernel.call_later(float(index + 1), lambda i=index: seen.append(i))
+    with pytest.raises(SimulationError):
+        kernel.run(max_events=3)
+    assert seen == [0, 1, 2]
+    assert kernel.pending_events == 2
+    kernel.run()
+    assert seen == [0, 1, 2, 3, 4]
+    assert kernel.dispatched_events == 5
+
+
+def test_budget_equal_to_queue_size_drains_without_error(kernel):
+    for index in range(4):
+        kernel.call_later(1.0 + index, lambda: None)
+    assert kernel.run(max_events=4) == 4
+
+
+def test_event_queue_compacts_cancelled_backlog(kernel):
+    """Mass cancellation (a campaign suicide) rebuilds the heap from
+    the live events instead of letting cancelled entries linger."""
+    events = [kernel.call_later(1000.0 + i, lambda: None, "doomed")
+              for i in range(2000)]
+    survivors = [kernel.call_later(10.0 + i, lambda: None, "live")
+                 for i in range(10)]
+    for event in events:
+        event.cancel()
+    queue = kernel._queue
+    assert len(queue) == len(survivors)
+    # The compaction keeps the heap within 2x of the live population.
+    assert len(queue._heap) <= 2 * len(queue) + queue.COMPACT_MIN_GARBAGE
+    assert kernel.run() == len(survivors)
+
+
+def test_cancelling_a_dispatched_event_keeps_counts_consistent(kernel):
+    event = kernel.call_later(1.0, lambda: None)
+    kernel.call_later(2.0, lambda: None)
+    kernel.run(until=1.5)
+    event.cancel()  # already dispatched; must not double-decrement
+    assert kernel.pending_events == 1
+    assert kernel.run() == 1
+
+
+def test_batched_dispatch_metric_matches_counter(kernel):
+    for index in range(7):
+        kernel.call_later(float(index + 1), lambda: None)
+    kernel.run(until=3.5)
+    assert kernel.metrics.value("sim.events_dispatched") == 3
+    assert kernel.dispatched_events == 3
+    kernel.run()
+    assert kernel.metrics.value("sim.events_dispatched") == 7
+    assert kernel.dispatched_events == 7

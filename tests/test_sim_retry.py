@@ -110,3 +110,40 @@ def test_policy_validation():
         RetryPolicy(multiplier=0.5)
     with pytest.raises(ValueError):
         RetryPolicy(jitter=1.0)
+
+
+def test_policy_rejects_nonpositive_max_delay():
+    """Regression: an unvalidated ``max_delay<=0`` silently clamped
+    every backoff to the 1e-9 floor — a hot loop, not a backoff."""
+    with pytest.raises(ValueError):
+        RetryPolicy(max_delay=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_delay=-3600.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(max_delay=float("nan"))
+    assert RetryPolicy(max_delay=0.5).max_delay == 0.5
+
+
+def test_attempt_exceptions_are_traced_not_swallowed(kernel):
+    policy = RetryPolicy(max_attempts=2, base_delay=5.0, jitter=0.0)
+
+    def attempt():
+        raise KeyError("substrate exploded")
+
+    task = policy.execute(kernel, attempt, label="boom")
+    kernel.run()
+    assert task.finished and not task.succeeded
+    errors = kernel.trace.query(actor="retry", action="retry-attempt-error")
+    assert len(errors) == 2
+    assert errors[0].target == "boom"
+    assert errors[0].detail == {"attempt": 1, "error": "KeyError"}
+    assert errors[1].detail == {"attempt": 2, "error": "KeyError"}
+    assert kernel.metrics.value("retry.attempt_errors") == 2
+
+
+def test_clean_none_failures_do_not_emit_attempt_errors(kernel):
+    policy = RetryPolicy(max_attempts=2, base_delay=5.0, jitter=0.0)
+    policy.execute(kernel, lambda: None, label="quiet")
+    kernel.run()
+    assert kernel.trace.count(actor="retry",
+                              action="retry-attempt-error") == 0

@@ -80,3 +80,56 @@ def test_dump_and_len():
     assert len(trace) == 4
     text = trace.dump(limit=2)
     assert "alice" in text and text.count("\n") == 1
+
+
+def test_bounded_mode_evicts_oldest_records():
+    kernel = Kernel(seed=0)
+    trace = kernel.trace
+    trace.bound(100)
+    assert trace.max_records == 100
+    for index in range(1000):
+        kernel.clock.advance_to(float(index))
+        trace.record("actor-%d" % (index % 7), "act-%d" % (index % 13),
+                     "host-%d" % index)
+    assert len(trace) <= 100
+    assert trace.evicted_records + len(trace) == trace.total_records
+    assert trace.total_records == 1000
+    # Only the newest records survive, in append order.
+    times = [record.time for record in trace]
+    assert times == sorted(times)
+    assert times[-1] == 999.0
+    # Queries see exactly the retained history (linear reference agrees).
+    for filters in ({"actor": "actor-3"}, {"action": "act-*"},
+                    {"since": 950.0}, {"target": "host-99*"}):
+        assert trace.query(**filters) == trace.query_linear(**filters)
+    assert trace.actions() == {record.action for record in trace}
+
+
+def test_bounded_mode_validation_and_unbounding():
+    import pytest
+
+    kernel = Kernel(seed=0)
+    with pytest.raises(ValueError):
+        kernel.trace.bound(0)
+    with pytest.raises(TypeError):
+        kernel.trace.bound(50.0)
+    with pytest.raises(TypeError):
+        kernel.trace.bound(True)
+    kernel.trace.bound(10)
+    kernel.trace.bound(None)  # cap removed; nothing else changes
+    assert kernel.trace.max_records is None
+
+
+def test_kernel_trace_max_records_kwarg():
+    kernel = Kernel(seed=0, trace_max_records=50)
+    for index in range(200):
+        kernel.trace.record("a", "act", "t-%d" % index)
+    assert len(kernel.trace) <= 50
+    assert kernel.trace.evicted_records == 200 - len(kernel.trace)
+
+
+def test_query_linear_is_the_documented_reference():
+    trace = _populated_kernel().trace
+    for filters in ({}, {"actor": "alice"}, {"action": "flame.*"},
+                    {"target": "server-*"}, {"since": 5.0, "until": 15.0}):
+        assert trace.query(**filters) == trace.query_linear(**filters)

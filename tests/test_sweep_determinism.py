@@ -148,3 +148,41 @@ def test_spec_rejects_pinned_seed_and_unknown_names():
         CampaignSpec("conficker")
     with pytest.raises(ValueError):
         CampaignSpec("flame", fault_profile="meteor-strike")
+
+
+def test_sweep_config_rejects_non_integral_pool_shape():
+    """Regression: ``replicas=2.5`` used to pass the ``< 1`` check and
+    then raise a bare TypeError from ``range()`` deep inside
+    ``run_sweep``; the config now validates integral types up front."""
+    with pytest.raises(TypeError):
+        SweepConfig(replicas=2.5)
+    with pytest.raises(TypeError):
+        SweepConfig(replicas="8")
+    with pytest.raises(TypeError):
+        SweepConfig(replicas=True)
+    with pytest.raises(TypeError):
+        SweepConfig(workers=1.5)
+    with pytest.raises(TypeError):
+        SweepConfig(chunk_size=2.0)
+    with pytest.raises(ValueError):
+        SweepConfig(replicas=0)
+    with pytest.raises(ValueError):
+        SweepConfig(workers=-1)
+    with pytest.raises(ValueError):
+        SweepConfig(chunk_size=0)
+    config = SweepConfig(replicas=4, workers=2, chunk_size=1)
+    assert (config.replicas, config.workers, config.chunk_size) == (4, 2, 1)
+
+
+def test_sweep_result_caches_aggregate_views():
+    """``as_dict()`` (and the CLI, which renders the same aggregates
+    several times) must not recompute the summary statistics."""
+    spec = CampaignSpec.quick("shamoon")
+    result = run_sweep(spec, SweepConfig(replicas=2, mode="serial",
+                                         base_seed=5))
+    assert result.aggregate() is result.aggregate()
+    assert result.merged_metrics() is result.merged_metrics()
+    assert result.aggregate_metrics() is result.aggregate_metrics()
+    rendered = result.as_dict()
+    assert rendered["aggregate"] is result.aggregate()
+    assert rendered["metrics_merged"] is result.merged_metrics()
