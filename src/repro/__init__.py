@@ -20,6 +20,7 @@ Quickstart::
 from repro.core import (
     CampaignSpec,
     CampaignWorld,
+    CheckpointStore,
     FlameEspionageCampaign,
     ShamoonWiperCampaign,
     StuxnetNatanzCampaign,
@@ -28,6 +29,8 @@ from repro.core import (
     build_office_lan,
     comparison_table,
     ensemble_table,
+    resume_checkpointed,
+    run_checkpointed,
     seed_user_documents,
 )
 from repro.obs import (
@@ -38,13 +41,22 @@ from repro.obs import (
     prometheus_text,
     write_jsonl,
 )
-from repro.sim import Kernel, SweepConfig, run_sweep
+from repro.sim import (
+    CheckpointError,
+    Kernel,
+    SweepConfig,
+    restore_kernel,
+    run_sweep,
+    snapshot_kernel,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CampaignSpec",
     "CampaignWorld",
+    "CheckpointError",
+    "CheckpointStore",
     "FlameEspionageCampaign",
     "Kernel",
     "MetricsRegistry",
@@ -61,7 +73,11 @@ __all__ = [
     "export_digest",
     "merge_snapshots",
     "prometheus_text",
+    "restore_kernel",
+    "resume_checkpointed",
+    "run_checkpointed",
     "run_sweep",
     "seed_user_documents",
+    "snapshot_kernel",
     "write_jsonl",
 ]

@@ -15,6 +15,12 @@ prints ensemble statistics over N seeded replicas instead; ``trace``
 exports the observability record — spans, trace, metrics — as JSONL);
 exit code 0 means the simulation completed.  ``--metrics`` appends a
 Prometheus-style metrics dump (or a ``metrics`` key under ``--json``).
+
+The campaign subcommands and ``sweep`` also take ``--checkpoint-dir
+DIR`` (record a resumable checkpoint manifest) and ``--resume``
+(continue an interrupted run from that directory); the campaign
+subcommands additionally take ``--checkpoint-every N`` for periodic
+snapshots between stage boundaries.
 """
 
 import argparse
@@ -69,33 +75,84 @@ def _apply_trace_limit(campaign, args):
     return campaign
 
 
+def _run_single(args, header, meta, factory, run=None):
+    """Shared driver for the single-campaign subcommands.
+
+    Without ``--checkpoint-dir`` this is a plain build-and-run.  With
+    it, the run records a resumable checkpoint chain (every kill-chain
+    stage boundary, plus every ``--checkpoint-every`` events when
+    given); ``--resume`` replays an interrupted run against that chain
+    — or short-circuits straight to the recorded result if the run had
+    already finished.  ``meta`` pins the campaign name, seed, and
+    parameters, so resuming with mismatched flags fails loudly instead
+    of silently verifying the wrong simulation.
+    """
+    if getattr(args, "resume", False) and args.checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    if args.checkpoint_dir is None:
+        campaign = factory()
+        result = (run or (lambda c: c.run()))(campaign)
+        kernel = campaign.world.kernel
+    else:
+        from repro.core.resume import resume_checkpointed, run_checkpointed
+
+        if args.resume:
+            report = resume_checkpointed(factory, args.checkpoint_dir,
+                                         meta=meta, run=run)
+        else:
+            report = run_checkpointed(factory, args.checkpoint_dir,
+                                      meta=meta, run=run,
+                                      every_events=args.checkpoint_every)
+        result = report.result
+        kernel = report.kernel
+        if args.resume and not args.json:
+            print("resume: verified %d checkpoint%s%s"
+                  % (report.verified,
+                     "" if report.verified == 1 else "s",
+                     " (finished run, no replay needed)"
+                     if report.short_circuited else ""))
+    _emit_campaign(args, header, result, kernel)
+
+
 def _cmd_stuxnet(args):
-    campaign = _apply_trace_limit(
-        StuxnetNatanzCampaign(seed=args.seed,
-                              centrifuge_count=args.centrifuges,
-                              duration_days=args.days), args)
-    result = campaign.run()
-    _emit_campaign(args, "Stuxnet / Natanz (%d days):" % args.days,
-                   result, campaign.world.kernel)
+    def factory():
+        return _apply_trace_limit(
+            StuxnetNatanzCampaign(seed=args.seed,
+                                  centrifuge_count=args.centrifuges,
+                                  duration_days=args.days), args)
+
+    _run_single(args, "Stuxnet / Natanz (%d days):" % args.days,
+                {"campaign": "stuxnet", "seed": args.seed,
+                 "centrifuges": args.centrifuges, "days": args.days},
+                factory)
 
 
 def _cmd_flame(args):
-    campaign = _apply_trace_limit(
-        FlameEspionageCampaign(seed=args.seed,
-                               victim_count=args.victims,
-                               duration_weeks=args.weeks), args)
-    result = campaign.run(suicide_at_end=args.suicide)
-    _emit_campaign(args, "Flame espionage (%d victims, %d weeks):"
-                   % (args.victims, args.weeks),
-                   result, campaign.world.kernel)
+    def factory():
+        return _apply_trace_limit(
+            FlameEspionageCampaign(seed=args.seed,
+                                   victim_count=args.victims,
+                                   duration_weeks=args.weeks), args)
+
+    _run_single(args, "Flame espionage (%d victims, %d weeks):"
+                % (args.victims, args.weeks),
+                {"campaign": "flame", "seed": args.seed,
+                 "victims": args.victims, "weeks": args.weeks,
+                 "suicide": args.suicide},
+                factory,
+                run=lambda c: c.run(suicide_at_end=args.suicide))
 
 
 def _cmd_shamoon(args):
-    campaign = _apply_trace_limit(
-        ShamoonWiperCampaign(seed=args.seed, host_count=args.hosts), args)
-    result = campaign.run()
-    _emit_campaign(args, "Shamoon wiper (%d hosts):" % args.hosts,
-                   result, campaign.world.kernel)
+    def factory():
+        return _apply_trace_limit(
+            ShamoonWiperCampaign(seed=args.seed, host_count=args.hosts),
+            args)
+
+    _run_single(args, "Shamoon wiper (%d hosts):" % args.hosts,
+                {"campaign": "shamoon", "seed": args.seed,
+                 "hosts": args.hosts},
+                factory)
 
 
 def _cmd_trace(args):
@@ -136,7 +193,10 @@ def _cmd_sweep(args):
     config = SweepConfig(replicas=args.replicas, workers=args.workers,
                          chunk_size=args.chunk_size, base_seed=args.seed,
                          mode="serial" if args.serial else "auto")
-    result = run_sweep(spec, config)
+    if args.resume and args.checkpoint_dir is None:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    result = run_sweep(spec, config, checkpoint_dir=args.checkpoint_dir,
+                       resume=args.resume)
     if args.json:
         payload = result.as_dict()
         if not args.metrics:
@@ -184,12 +244,28 @@ def build_parser():
                  "(caps memory on million-event runs; the default "
                  "keeps everything)")
 
+    def add_checkpoint_flags(subparser, periodic=True):
+        subparser.add_argument(
+            "--checkpoint-dir", default=None, metavar="DIR",
+            help="record a resumable checkpoint manifest into DIR")
+        subparser.add_argument(
+            "--resume", action="store_true",
+            help="resume an interrupted run from --checkpoint-dir "
+                 "(replays deterministically and verifies the recorded "
+                 "checkpoint chain)")
+        if periodic:
+            subparser.add_argument(
+                "--checkpoint-every", type=int, default=None, metavar="N",
+                help="also checkpoint every N dispatched events "
+                     "(default: stage boundaries only)")
+
     stuxnet = sub.add_parser("stuxnet", help="the Natanz campaign (SII)")
     stuxnet.add_argument("--seed", type=int, default=2010)
     stuxnet.add_argument("--days", type=int, default=180)
     stuxnet.add_argument("--centrifuges", type=int, default=984)
     add_metrics_flag(stuxnet)
     add_trace_limit_flag(stuxnet)
+    add_checkpoint_flags(stuxnet)
     stuxnet.set_defaults(func=_cmd_stuxnet)
 
     flame = sub.add_parser("flame", help="the espionage campaign (SIII)")
@@ -200,6 +276,7 @@ def build_parser():
                        help="broadcast SUICIDE at the end")
     add_metrics_flag(flame)
     add_trace_limit_flag(flame)
+    add_checkpoint_flags(flame)
     flame.set_defaults(func=_cmd_flame)
 
     shamoon = sub.add_parser("shamoon", help="the wiper campaign (SIV)")
@@ -207,6 +284,7 @@ def build_parser():
     shamoon.add_argument("--hosts", type=int, default=1000)
     add_metrics_flag(shamoon)
     add_trace_limit_flag(shamoon)
+    add_checkpoint_flags(shamoon)
     shamoon.set_defaults(func=_cmd_shamoon)
 
     sweep = sub.add_parser(
@@ -234,6 +312,7 @@ def build_parser():
     sweep.add_argument("--json", action="store_true",
                        default=argparse.SUPPRESS,
                        help="print the full sweep result as JSON")
+    add_checkpoint_flags(sweep, periodic=False)
     add_metrics_flag(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 

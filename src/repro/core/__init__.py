@@ -32,8 +32,24 @@ from repro.core.ensemble import (
     trace_digest,
 )
 from repro.core.reporting import comparison_table, ensemble_table, format_row
+from repro.core.resume import (
+    CampaignCheckpointer,
+    CheckpointStore,
+    ResumeReport,
+    SweepCheckpoint,
+    interrupt_after,
+    resume_checkpointed,
+    run_checkpointed,
+)
 
 __all__ = [
+    "CampaignCheckpointer",
+    "CheckpointStore",
+    "ResumeReport",
+    "SweepCheckpoint",
+    "interrupt_after",
+    "resume_checkpointed",
+    "run_checkpointed",
     "CAMPAIGNS",
     "CampaignSpec",
     "CampaignWorld",

@@ -47,6 +47,22 @@ def jsonable(value):
     return "<%s>" % type(value).__name__
 
 
+def jsonable_ordered(value):
+    """Like :func:`jsonable`, but dicts keep their insertion order.
+
+    Checkpoint digests are taken over canonical sorted JSON either
+    way; preserving the order in the stored payload means values like
+    a campaign result's ``infection_vectors`` tally round-trip exactly,
+    so a resumed run prints byte-identically to the original.
+    """
+    if isinstance(value, dict):
+        return {str(key): jsonable_ordered(item)
+                for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable_ordered(item) for item in value]
+    return jsonable(value)
+
+
 def trace_lines(kernel, meta=None):
     """Yield the export as primitive dicts, one per eventual JSONL line.
 

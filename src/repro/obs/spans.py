@@ -86,8 +86,27 @@ class SpanRecorder:
         self._spans = []
         self._stack = []
         self._next_id = 1
+        self._finish_listeners = []
 
     # -- recording ------------------------------------------------------------
+
+    def on_finish(self, listener):
+        """Register ``listener(span)`` to fire whenever a span closes.
+
+        This is the stage-boundary hook the checkpoint layer uses: a
+        campaign stage finishing is exactly the cut point a resumable
+        run wants a snapshot at.  Listeners must be pure observers —
+        recording no spans, scheduling no events, drawing no
+        randomness.  Returns ``listener`` so callers can detach it
+        later with :meth:`remove_finish_listener`.
+        """
+        self._finish_listeners.append(listener)
+        return listener
+
+    def remove_finish_listener(self, listener):
+        """Detach a listener registered with :meth:`on_finish`."""
+        if listener in self._finish_listeners:
+            self._finish_listeners.remove(listener)
 
     def begin(self, name, parent=None, **attrs):
         """Open a span now; the caller must :meth:`finish` it later.
@@ -111,6 +130,8 @@ class SpanRecorder:
             return span
         span.end = self._clock.now
         span.status = status
+        for listener in self._finish_listeners:
+            listener(span)
         return span
 
     @contextmanager
@@ -132,6 +153,60 @@ class SpanRecorder:
     def current(self):
         """The innermost live context-manager span, or None."""
         return self._stack[-1] if self._stack else None
+
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self):
+        """Primitive rendering of every span plus the open-span stack.
+
+        Attrs pass through :func:`repro.obs.export.jsonable` so the
+        payload is canonically JSON-serialisable and idempotent under a
+        snapshot/load/snapshot round trip.
+        """
+        from repro.obs.export import jsonable
+
+        spans = []
+        for span in self._spans:
+            entry = span.as_dict()
+            entry["attrs"] = jsonable(entry["attrs"])
+            spans.append(entry)
+        return {
+            "next_id": self._next_id,
+            "stack": [span.span_id for span in self._stack],
+            "spans": spans,
+        }
+
+    def load_state(self, state):
+        """Replace the recorder's contents with a checkpointed snapshot.
+
+        Rebuilding goes through plain :class:`Span` construction, not
+        :meth:`begin`/:meth:`finish` — restoring state is not an event,
+        so finish listeners never fire for replayed spans.
+        """
+        from repro.sim.errors import CheckpointError
+
+        try:
+            spans = []
+            by_id = {}
+            for entry in state["spans"]:
+                span = Span(entry["span_id"], entry["name"], entry["start"],
+                            parent_id=entry["parent_id"],
+                            attrs=entry["attrs"])
+                span.end = entry["end"]
+                span.status = entry["status"]
+                spans.append(span)
+                by_id[span.span_id] = span
+            stack = [by_id[span_id] for span_id in state["stack"]]
+            next_id = int(state["next_id"])
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(
+                "malformed span state: %s: %s"
+                % (type(exc).__name__, exc)) from exc
+        self._spans = spans
+        self._stack = stack
+        self._next_id = next_id
 
     # -- introspection --------------------------------------------------------
 

@@ -9,8 +9,22 @@ is what lets the benchmark harness regenerate the paper's figures as
 stable event sequences.
 """
 
+from repro.sim.checkpoint import (
+    CHECKPOINT_VERSION,
+    read_checkpoint,
+    restore_kernel,
+    snapshot_kernel,
+    state_digest,
+    write_checkpoint,
+)
 from repro.sim.clock import SimClock, SIM_EPOCH
-from repro.sim.errors import SimulationError, ScheduleInPastError
+from repro.sim.errors import (
+    CheckpointDigestError,
+    CheckpointError,
+    CheckpointVersionError,
+    SimulationError,
+    ScheduleInPastError,
+)
 from repro.sim.events import Event, EventQueue, Kernel, PeriodicTask
 from repro.sim.faults import FaultInjector, FaultKind, FaultWindow, lan_scope
 from repro.sim.retry import RetryPolicy, RetryTask
@@ -19,6 +33,10 @@ from repro.sim.sweep import SweepConfig, SweepResult, run_sweep, shard_indices
 from repro.sim.trace import TraceLog, TraceRecord
 
 __all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointDigestError",
+    "CheckpointError",
+    "CheckpointVersionError",
     "SIM_EPOCH",
     "DeterministicRandom",
     "Event",
@@ -38,6 +56,11 @@ __all__ = [
     "TraceLog",
     "TraceRecord",
     "lan_scope",
+    "read_checkpoint",
+    "restore_kernel",
     "run_sweep",
     "shard_indices",
+    "snapshot_kernel",
+    "state_digest",
+    "write_checkpoint",
 ]

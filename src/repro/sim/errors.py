@@ -15,3 +15,42 @@ class ScheduleInPastError(SimulationError):
         )
         self.now = now
         self.when = when
+
+
+class CheckpointError(SimulationError):
+    """A checkpoint could not be written, read, restored, or verified.
+
+    Every failure mode of the snapshot/resume layer surfaces as this
+    type (or a subclass below) at the file boundary, so callers never
+    see a raw ``JSONDecodeError``/``KeyError`` from deep inside
+    deserialization when a checkpoint is corrupted or truncated.
+    """
+
+
+class CheckpointVersionError(CheckpointError):
+    """A checkpoint was written by an incompatible format version."""
+
+    def __init__(self, expected, found, path=None):
+        where = " in %s" % path if path else ""
+        super().__init__(
+            "checkpoint format version mismatch%s: this build reads "
+            "version %r, file declares %r" % (where, expected, found)
+        )
+        self.expected = expected
+        self.found = found
+        self.path = path
+
+
+class CheckpointDigestError(CheckpointError):
+    """A checkpoint's content does not match its recorded SHA-256."""
+
+    def __init__(self, expected, found, path=None):
+        where = " in %s" % path if path else ""
+        super().__init__(
+            "checkpoint digest mismatch%s: recorded %s..., content "
+            "hashes to %s... (corrupted or tampered file)"
+            % (where, str(expected)[:12], str(found)[:12])
+        )
+        self.expected = expected
+        self.found = found
+        self.path = path

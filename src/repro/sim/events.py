@@ -114,6 +114,51 @@ class EventQueue:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
 
+    def snapshot_entries(self):
+        """Primitive description of the heap for a checkpoint.
+
+        Entries are emitted in canonical ``(time, sequence)`` order —
+        not raw heap-array order — so equivalent queues snapshot
+        identically; cancelled entries that have not yet surfaced (or
+        been compacted away) are included with their flag, keeping the
+        restored queue's compaction accounting exact.  Callbacks are
+        not serialisable: only the label travels, and
+        :meth:`load_entries` re-binds labels to callables.
+        """
+        return {
+            "sequence": self._sequence,
+            "entries": [
+                {"time": event.time, "sequence": event.sequence,
+                 "label": event.label, "cancelled": event.cancelled}
+                for event in sorted(self._heap)
+            ],
+        }
+
+    def load_entries(self, state, resolve):
+        """Rebuild the heap from :meth:`snapshot_entries` output.
+
+        ``resolve(label)`` supplies the callback for each live entry
+        (checkpoint restore passes a registry, or a placeholder that
+        raises if an unbound event is ever dispatched).  A sorted entry
+        list is already heap-ordered, but ``heapify`` is cheap and
+        keeps this correct for any entry order.
+        """
+        heap = []
+        live = 0
+        for entry in state["entries"]:
+            event = Event(entry["time"], entry["sequence"],
+                          resolve(entry["label"]), entry["label"])
+            if entry["cancelled"]:
+                event.cancelled = True
+            else:
+                event._queue = self
+                live += 1
+            heap.append(event)
+        heapq.heapify(heap)
+        self._heap = heap
+        self._sequence = state["sequence"]
+        self._live = live
+
     def _note_cancelled(self):
         """Bookkeeping from :meth:`Event.cancel`: maybe compact.
 
@@ -211,6 +256,9 @@ class Kernel:
         self._queue = EventQueue()
         self._dispatched = 0
         self._events_metric = self.metrics.counter("sim.events_dispatched")
+        self._ckpt_hook = None
+        self._ckpt_every = 0
+        self._ckpt_countdown = 0
 
     @property
     def now(self):
@@ -283,6 +331,31 @@ class Kernel:
         """
         return self.spans.span(name, **attrs)
 
+    def set_checkpoint_hook(self, hook, every_events=1000):
+        """Install (or clear) a periodic auto-checkpoint hook.
+
+        ``hook(kernel)`` fires from inside :meth:`run` after every
+        ``every_events`` dispatched events, with the dispatch counters
+        flushed so a snapshot taken inside the hook is exact.  The hook
+        must be a pure observer — it may not schedule events or draw
+        randomness, or it would perturb the seeded run it is trying to
+        capture.  Pass ``hook=None`` to clear.
+        """
+        if hook is None:
+            self._ckpt_hook = None
+            self._ckpt_every = 0
+            self._ckpt_countdown = 0
+            return
+        if isinstance(every_events, bool) or not isinstance(every_events, int):
+            raise TypeError("every_events must be an integer, got %r"
+                            % (every_events,))
+        if every_events < 1:
+            raise ValueError("every_events must be >= 1, got %r"
+                             % (every_events,))
+        self._ckpt_hook = hook
+        self._ckpt_every = every_events
+        self._ckpt_countdown = every_events
+
     def run(self, until=None, max_events=DEFAULT_MAX_EVENTS):
         """Dispatch events until the queue drains (or ``until`` seconds).
 
@@ -297,9 +370,13 @@ class Kernel:
         the granularity every consumer in the codebase reads them at.
         """
         dispatched = 0
+        flushed = 0
         last_label = None
         pop_due = self._queue.pop_due
         advance_to = self.clock.advance_to
+        # Hoisted: installing a hook mid-run takes effect on the next
+        # run() call, which is the granularity checkpointing works at.
+        ckpt_hook = self._ckpt_hook
         try:
             while True:
                 event = pop_due(until)
@@ -319,12 +396,23 @@ class Kernel:
                 event.callback()
                 last_label = event.label
                 dispatched += 1
+                if ckpt_hook is not None:
+                    self._ckpt_countdown -= 1
+                    if self._ckpt_countdown <= 0:
+                        self._ckpt_countdown = self._ckpt_every
+                        # Flush the batched counters so the hook sees
+                        # (and can snapshot) the exact dispatch state.
+                        self._dispatched += dispatched
+                        self._events_metric.value += dispatched
+                        flushed += dispatched
+                        dispatched = 0
+                        ckpt_hook(self)
         finally:
             self._dispatched += dispatched
             self._events_metric.value += dispatched
         if until is not None and until > self.clock.now:
             self.clock.advance_to(until)
-        return dispatched
+        return flushed + dispatched
 
     def run_for(self, duration, max_events=DEFAULT_MAX_EVENTS):
         """Run for ``duration`` seconds of virtual time from now.

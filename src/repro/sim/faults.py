@@ -183,6 +183,49 @@ class FaultInjector:
                                      sinkhole_address=sinkhole_address)
                 for index, domain in enumerate(domains)]
 
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self):
+        """Primitive rendering of the schedule, stats, and RNG stream.
+
+        ``fired`` counts travel with each window so a restored injector
+        keeps attributing hits to the right windows, and the forked RNG
+        state guarantees the post-resume packet-loss dice match the
+        uninterrupted run draw for draw.
+        """
+        return {
+            "windows": [
+                {"kind": w.kind, "target": w.target, "start": w.start,
+                 "end": w.end, "param": w.param, "fired": w.fired}
+                for w in self._windows
+            ],
+            "stats": dict(self.stats),
+            "rng": self.rng.getstate(),
+        }
+
+    def load_state(self, state):
+        """Replace schedule, stats, and RNG with a checkpointed snapshot."""
+        from repro.sim.errors import CheckpointError
+
+        try:
+            windows = []
+            for entry in state["windows"]:
+                window = FaultWindow(entry["kind"], entry["target"],
+                                     entry["start"], entry["end"],
+                                     entry["param"])
+                window.fired = entry["fired"]
+                windows.append(window)
+            stats = dict(state["stats"])
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(
+                "malformed fault-injector state: %s: %s"
+                % (type(exc).__name__, exc)) from exc
+        self.rng.setstate(state["rng"])
+        self._windows = windows
+        self.stats = stats
+
     # -- introspection --------------------------------------------------------
 
     def windows(self, kind=None):

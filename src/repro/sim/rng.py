@@ -60,3 +60,52 @@ class DeterministicRandom:
         stay reproducible regardless of the order other components draw in.
         """
         return DeterministicRandom(seed="%r|%s" % (self._seed, label))
+
+    def getstate(self):
+        """JSON-safe snapshot of the stream: seed plus generator state.
+
+        The seed travels with the Mersenne state because :meth:`fork`
+        derives child seeds from it — restoring only the generator
+        state would silently change every stream forked after a resume.
+        """
+        if isinstance(self._seed, bool) or \
+                not isinstance(self._seed, (int, str)):
+            from repro.sim.errors import CheckpointError
+
+            raise CheckpointError(
+                "only int or str seeds can be checkpointed, got %r"
+                % (self._seed,))
+        version, internal, gauss_next = self._random.getstate()
+        return {
+            "seed_kind": "int" if isinstance(self._seed, int) else "str",
+            "seed": self._seed,
+            "version": version,
+            "internal": list(internal),
+            "gauss_next": gauss_next,
+        }
+
+    def setstate(self, state):
+        """Restore a stream captured by :meth:`getstate`.
+
+        Accepts the JSON round-tripped form (inner state as a list);
+        a malformed mapping raises ``CheckpointError`` rather than
+        whatever ``random.setstate`` would throw.
+        """
+        from repro.sim.errors import CheckpointError
+
+        try:
+            seed = state["seed"]
+            if state["seed_kind"] == "int":
+                seed = int(seed)
+            elif state["seed_kind"] != "str":
+                raise KeyError("seed_kind")
+            internal = tuple(state["internal"])
+            self._random.setstate((state["version"], internal,
+                                   state["gauss_next"]))
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(
+                "malformed RNG state: %s: %s"
+                % (type(exc).__name__, exc)) from exc
+        self._seed = seed

@@ -98,8 +98,19 @@ class SweepConfig:
 
 def shard_indices(replicas, chunk_size):
     """Split ``range(replicas)`` into consecutive chunks."""
-    return [list(range(start, min(start + chunk_size, replicas)))
-            for start in range(0, replicas, chunk_size)]
+    return shard_chunks(range(replicas), chunk_size)
+
+
+def shard_chunks(indices, chunk_size):
+    """Split an arbitrary replica-index list into consecutive chunks.
+
+    The resume path runs only the indices a manifest is missing, which
+    need not start at zero or be contiguous — but chunking stays purely
+    positional, so sharding still never affects per-replica results.
+    """
+    indices = list(indices)
+    return [indices[start:start + chunk_size]
+            for start in range(0, len(indices), chunk_size)]
 
 
 def _run_chunk(payload):
@@ -174,6 +185,28 @@ class SweepResult:
         return self._cached("aggregate_metrics",
                             lambda: aggregate_metrics(self.replicas))
 
+    def merge_replicas(self, more):
+        """Splice replicas recovered from a resume manifest into this
+        result, keeping index order.
+
+        This is the one sanctioned mutation of a built result, so it
+        also drops every memoised aggregate — the cached mappings were
+        computed over the pre-merge ensemble and would silently
+        misreport the merged one.  A duplicate index is always a
+        caller bug (the resume path only re-runs replicas the manifest
+        did *not* record) and raises rather than picking a winner.
+        """
+        merged = {replica.index: replica for replica in self.replicas}
+        for replica in more:
+            if replica.index in merged:
+                raise ValueError(
+                    "merge_replicas() got replica index %d twice"
+                    % replica.index)
+            merged[replica.index] = replica
+        self.replicas = [merged[index] for index in sorted(merged)]
+        self._cache.clear()
+        return self
+
     def as_dict(self):
         """JSON-ready rendering (CLI ``--json`` and BENCH_sweep.json)."""
         return {
@@ -197,45 +230,82 @@ class SweepResult:
                    self.wall_seconds))
 
 
-def run_sweep(spec, config=None, **overrides):
+def run_sweep(spec, config=None, checkpoint_dir=None, resume=False,
+              **overrides):
     """Run an ensemble of seeded replicas of ``spec``.
 
     Pass a :class:`SweepConfig`, or keyword overrides to build one
     (``run_sweep(spec, replicas=32, workers=8)``).  Returns a
     :class:`SweepResult` whose replicas are always in index order,
     whichever path produced them.
+
+    With ``checkpoint_dir`` the sweep is resumable: a manifest pinning
+    (spec, base seed, replica count) lands first, then each replica's
+    reduction is written atomically the moment it streams back from a
+    worker.  ``resume=True`` loads that manifest, validates it against
+    the requested spec/config (raising the typed
+    :class:`~repro.sim.errors.CheckpointError` on any mismatch), short-
+    circuits every recorded replica, and runs only the missing ones —
+    per-replica seeding makes the merged result byte-identical to an
+    uninterrupted sweep, down to the trace digests.
     """
     if config is None:
         config = SweepConfig(**overrides)
     elif overrides:
         raise TypeError("pass either a SweepConfig or keyword overrides, "
                         "not both")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires a checkpoint_dir")
     from repro.core.ensemble import run_replica
+
+    manifest = None
+    completed = {}
+    if checkpoint_dir is not None:
+        from repro.core.resume import SweepCheckpoint
+
+        if resume:
+            manifest = SweepCheckpoint.load(checkpoint_dir)
+            manifest.validate_against(spec, config)
+            completed = manifest.completed()
+        else:
+            manifest = SweepCheckpoint.create(checkpoint_dir, spec, config)
+    pending = [index for index in range(config.replicas)
+               if index not in completed]
+
+    def record(replica):
+        if manifest is not None:
+            manifest.record(replica)
+        return replica
 
     mode = config.resolved_mode()
     chunk_size = config.resolved_chunk_size()
     started = time.perf_counter()
     if mode == "serial":
-        replicas = [run_replica(spec, index, config.base_seed)
-                    for index in range(config.replicas)]
+        replicas = [record(run_replica(spec, index, config.base_seed))
+                    for index in pending]
         workers_used = 1
     else:
         chunks = [(spec, config.base_seed, indices)
-                  for indices in shard_indices(config.replicas, chunk_size)]
-        workers_used = min(config.workers, len(chunks))
-        context = multiprocessing.get_context(_START_METHOD)
-        # Stream the reduction: imap_unordered hands each chunk back
-        # the moment its worker finishes, so reduced replicas never
-        # queue up behind a straggler chunk the way pool.map()'s
-        # ordered, hold-everything result list does.  Replica order is
-        # restored by the index sort below, so dispatch-completion
-        # order never leaks into the result.
+                  for indices in shard_chunks(pending, chunk_size)]
+        # A fully-recorded resume has nothing pending: never spin up a
+        # pool (Pool(processes=0) is an error) just to do no work.
+        workers_used = min(config.workers, len(chunks)) or 1
         replicas = []
-        with context.Pool(processes=workers_used) as pool:
-            for chunk in pool.imap_unordered(_run_chunk, chunks):
-                replicas.extend(chunk)
+        if chunks:
+            context = multiprocessing.get_context(_START_METHOD)
+            # Stream the reduction: imap_unordered hands each chunk
+            # back the moment its worker finishes, so reduced replicas
+            # never queue up behind a straggler chunk the way
+            # pool.map()'s ordered, hold-everything result list does —
+            # and each replica is checkpointed as soon as it lands, so
+            # a crash loses at most the in-flight chunks.  Replica
+            # order is restored by the index sort below, so dispatch-
+            # completion order never leaks into the result.
+            with context.Pool(processes=workers_used) as pool:
+                for chunk in pool.imap_unordered(_run_chunk, chunks):
+                    replicas.extend(record(replica) for replica in chunk)
         replicas.sort(key=lambda replica: replica.index)
-    return SweepResult(
+    result = SweepResult(
         spec=spec,
         mode=mode,
         workers=workers_used,
@@ -244,3 +314,6 @@ def run_sweep(spec, config=None, **overrides):
         replicas=replicas,
         wall_seconds=time.perf_counter() - started,
     )
+    if completed:
+        result.merge_replicas(completed.values())
+    return result

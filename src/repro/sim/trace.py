@@ -168,6 +168,73 @@ class TraceLog:
                 elif cut:
                     del positions[:cut]
 
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot_state(self):
+        """Primitive-only rendering of the full log for a checkpoint.
+
+        Record details pass through :func:`repro.obs.export.jsonable`,
+        which is idempotent — so a log restored from a snapshot
+        snapshots back to the identical payload, and its JSONL export
+        digest matches the original's.
+        """
+        from repro.obs.export import jsonable
+
+        return {
+            "offset": self._offset,
+            "evicted": self._evicted,
+            "max_records": self._max_records,
+            "monotonic": self._monotonic,
+            "records": [
+                {"time": record.time, "actor": record.actor,
+                 "action": record.action,
+                 "target": jsonable(record.target),
+                 "detail": jsonable(record.detail)}
+                for record in self._records
+            ],
+        }
+
+    def load_state(self, state):
+        """Replace this log's contents with a checkpointed snapshot.
+
+        The per-actor/per-action indexes and the bisect time array are
+        rebuilt from the records — they are derived structures, so the
+        snapshot never stores them — and the bounded-mode counters
+        (offset, evictions, cap) are restored so eviction behaviour
+        continues exactly where the captured run left off.
+        """
+        from repro.sim.errors import CheckpointError
+
+        try:
+            records = [
+                TraceRecord(entry["time"], entry["actor"], entry["action"],
+                            entry["target"], entry["detail"])
+                for entry in state["records"]
+            ]
+            offset = int(state["offset"])
+            evicted = int(state["evicted"])
+            max_records = state["max_records"]
+            monotonic = bool(state["monotonic"])
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(
+                "malformed trace state: %s: %s"
+                % (type(exc).__name__, exc)) from exc
+        self._records = records
+        self._times = [record.time for record in records]
+        self._offset = offset
+        self._evicted = evicted
+        self._max_records = max_records
+        self._monotonic = monotonic
+        by_actor = {}
+        by_action = {}
+        for position, record in enumerate(records, start=offset):
+            by_actor.setdefault(record.actor, []).append(position)
+            by_action.setdefault(record.action, []).append(position)
+        self._by_actor = by_actor
+        self._by_action = by_action
+
     # -- container protocol ------------------------------------------------------
 
     def __len__(self):

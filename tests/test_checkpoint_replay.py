@@ -1,0 +1,520 @@
+"""Differential replay harness for the checkpoint format.
+
+Three layers of evidence that a checkpoint is a faithful cut of a run:
+
+1. **Round-trip identity** — ``snapshot(load(s)) == s`` byte for byte,
+   on hand-built busy kernels and on Hypothesis-generated ones.
+2. **Continuation equivalence** — a kernel restored mid-run and driven
+   to completion reaches the exact state (digest, trace, RNG stream)
+   of the run that was never interrupted, including when the cut point
+   is a budget abort that used :meth:`EventQueue.restore`.
+3. **Campaign conformance** — all three paper campaigns checkpoint at
+   every kill-chain stage boundary; each recorded snapshot restores to
+   its recorded state digest, and an interrupted run resumes through
+   the replay-verification protocol in :mod:`repro.core.resume`.
+
+The self-rescheduling "beacon" harness used throughout keeps *all* of
+its state in kernel-owned structures (clock, RNG, trace, metrics), so
+it is fully continuable from a snapshot via the label→callback
+registry — the one workload where restore-and-continue, not replay,
+is exercised end to end.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ensemble import CAMPAIGNS, QUICK_PARAMS, trace_digest
+from repro.core.resume import (
+    CheckpointStore,
+    interrupt_after,
+    resume_checkpointed,
+    run_checkpointed,
+)
+from repro.obs.export import export_digest
+from repro.sim import Kernel
+from repro.sim.checkpoint import (
+    CHECKPOINT_VERSION,
+    KIND_KERNEL,
+    canonical_json,
+    make_envelope,
+    read_checkpoint,
+    restore_kernel,
+    snapshot_kernel,
+    state_digest,
+    verify_envelope,
+    write_checkpoint,
+)
+from repro.sim.errors import (
+    CheckpointDigestError,
+    CheckpointError,
+    CheckpointVersionError,
+    SimulationError,
+)
+
+SEED = 20130708
+
+
+# -- the continuable beacon harness --------------------------------------------
+
+def beacon_factory(kernel, limit):
+    """Label→callback factory for a self-rescheduling beacon chain.
+
+    ``factory(label)`` returns the callback for that beacon — the
+    signature :func:`restore_kernel`'s resolver expects — and each
+    firing draws its next delay from the kernel RNG, records a trace
+    line, bumps a metric, and schedules its successor.  No state
+    outside the kernel, so a restored kernel continues bit-identically.
+    """
+
+    def factory(label):
+        def fire():
+            index = int(label.rsplit(":", 1)[1])
+            delay = 1.0 + kernel.rng.uniform(0.0, 4.0)
+            kernel.trace.record("beacon", "fire", label, delay=delay)
+            kernel.metrics.inc("beacon.fires")
+            if index < limit:
+                successor = "beacon:%d" % (index + 1)
+                kernel.call_later(delay, factory(successor), successor)
+
+        return fire
+
+    return factory
+
+
+def _noop():
+    return None
+
+
+def start_beacons(kernel, limit=30):
+    factory = beacon_factory(kernel, limit)
+    kernel.call_later(0.5, factory("beacon:0"), "beacon:0")
+
+
+def build_busy_kernel(seed=7, limit=25, junk=200, cancel=170):
+    """A kernel exercising every snapshotted subsystem at once.
+
+    The cancel count is chosen to leave garbage in the heap *after* a
+    compaction has fired (cancel > COMPACT_MIN_GARBAGE and > live at
+    some point), so the snapshot covers live entries, surviving
+    cancelled entries, and post-compaction sequence accounting.
+    """
+    kernel = Kernel(seed=seed)
+    start_beacons(kernel, limit)
+    junk_events = [kernel.call_later(3600.0 + index, _noop,
+                                     "junk:%d" % index)
+                   for index in range(junk)]
+    for event in junk_events[:cancel]:
+        event.cancel()
+    kernel.faults.inject_packet_loss(0.25, start=0.0, duration=9999.0)
+    kernel.faults.inject_takedown("evil.example.net")
+    with kernel.span("test.setup", note="busy"):
+        kernel.metrics.inc("test.setup_spans")
+    kernel.metrics.set_gauge("test.gauge", 42.5)
+    kernel.metrics.observe("test.histogram", 3.0, buckets=(1.0, 5.0))
+    kernel.trace.record("test", "built", "kernel", junk=junk, cancel=cancel)
+    return kernel
+
+
+# -- round-trip identity -------------------------------------------------------
+
+def test_snapshot_restore_round_trip_is_identity():
+    kernel = build_busy_kernel()
+    kernel.run(until=40.0)
+    envelope = snapshot_kernel(kernel, meta={"suite": "round-trip"})
+    restored = restore_kernel(envelope)
+    assert state_digest(restored) == envelope["state_digest"]
+    again = snapshot_kernel(restored, meta={"suite": "round-trip"})
+    assert canonical_json(again["state"]) == canonical_json(
+        envelope["state"])
+    assert again["state_digest"] == envelope["state_digest"]
+    assert again["digest"] == envelope["digest"]
+
+
+def test_snapshot_is_pure_observation():
+    """Taking a snapshot must not perturb the run it captures."""
+    kernel = build_busy_kernel()
+    kernel.run(until=10.0)
+    before = state_digest(kernel)
+    snapshot_kernel(kernel, meta={"n": 1})
+    snapshot_kernel(kernel)
+    assert state_digest(kernel) == before
+    witness = build_busy_kernel()
+    witness.run(until=10.0)
+    kernel.run(until=60.0)
+    witness.run(until=60.0)
+    assert state_digest(kernel) == state_digest(witness)
+
+
+def test_restored_trace_indexes_answer_queries():
+    kernel = build_busy_kernel()
+    kernel.run(until=40.0)
+    restored = restore_kernel(snapshot_kernel(kernel))
+    assert len(restored.trace) == len(kernel.trace)
+    assert (len(restored.trace.query(actor="beacon"))
+            == len(kernel.trace.query(actor="beacon")))
+    assert (len(restored.trace.query(action="fault-scheduled"))
+            == len(kernel.trace.query(action="fault-scheduled")))
+
+
+def test_restored_queue_preserves_cancelled_entries_and_sequence():
+    kernel = build_busy_kernel(junk=100, cancel=10)  # below compaction
+    snapshot = kernel._queue.snapshot_entries()
+    cancelled = [entry for entry in snapshot["entries"]
+                 if entry["cancelled"]]
+    assert len(cancelled) == 10
+    restored = restore_kernel(snapshot_kernel(kernel))
+    assert len(restored._queue) == len(kernel._queue)
+    assert restored._queue._sequence == kernel._queue._sequence
+    assert (restored._queue.snapshot_entries()
+            == kernel._queue.snapshot_entries())
+
+
+def test_lazy_compaction_keeps_snapshots_equivalent():
+    """Two queues in equivalent states — one compacted, one not —
+    snapshot identically once their garbage is gone, and a snapshot
+    taken *with* garbage restores it exactly (satellite: compaction ×
+    checkpoint interaction)."""
+    kernel = Kernel(seed=3)
+    events = [kernel.call_later(10.0 + index, _noop, "e:%d" % index)
+              for index in range(200)]
+    for event in events[:150]:
+        event.cancel()  # 150 > live 50 and > COMPACT_MIN_GARBAGE
+    snapshot = kernel._queue.snapshot_entries()
+    # Compaction fired at the 101st cancel (garbage 101 > live 99),
+    # sweeping that garbage; the remaining 49 cancels accumulated
+    # afterwards and stay in the heap below the next trigger point.
+    cancelled = [e for e in snapshot["entries"] if e["cancelled"]]
+    assert len(snapshot["entries"]) == 99
+    assert len(cancelled) == 49
+    assert len(kernel._queue) == 50
+    # The sequence counter still reflects every push ever made.
+    assert snapshot["sequence"] == 200
+    restored = restore_kernel(snapshot_kernel(kernel))
+    assert restored._queue.snapshot_entries() == snapshot
+    assert len(restored._queue) == 50
+
+
+def test_budget_abort_then_restore_continues_identically():
+    """The PR-4 budget-abort path (EventQueue.restore) composes with
+    snapshot/restore: cutting a run via max_events, snapshotting, and
+    continuing in a fresh kernel matches the uninterrupted run."""
+    reference = Kernel(seed=11)
+    start_beacons(reference, limit=20)
+    reference.run(until=500.0)
+    final = state_digest(reference)
+
+    kernel = Kernel(seed=11)
+    start_beacons(kernel, limit=20)
+    with pytest.raises(SimulationError):
+        kernel.run(until=500.0, max_events=7)
+    assert kernel.pending_events == 1  # the aborted event went back
+    restored = _restore_continuable(snapshot_kernel(kernel), limit=20)
+    restored.run(until=500.0)
+    assert state_digest(restored) == final
+    assert trace_digest(restored.trace) == trace_digest(reference.trace)
+
+
+def _restore_continuable(envelope, limit):
+    """Restore a beacon kernel with callbacks bound to *itself*."""
+    kernel = restore_kernel(envelope)
+    kernel._queue.load_entries(
+        envelope["state"]["queue"],
+        lambda label: beacon_factory(kernel, limit)(label))
+    return kernel
+
+
+def test_restored_rng_continues_the_stream():
+    kernel = Kernel(seed=99)
+    [kernel.rng.uniform(0, 1) for _ in range(10)]
+    envelope = snapshot_kernel(kernel)
+    upcoming = [kernel.rng.uniform(0, 1) for _ in range(5)]
+    fork_value = kernel.rng.fork("child").uniform(0, 1)
+    restored = restore_kernel(envelope)
+    assert [restored.rng.uniform(0, 1) for _ in range(5)] == upcoming
+    assert restored.rng.fork("child").uniform(0, 1) == fork_value
+
+
+# -- unbound callbacks and the resolver ----------------------------------------
+
+def test_dispatching_unbound_event_raises_typed_error():
+    kernel = Kernel(seed=1)
+    kernel.call_later(1.0, _noop, "mystery:event")
+    restored = restore_kernel(snapshot_kernel(kernel))
+    with pytest.raises(CheckpointError, match="mystery:event"):
+        restored.run()
+
+
+def test_pending_unbound_events_are_harmless_until_dispatched():
+    kernel = build_busy_kernel()
+    restored = restore_kernel(snapshot_kernel(kernel))
+    # The first beacon fires at t=0.5 and the junk sits at t>=3600;
+    # stopping before either means no placeholder is ever invoked.
+    restored.run(until=0.25, max_events=10)
+    assert state_digest(restored) is not None
+
+
+def test_callback_resolver_exact_and_prefix_binding():
+    kernel = Kernel(seed=5)
+    fired = []
+    kernel.call_later(1.0, _noop, "exact-label")
+    kernel.call_later(2.0, _noop, "beacon:7")
+    kernel.call_later(3.0, _noop, "beacon:extra:9")
+    envelope = snapshot_kernel(kernel)
+    restored = restore_kernel(envelope, callbacks={
+        "exact-label": lambda label: (lambda: fired.append(label)),
+        "beacon:extra:*": lambda label: (
+            lambda: fired.append("extra!" + label)),
+        "beacon:*": lambda label: (lambda: fired.append("b:" + label)),
+    })
+    restored.run()
+    # Longest prefix wins; exact beats prefix.
+    assert fired == ["exact-label", "b:beacon:7", "extra!beacon:extra:9"]
+
+
+# -- envelope validation (typed error satellite) -------------------------------
+
+@pytest.fixture
+def envelope_on_disk(tmp_path):
+    kernel = build_busy_kernel()
+    kernel.run(until=20.0)
+    path = str(tmp_path / "kernel.json")
+    write_checkpoint(path, snapshot_kernel(kernel, meta={"k": 1}))
+    return path
+
+
+def test_read_checkpoint_round_trip(envelope_on_disk):
+    envelope = read_checkpoint(envelope_on_disk, kind=KIND_KERNEL)
+    assert envelope["format"] == CHECKPOINT_VERSION
+    assert restore_kernel(envelope).dispatched_events > 0
+
+
+def test_missing_file_raises_checkpoint_error(tmp_path):
+    with pytest.raises(CheckpointError, match="cannot read"):
+        read_checkpoint(str(tmp_path / "absent.json"))
+
+
+def test_truncated_file_raises_checkpoint_error(envelope_on_disk):
+    data = open(envelope_on_disk, encoding="utf-8").read()
+    with open(envelope_on_disk, "w", encoding="utf-8") as stream:
+        stream.write(data[:len(data) // 2])
+    with pytest.raises(CheckpointError, match="cannot read"):
+        read_checkpoint(envelope_on_disk)
+
+
+def test_non_json_garbage_raises_checkpoint_error(envelope_on_disk):
+    with open(envelope_on_disk, "w", encoding="utf-8") as stream:
+        stream.write("\x00\x01 not json at all")
+    with pytest.raises(CheckpointError):
+        read_checkpoint(envelope_on_disk)
+
+
+def test_version_mismatch_raises_version_error(envelope_on_disk):
+    envelope = json.load(open(envelope_on_disk, encoding="utf-8"))
+    envelope["format"] = CHECKPOINT_VERSION + 1
+    with open(envelope_on_disk, "w", encoding="utf-8") as stream:
+        json.dump(envelope, stream)
+    with pytest.raises(CheckpointVersionError) as excinfo:
+        read_checkpoint(envelope_on_disk)
+    assert excinfo.value.expected == CHECKPOINT_VERSION
+    assert excinfo.value.found == CHECKPOINT_VERSION + 1
+
+
+def test_tampered_state_raises_digest_error(envelope_on_disk):
+    envelope = json.load(open(envelope_on_disk, encoding="utf-8"))
+    envelope["state"]["dispatched"] += 1
+    with open(envelope_on_disk, "w", encoding="utf-8") as stream:
+        json.dump(envelope, stream)
+    with pytest.raises(CheckpointDigestError):
+        read_checkpoint(envelope_on_disk)
+
+
+def test_tampered_state_digest_raises_digest_error(envelope_on_disk):
+    envelope = json.load(open(envelope_on_disk, encoding="utf-8"))
+    envelope["state_digest"] = "0" * 64
+    with open(envelope_on_disk, "w", encoding="utf-8") as stream:
+        json.dump(envelope, stream)
+    with pytest.raises(CheckpointDigestError):
+        read_checkpoint(envelope_on_disk)
+
+
+def test_wrong_kind_is_rejected(envelope_on_disk):
+    with pytest.raises(CheckpointError, match="kind"):
+        read_checkpoint(envelope_on_disk, kind="sweep-manifest")
+
+
+def test_missing_fields_are_rejected():
+    with pytest.raises(CheckpointError, match="missing required"):
+        verify_envelope({"format": CHECKPOINT_VERSION})
+    with pytest.raises(CheckpointError, match="not a JSON object"):
+        verify_envelope(["not", "a", "dict"])
+
+
+def test_write_checkpoint_is_atomic(tmp_path):
+    """No ``.tmp`` residue, and the content is one canonical line."""
+    path = str(tmp_path / "atomic.json")
+    write_checkpoint(path, make_envelope(KIND_KERNEL, {"x": 1}))
+    assert not os.path.exists(path + ".tmp")
+    text = open(path, encoding="utf-8").read()
+    assert text.endswith("\n")
+    assert json.loads(text)["state"] == {"x": 1}
+
+
+# -- Hypothesis properties -----------------------------------------------------
+
+@st.composite
+def kernel_programs(draw):
+    """A deterministic recipe for a small, varied kernel state."""
+    return {
+        "seed": draw(st.integers(0, 2 ** 20)),
+        "limit": draw(st.integers(0, 12)),
+        "junk": draw(st.integers(0, 120)),
+        "cancel_stride": draw(st.integers(1, 5)),
+        "draws": draw(st.integers(0, 8)),
+        "run_until": draw(st.floats(0.0, 60.0, allow_nan=False)),
+    }
+
+
+def _build_from_program(program):
+    kernel = Kernel(seed=program["seed"])
+    start_beacons(kernel, program["limit"])
+    events = [kernel.call_later(1000.0 + index, _noop, "junk:%d" % index)
+              for index in range(program["junk"])]
+    for event in events[::program["cancel_stride"]]:
+        event.cancel()
+    for _ in range(program["draws"]):
+        kernel.rng.uniform(0.0, 1.0)
+    kernel.run(until=program["run_until"])
+    return kernel
+
+
+@settings(max_examples=25, deadline=None)
+@given(kernel_programs())
+def test_property_snapshot_load_snapshot_is_identity(program):
+    kernel = _build_from_program(program)
+    envelope = snapshot_kernel(kernel)
+    restored = restore_kernel(envelope)
+    assert (canonical_json(snapshot_kernel(restored)["state"])
+            == canonical_json(envelope["state"]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2 ** 16), cut=st.integers(0, 25))
+def test_property_resume_at_any_event_index_is_equivalent(seed, cut):
+    """Cut the beacon run after ``cut`` events (a budget abort), restore
+    from the snapshot, continue: the final state digest must equal the
+    uninterrupted run's — for every cut index."""
+    limit = 20
+    reference = Kernel(seed=seed)
+    start_beacons(reference, limit)
+    reference.run(until=400.0)
+    final = state_digest(reference)
+
+    kernel = Kernel(seed=seed)
+    start_beacons(kernel, limit)
+    try:
+        kernel.run(until=400.0, max_events=cut)
+        cut_short = False
+    except SimulationError:
+        cut_short = True
+    restored = _restore_continuable(snapshot_kernel(kernel), limit)
+    restored.run(until=400.0)
+    assert state_digest(restored) == final
+    if not cut_short:
+        # The run already drained within the budget; the "resume" was a
+        # pure round trip and must still match.
+        assert state_digest(kernel) == final
+
+
+# -- campaign conformance ------------------------------------------------------
+
+def _campaign_factory(name):
+    def factory():
+        return CAMPAIGNS[name](seed=SEED, **dict(QUICK_PARAMS[name]))
+
+    return factory
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_campaign_stage_checkpoints_restore_to_recorded_digests(
+        name, tmp_path):
+    """Every stage-boundary snapshot of every campaign restores to
+    exactly the state digest the manifest recorded for it."""
+    directory = str(tmp_path / name)
+    report = run_checkpointed(_campaign_factory(name), directory,
+                              meta={"campaign": name, "seed": SEED})
+    store = CheckpointStore(directory).load()
+    entries = store.entries()
+    assert len(entries) >= 3  # several stages plus the final checkpoint
+    assert entries[-1]["tag"] == "final"
+    for entry in entries:
+        envelope = store.read(entry)
+        restored = restore_kernel(envelope)
+        assert state_digest(restored) == entry["state_digest"]
+        assert restored.dispatched_events == entry["events"]
+    # The final snapshot reproduces the live kernel's export digest.
+    final = restore_kernel(store.read(entries[-1]))
+    assert export_digest(final) == export_digest(report.kernel)
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_campaign_interrupted_resume_verifies_prefix(name, tmp_path):
+    directory = str(tmp_path / name)
+    meta = {"campaign": name, "seed": SEED}
+    baseline = run_checkpointed(_campaign_factory(name), directory,
+                                meta=meta)
+    recorded = CheckpointStore(directory).load().entries()
+    interrupt_after(directory, keep=len(recorded) // 2)
+    report = resume_checkpointed(_campaign_factory(name), directory,
+                                 meta=meta)
+    assert not report.short_circuited
+    assert report.verified == len(recorded) // 2
+    assert report.result == baseline.result
+    assert (trace_digest(report.kernel.trace)
+            == trace_digest(baseline.kernel.trace))
+    fresh = CheckpointStore(directory).load().entries()
+    assert [(e["tag"], e["events"], e["state_digest"]) for e in fresh] \
+        == [(e["tag"], e["events"], e["state_digest"]) for e in recorded]
+
+
+def test_resume_detects_divergent_replay(tmp_path):
+    """Resuming with a different seed must fail at the first checkpoint
+    whose digest disagrees — never silently return the wrong run."""
+    directory = str(tmp_path / "diverge")
+    run_checkpointed(_campaign_factory("shamoon"), directory)
+    interrupt_after(directory, keep=2)
+
+    def wrong_seed():
+        return CAMPAIGNS["shamoon"](seed=SEED + 1,
+                                    **dict(QUICK_PARAMS["shamoon"]))
+
+    with pytest.raises(CheckpointError, match="diverged"):
+        resume_checkpointed(wrong_seed, directory)
+
+
+def test_resume_rejects_mismatched_meta(tmp_path):
+    directory = str(tmp_path / "meta")
+    meta = {"campaign": "shamoon", "seed": SEED}
+    run_checkpointed(_campaign_factory("shamoon"), directory, meta=meta)
+    interrupt_after(directory, keep=1)
+    with pytest.raises(CheckpointError, match="different"):
+        resume_checkpointed(_campaign_factory("shamoon"), directory,
+                            meta={"campaign": "shamoon", "seed": SEED + 9})
+
+
+def test_finished_run_short_circuits_without_replay(tmp_path):
+    directory = str(tmp_path / "done")
+    baseline = run_checkpointed(_campaign_factory("shamoon"), directory)
+
+    def exploding_factory():
+        raise AssertionError("a finished run must not be replayed")
+
+    from repro.obs.export import jsonable
+
+    report = resume_checkpointed(exploding_factory, directory)
+    assert report.short_circuited
+    assert report.result == jsonable(baseline.result)
+    assert export_digest(report.kernel) == export_digest(baseline.kernel)

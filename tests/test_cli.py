@@ -174,3 +174,91 @@ def test_campaign_trace_limit_flag_runs(capsys):
     assert main(["shamoon", "--hosts", "10", "--seed", "4",
                  "--trace-limit", "25"]) == 0
     assert "Shamoon wiper" in capsys.readouterr().out
+
+
+# -- checkpoint / resume flags -------------------------------------------------
+
+def test_campaign_checkpoint_then_resume_round_trips(tmp_path, capsys):
+    directory = str(tmp_path / "ckpt")
+    args = ["shamoon", "--hosts", "10", "--seed", "4",
+            "--checkpoint-dir", directory]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert (tmp_path / "ckpt" / "MANIFEST.json").exists()
+    assert main(args + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "resume: verified" in second
+    assert "no replay needed" in second
+    # Identical measurements, with only the resume banner prepended.
+    assert second.splitlines()[1:] == first.splitlines()
+
+
+def test_resume_preserves_dict_valued_measurement_order(tmp_path, capsys):
+    """Stuxnet's ``infection_vectors`` tally is a dict in insertion
+    order; the checkpoint file must round-trip that order so a resumed
+    finished run prints byte-identically (digests stay canonical)."""
+    directory = str(tmp_path / "ckpt")
+    args = ["stuxnet", "--days", "40", "--centrifuges", "60",
+            "--seed", "9", "--checkpoint-dir", directory]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "infection_vectors" in first
+    assert main(args + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    assert second.splitlines()[1:] == first.splitlines()
+
+
+def test_campaign_resume_replays_an_interrupted_run(tmp_path, capsys):
+    from repro.core.resume import interrupt_after
+
+    directory = str(tmp_path / "ckpt")
+    args = ["shamoon", "--hosts", "10", "--seed", "4",
+            "--checkpoint-dir", directory]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    interrupt_after(directory, keep=2)
+    assert main(args + ["--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "resume: verified 2 checkpoints" in second
+    assert second.splitlines()[1:] == first.splitlines()
+
+
+def test_campaign_checkpoint_every_flag(tmp_path):
+    import json as _json
+
+    directory = tmp_path / "periodic"
+    assert main(["shamoon", "--hosts", "10", "--seed", "4",
+                 "--checkpoint-dir", str(directory),
+                 "--checkpoint-every", "10"]) == 0
+    manifest = _json.loads((directory / "MANIFEST.json").read_text())
+    tags = [entry["tag"] for entry in manifest["state"]["checkpoints"]]
+    assert "periodic" in tags
+    assert tags[-1] == "final"
+
+
+def test_resume_without_checkpoint_dir_is_rejected():
+    with pytest.raises(SystemExit, match="checkpoint-dir"):
+        main(["shamoon", "--hosts", "5", "--resume"])
+    with pytest.raises(SystemExit, match="checkpoint-dir"):
+        main(["sweep", "--campaign", "shamoon", "--replicas", "2",
+              "--serial", "--resume"])
+
+
+def test_sweep_checkpoint_then_resume_matches(tmp_path, capsys):
+    import os
+
+    directory = str(tmp_path / "sweep")
+    base = ["--json", "sweep", "--campaign", "shamoon", "--replicas", "3",
+            "--serial", "--seed", "6"]
+    assert main(base) == 0
+    out = capsys.readouterr().out
+    baseline = json.loads(out[out.index("{"):])
+    assert main(base + ["--checkpoint-dir", directory]) == 0
+    capsys.readouterr()
+    os.remove(os.path.join(directory, "replica-0001.json"))
+    assert main(base + ["--checkpoint-dir", directory, "--resume"]) == 0
+    out = capsys.readouterr().out
+    resumed = json.loads(out[out.index("{"):])
+    assert ([r["trace_digest"] for r in resumed["replicas"]]
+            == [r["trace_digest"] for r in baseline["replicas"]])
+    assert resumed["aggregate"] == baseline["aggregate"]

@@ -136,3 +136,28 @@ def test_same_seed_reruns_are_byte_identical(finished_kernels):
     meta = {"campaign": name, "seed": GOLDEN_SEED, "preset": "quick"}
     assert export_digest(campaign.world.kernel, meta=meta) == \
         export_digest(finished_kernels[name], meta=meta)
+
+
+@pytest.mark.parametrize("name", sorted(CAMPAIGNS))
+def test_checkpointed_run_matches_golden_digest(name, finished_kernels,
+                                                tmp_path):
+    """Checkpoint-every-stage mode is pure observation: a run recording
+    a snapshot at every kill-chain stage boundary (plus a periodic
+    every-N-events hook) must land on the exact golden export digest —
+    the strongest proof that checkpointing never perturbs a seeded
+    run."""
+    from repro.core.resume import run_checkpointed
+
+    def factory():
+        return CAMPAIGNS[name](seed=GOLDEN_SEED,
+                               **dict(QUICK_PARAMS[name]))
+
+    report = run_checkpointed(factory, str(tmp_path / name),
+                              meta={"campaign": name},
+                              every_events=50)
+    entries = report.store.entries()
+    assert len(entries) > len(REQUIRED_STAGES[name])
+    assert any(entry["tag"] == "periodic" for entry in entries)
+    meta = {"campaign": name, "seed": GOLDEN_SEED, "preset": "quick"}
+    assert export_digest(report.kernel, meta=meta) == \
+        export_digest(finished_kernels[name], meta=meta)
