@@ -190,13 +190,36 @@ def _cmd_sweep(args):
     else:
         spec = CampaignSpec.quick(args.campaign,
                                   fault_profile=args.fault_profile)
+    supervision = None
+    supervised = (args.supervised or args.replica_timeout is not None
+                  or args.max_replica_retries is not None
+                  or args.on_failure is not None)
+    if supervised:
+        if args.serial:
+            raise SystemExit("--serial cannot be combined with supervision "
+                             "flags: supervision needs worker processes")
+        from repro.sim.supervisor import SupervisorConfig
+
+        kwargs = {}
+        if args.replica_timeout is not None:
+            kwargs["replica_timeout"] = args.replica_timeout
+        if args.max_replica_retries is not None:
+            kwargs["max_replica_retries"] = args.max_replica_retries
+        if args.on_failure is not None:
+            kwargs["on_failure"] = args.on_failure
+        supervision = SupervisorConfig(**kwargs)
+    mode = "supervised" if supervised else ("serial" if args.serial
+                                            else "auto")
     config = SweepConfig(replicas=args.replicas, workers=args.workers,
                          chunk_size=args.chunk_size, base_seed=args.seed,
-                         mode="serial" if args.serial else "auto")
+                         mode=mode)
     if args.resume and args.checkpoint_dir is None:
         raise SystemExit("--resume requires --checkpoint-dir")
+    if args.skip_quarantined and not args.resume:
+        raise SystemExit("--skip-quarantined only makes sense with --resume")
     result = run_sweep(spec, config, checkpoint_dir=args.checkpoint_dir,
-                       resume=args.resume)
+                       resume=args.resume, supervision=supervision,
+                       retry_quarantined=not args.skip_quarantined)
     if args.json:
         payload = result.as_dict()
         if not args.metrics:
@@ -217,6 +240,21 @@ def _cmd_sweep(args):
         "per-measurement statistics over %d replicas (base seed %r)"
         % (len(result.replicas), result.base_seed),
         result.aggregate()))
+    if result.failures:
+        print("incomplete: %d replica(s) failed (%d quarantined)"
+              % (len(result.failures), len(result.quarantined())))
+        for failure in result.failures:
+            print("  replica %04d: %s after %d attempt(s)%s"
+                  % (failure.index, failure.reason, failure.attempts,
+                     " [quarantined]" if failure.quarantined else ""))
+    if result.supervision is not None:
+        report = result.supervision
+        print("supervision: %d worker(s), %d restart(s), %d ok / %d "
+              "failed%s in %.2fs"
+              % (report["workers"], report["worker_restarts"],
+                 report["replicas_completed"], report["replicas_failed"],
+                 " (salvaged: deadline hit)" if report["salvaged"] else "",
+                 report["wall_seconds"]))
     if args.metrics:
         print(prometheus_text(result.merged_metrics()), end="")
 
@@ -300,6 +338,27 @@ def build_parser():
                        help="replicas per dispatched work unit")
     sweep.add_argument("--serial", action="store_true",
                        help="force the bit-identical serial fallback path")
+    sweep.add_argument("--supervised", action="store_true",
+                       help="dispatch through the supervised worker pool: "
+                            "worker crashes, hangs, and timeouts cost one "
+                            "replica attempt instead of the whole sweep")
+    sweep.add_argument("--replica-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per replica attempt "
+                            "(implies --supervised)")
+    sweep.add_argument("--max-replica-retries", type=int, default=None,
+                       metavar="N",
+                       help="retries before a replica is quarantined as "
+                            "poison (implies --supervised; default 2)")
+    sweep.add_argument("--on-failure", default=None,
+                       choices=("quarantine", "fail"),
+                       help="what a poison replica does to the sweep: "
+                            "'quarantine' records it and keeps going "
+                            "(default), 'fail' aborts (implies "
+                            "--supervised)")
+    sweep.add_argument("--skip-quarantined", action="store_true",
+                       help="with --resume: carry quarantined replicas' "
+                            "failure records instead of retrying them")
     sweep.add_argument("--fault-profile", default=None,
                        choices=sorted(FAULT_PROFILES),
                        help="apply a named fault-injection profile")

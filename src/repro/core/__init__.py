@@ -23,6 +23,7 @@ from repro.core.ensemble import (
     CampaignSpec,
     FAULT_PROFILES,
     QUICK_PARAMS,
+    ReplicaFailure,
     ReplicaResult,
     aggregate,
     percentile,
@@ -56,6 +57,7 @@ __all__ = [
     "FAULT_PROFILES",
     "FlameEspionageCampaign",
     "QUICK_PARAMS",
+    "ReplicaFailure",
     "ReplicaResult",
     "ShamoonWiperCampaign",
     "StuxnetNatanzCampaign",

@@ -280,6 +280,51 @@ class ReplicaResult:
                                 self.events_dispatched))
 
 
+class ReplicaFailure:
+    """Structured record of a replica an ensemble could not complete.
+
+    The supervised sweep path produces one of these instead of killing
+    the whole ensemble when a replica keeps crashing its worker, timing
+    out, or raising; it also marks replicas abandoned at a sweep
+    deadline.  ``quarantined`` distinguishes a *poison* replica (failed
+    every allowed attempt — retried on resume only when asked) from a
+    merely *unfinished* one (deadline/interrupt salvage — always
+    retried on resume).  ``history`` keeps one entry per failed attempt
+    (``attempt``, ``reason``, ``detail``), so the failure report says
+    not just that a replica died but how, each time.
+    """
+
+    __slots__ = ("index", "seed", "attempts", "reason", "quarantined",
+                 "history")
+
+    #: Failure reasons the supervisor records.
+    REASONS = ("worker-crash", "timeout", "hang", "error", "deadline")
+
+    def __init__(self, index, seed, attempts, reason, quarantined=True,
+                 history=None):
+        self.index = index
+        self.seed = seed
+        self.attempts = attempts
+        self.reason = reason
+        self.quarantined = bool(quarantined)
+        self.history = [dict(entry) for entry in (history or [])]
+
+    def as_dict(self):
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "attempts": self.attempts,
+            "reason": self.reason,
+            "quarantined": self.quarantined,
+            "history": [dict(entry) for entry in self.history],
+        }
+
+    def __repr__(self):
+        return ("ReplicaFailure(index=%d, attempts=%d, reason=%r, "
+                "quarantined=%r)" % (self.index, self.attempts,
+                                     self.reason, self.quarantined))
+
+
 def run_replica(spec, index, base_seed=0):
     """Build, fault, and run one seeded replica; return its reduction.
 

@@ -30,8 +30,9 @@ this module is the policy layer that decides *when* to snapshot and
 
 import os
 
-from repro.core.ensemble import ReplicaResult
+from repro.core.ensemble import ReplicaFailure, ReplicaResult
 from repro.sim.checkpoint import (
+    KIND_FAILURE,
     KIND_MANIFEST,
     KIND_REPLICA,
     KIND_SWEEP,
@@ -55,6 +56,31 @@ def _slug(tag):
                    for ch in tag) or "checkpoint"
 
 
+def _ensure_directory(directory):
+    """Create a checkpoint directory, with failures surfaced as the
+    typed :class:`CheckpointError` (a path through a regular file, a
+    permission-denied parent, a read-only filesystem) rather than the
+    raw ``OSError`` leaking out of the store."""
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except OSError as exc:
+        raise CheckpointError(
+            "cannot create checkpoint directory %s: %s: %s"
+            % (directory, type(exc).__name__, exc)) from exc
+    return directory
+
+
+def _list_directory(directory):
+    """List a checkpoint directory, wrapping unreadable/permission-
+    denied directories in :class:`CheckpointError`."""
+    try:
+        return os.listdir(directory)
+    except OSError as exc:
+        raise CheckpointError(
+            "cannot read checkpoint directory %s: %s: %s"
+            % (directory, type(exc).__name__, exc)) from exc
+
+
 class CheckpointStore:
     """One directory of checkpoint files described by a manifest.
 
@@ -76,7 +102,7 @@ class CheckpointStore:
 
     def initialise(self, meta=None, every_events=None):
         """Create (or reset) the manifest for a fresh recorded run."""
-        os.makedirs(self.directory, exist_ok=True)
+        _ensure_directory(self.directory)
         from repro.obs.export import jsonable
 
         self._manifest = {
@@ -349,10 +375,17 @@ class SweepCheckpoint:
     ``replica-NNNN.json``.  Per-replica seeds are a pure function of
     (base seed, index), so a manifest's replicas splice into a resumed
     sweep byte-for-byte as if the sweep had never stopped.
+
+    The supervised sweep path additionally persists quarantine records
+    as ``failure-NNNN.json``: a resume then *deterministically* either
+    retries a poison replica (the default — and a success supersedes
+    the record) or skips it and carries the structured failure into the
+    resumed result.
     """
 
     SWEEP_MANIFEST = "sweep.json"
     REPLICA_PATTERN = "replica-%04d.json"
+    FAILURE_PATTERN = "failure-%04d.json"
 
     def __init__(self, directory, payload):
         self.directory = directory
@@ -361,7 +394,7 @@ class SweepCheckpoint:
     @classmethod
     def create(cls, directory, spec, config):
         """Start a fresh manifest for (spec, config) in ``directory``."""
-        os.makedirs(directory, exist_ok=True)
+        _ensure_directory(directory)
         payload = {
             "spec": spec.as_dict(),
             "base_seed": config.base_seed,
@@ -409,13 +442,61 @@ class SweepCheckpoint:
     def replica_path(self, index):
         return os.path.join(self.directory, self.REPLICA_PATTERN % index)
 
+    def failure_path(self, index):
+        return os.path.join(self.directory, self.FAILURE_PATTERN % index)
+
     def record(self, replica):
-        """Persist one completed replica's reduction, atomically."""
+        """Persist one completed replica's reduction, atomically.
+
+        A completed replica supersedes any quarantine record a previous
+        (supervised) pass left for the same index, so a retry pass that
+        finally succeeds leaves the manifest clean.
+        """
         from repro.obs.export import jsonable
 
         payload = {"replica": jsonable(replica.as_dict())}
-        return write_checkpoint(self.replica_path(replica.index),
+        path = write_checkpoint(self.replica_path(replica.index),
                                 make_envelope(KIND_REPLICA, payload))
+        self.clear_failure(replica.index)
+        return path
+
+    def record_failure(self, failure):
+        """Persist one quarantined replica's failure record, atomically."""
+        from repro.obs.export import jsonable
+
+        payload = {"failure": jsonable(failure.as_dict())}
+        return write_checkpoint(self.failure_path(failure.index),
+                                make_envelope(KIND_FAILURE, payload))
+
+    def clear_failure(self, index):
+        """Drop the quarantine record for ``index``, if one exists."""
+        try:
+            os.remove(self.failure_path(index))
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise CheckpointError(
+                "cannot remove failure record %s: %s: %s"
+                % (self.failure_path(index), type(exc).__name__,
+                   exc)) from exc
+
+    def failures(self):
+        """Validated ``{index: ReplicaFailure}`` for every quarantine
+        record in the manifest directory."""
+        out = {}
+        for name in sorted(_list_directory(self.directory)):
+            if not (name.startswith("failure-") and name.endswith(".json")):
+                continue
+            envelope = read_checkpoint(os.path.join(self.directory, name),
+                                       kind=KIND_FAILURE)
+            failure = _failure_from_dict(envelope["state"]["failure"])
+            if name != self.FAILURE_PATTERN % failure.index:
+                raise CheckpointError(
+                    "failure record %s records index %d (expected file %s)"
+                    % (name, failure.index,
+                       self.FAILURE_PATTERN % failure.index))
+            out[failure.index] = failure
+        return out
 
     def completed(self):
         """Validated ``{index: ReplicaResult}`` for every recorded file.
@@ -425,7 +506,7 @@ class SweepCheckpoint:
         Files beyond the manifest's replica range are rejected too.
         """
         out = {}
-        for name in sorted(os.listdir(self.directory)):
+        for name in sorted(_list_directory(self.directory)):
             if not (name.startswith("replica-") and name.endswith(".json")):
                 continue
             envelope = read_checkpoint(os.path.join(self.directory, name),
@@ -453,4 +534,15 @@ def _replica_from_dict(payload):
     except (KeyError, TypeError) as exc:
         raise CheckpointError(
             "malformed replica payload: %s: %s"
+            % (type(exc).__name__, exc)) from exc
+
+
+def _failure_from_dict(payload):
+    """Rebuild a :class:`ReplicaFailure` from its ``as_dict`` rendering."""
+    try:
+        return ReplicaFailure(**{slot: payload[slot]
+                                 for slot in ReplicaFailure.__slots__})
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(
+            "malformed failure payload: %s: %s"
             % (type(exc).__name__, exc)) from exc

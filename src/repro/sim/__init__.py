@@ -22,13 +22,17 @@ from repro.sim.errors import (
     CheckpointDigestError,
     CheckpointError,
     CheckpointVersionError,
+    PoisonReplicaError,
+    ReplicaTimeoutError,
     SimulationError,
     ScheduleInPastError,
+    SupervisionError,
 )
 from repro.sim.events import Event, EventQueue, Kernel, PeriodicTask
 from repro.sim.faults import FaultInjector, FaultKind, FaultWindow, lan_scope
-from repro.sim.retry import RetryPolicy, RetryTask
+from repro.sim.retry import RetryPolicy, RetryTask, deterministic_backoff
 from repro.sim.rng import DeterministicRandom
+from repro.sim.supervisor import ChaosPlan, SupervisorConfig, supervise_sweep
 from repro.sim.sweep import SweepConfig, SweepResult, run_sweep, shard_indices
 from repro.sim.trace import TraceLog, TraceRecord
 
@@ -44,17 +48,23 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultWindow",
+    "ChaosPlan",
     "Kernel",
     "PeriodicTask",
+    "PoisonReplicaError",
+    "ReplicaTimeoutError",
     "RetryPolicy",
     "RetryTask",
     "ScheduleInPastError",
     "SimClock",
     "SimulationError",
+    "SupervisionError",
+    "SupervisorConfig",
     "SweepConfig",
     "SweepResult",
     "TraceLog",
     "TraceRecord",
+    "deterministic_backoff",
     "lan_scope",
     "read_checkpoint",
     "restore_kernel",
@@ -62,5 +72,6 @@ __all__ = [
     "shard_indices",
     "snapshot_kernel",
     "state_digest",
+    "supervise_sweep",
     "write_checkpoint",
 ]

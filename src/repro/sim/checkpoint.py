@@ -51,6 +51,7 @@ KIND_KERNEL = "kernel-checkpoint"
 KIND_MANIFEST = "checkpoint-manifest"
 KIND_SWEEP = "sweep-manifest"
 KIND_REPLICA = "sweep-replica"
+KIND_FAILURE = "sweep-failure"
 
 
 def canonical_json(value):
@@ -133,11 +134,19 @@ def write_checkpoint(path, envelope):
     insertion order and a resumed run prints byte-identically.
     """
     tmp = "%s.tmp" % path
-    with open(tmp, "w", encoding="utf-8") as stream:
-        stream.write(json.dumps(envelope, separators=(",", ":"),
-                                allow_nan=False))
-        stream.write("\n")
-    os.replace(tmp, path)
+    try:
+        with open(tmp, "w", encoding="utf-8") as stream:
+            stream.write(json.dumps(envelope, separators=(",", ":"),
+                                    allow_nan=False))
+            stream.write("\n")
+        os.replace(tmp, path)
+    except OSError as exc:
+        # An unwritable or vanished checkpoint directory is a caller-
+        # facing condition, not an internal bug: surface it as the same
+        # typed error every other checkpoint failure mode uses.
+        raise CheckpointError(
+            "cannot write checkpoint %s: %s: %s"
+            % (path, type(exc).__name__, exc)) from exc
     return path
 
 

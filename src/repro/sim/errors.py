@@ -17,6 +17,44 @@ class ScheduleInPastError(SimulationError):
         self.when = when
 
 
+class SupervisionError(SimulationError):
+    """The supervised sweep could not keep its worker pool productive.
+
+    Raised for supervisor-level breakdowns (e.g. workers dying faster
+    than the restart budget allows), as opposed to the per-replica
+    failures below, which are recoverable and normally end up as
+    structured ``ReplicaFailure`` records instead of exceptions.
+    """
+
+
+class ReplicaTimeoutError(SupervisionError):
+    """A replica exhausted its retries by exceeding the wall-clock
+    timeout every time (raised only under ``on_failure="fail"``)."""
+
+    def __init__(self, index, attempts, timeout):
+        super().__init__(
+            "replica %d exceeded the %.3fs wall-clock timeout on all "
+            "%d attempt%s" % (index, timeout, attempts,
+                              "" if attempts == 1 else "s"))
+        self.index = index
+        self.attempts = attempts
+        self.timeout = timeout
+
+
+class PoisonReplicaError(SupervisionError):
+    """A replica failed every allowed attempt (raised only under
+    ``on_failure="fail"``; ``on_failure="quarantine"`` records a
+    ``ReplicaFailure`` instead and lets the sweep finish)."""
+
+    def __init__(self, index, attempts, reason):
+        super().__init__(
+            "replica %d failed %d attempt%s (last failure: %s)"
+            % (index, attempts, "" if attempts == 1 else "s", reason))
+        self.index = index
+        self.attempts = attempts
+        self.reason = reason
+
+
 class CheckpointError(SimulationError):
     """A checkpoint could not be written, read, restored, or verified.
 

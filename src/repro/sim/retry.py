@@ -66,6 +66,32 @@ class RetryPolicy:
         return task
 
 
+def deterministic_backoff(policy, seed, label, attempts=None):
+    """Jittered backoff schedule as a pure function of (policy, seed, label).
+
+    Kernel-scheduled retries get their jitter from the kernel's own
+    forked RNG streams (see :class:`RetryTask`), but the sweep
+    supervisor retries replicas in *wall-clock* time, outside any
+    kernel.  This helper gives that path the same reproducibility: the
+    delays are drawn from a :class:`~repro.sim.rng.DeterministicRandom`
+    forked off ``seed`` by ``label`` — under a sweep, (base seed,
+    replica seed) — so a re-run of the same degraded ensemble backs off
+    on an identical schedule instead of free-running jitter.
+
+    Returns the list of delays before attempts ``2..attempts+1``
+    (``attempts`` defaults to ``policy.max_attempts - 1``, the number
+    of backoffs a full sequence can take).
+    """
+    from repro.sim.rng import DeterministicRandom
+
+    rng = DeterministicRandom(seed).fork("backoff:%s" % label)
+    count = policy.max_attempts - 1 if attempts is None else attempts
+    if count < 0:
+        raise ValueError("attempts must be >= 0, got %r" % attempts)
+    return [policy.delay_for(attempt, rng)
+            for attempt in range(1, count + 1)]
+
+
 class RetryTask:
     """One in-flight retry sequence.  Created by :meth:`RetryPolicy.execute`."""
 

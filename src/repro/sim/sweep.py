@@ -48,11 +48,17 @@ def _integral(name, value):
 
 
 class SweepConfig:
-    """How to run an ensemble: size, pool shape, and dispatch mode."""
+    """How to run an ensemble: size, pool shape, and dispatch mode.
+
+    ``mode="supervised"`` routes dispatch through
+    :mod:`repro.sim.supervisor` — isolated worker processes with crash
+    recovery, per-replica timeouts, and poison-replica quarantine —
+    instead of the bare ``multiprocessing.Pool``.
+    """
 
     __slots__ = ("replicas", "workers", "chunk_size", "base_seed", "mode")
 
-    MODES = ("auto", "serial", "parallel")
+    MODES = ("auto", "serial", "parallel", "supervised")
 
     def __init__(self, replicas=16, workers=None, chunk_size=None,
                  base_seed=0, mode="auto"):
@@ -132,10 +138,11 @@ class SweepResult:
     """
 
     __slots__ = ("spec", "mode", "workers", "chunk_size", "base_seed",
-                 "replicas", "wall_seconds", "_cache")
+                 "replicas", "wall_seconds", "failures", "supervision",
+                 "_cache")
 
     def __init__(self, spec, mode, workers, chunk_size, base_seed,
-                 replicas, wall_seconds):
+                 replicas, wall_seconds, failures=None, supervision=None):
         self.spec = spec
         self.mode = mode
         self.workers = workers
@@ -144,6 +151,16 @@ class SweepResult:
         #: :class:`~repro.core.ensemble.ReplicaResult` list, by index.
         self.replicas = replicas
         self.wall_seconds = wall_seconds
+        #: :class:`~repro.core.ensemble.ReplicaFailure` list, by index —
+        #: replicas the supervised path could not complete.  Aggregation
+        #: tolerates the gaps: every derived view runs over whatever
+        #: replicas exist.
+        self.failures = list(failures or [])
+        #: Supervision report (counters, spans) from the supervised
+        #: path; None for serial/parallel dispatch.  Kept separate from
+        #: the replica data because it is inherently wall-clock-bound
+        #: and therefore nondeterministic.
+        self.supervision = supervision
         self._cache = {}
 
     def _cached(self, key, compute):
@@ -164,6 +181,15 @@ class SweepResult:
     def metrics(self):
         """Per-replica metric snapshots, in replica order."""
         return [replica.metrics for replica in self.replicas]
+
+    def quarantined(self):
+        """Indices of poison replicas quarantined by the supervisor."""
+        return sorted(failure.index for failure in self.failures
+                      if failure.quarantined)
+
+    def complete(self):
+        """True when every requested replica produced a result."""
+        return not self.failures
 
     def merged_metrics(self):
         """One ensemble-wide metrics snapshot (counters/histograms add)."""
@@ -216,22 +242,28 @@ class SweepResult:
             "chunk_size": self.chunk_size,
             "base_seed": self.base_seed,
             "replica_count": len(self.replicas),
+            "failure_count": len(self.failures),
+            "quarantined": self.quarantined(),
             "wall_seconds": self.wall_seconds,
             "distinct_trace_digests": len(set(self.digests())),
             "replicas": [replica.as_dict() for replica in self.replicas],
+            "failures": [failure.as_dict() for failure in self.failures],
             "aggregate": self.aggregate(),
             "metrics_merged": self.merged_metrics(),
             "metrics_aggregate": self.aggregate_metrics(),
+            "supervision": self.supervision,
         }
 
     def __repr__(self):
-        return ("SweepResult(%r, %d replicas, mode=%s, %.2fs)"
-                % (self.spec, len(self.replicas), self.mode,
+        failed = (", %d failed" % len(self.failures)
+                  if self.failures else "")
+        return ("SweepResult(%r, %d replicas%s, mode=%s, %.2fs)"
+                % (self.spec, len(self.replicas), failed, self.mode,
                    self.wall_seconds))
 
 
 def run_sweep(spec, config=None, checkpoint_dir=None, resume=False,
-              **overrides):
+              supervision=None, retry_quarantined=True, **overrides):
     """Run an ensemble of seeded replicas of ``spec``.
 
     Pass a :class:`SweepConfig`, or keyword overrides to build one
@@ -248,6 +280,22 @@ def run_sweep(spec, config=None, checkpoint_dir=None, resume=False,
     circuits every recorded replica, and runs only the missing ones —
     per-replica seeding makes the merged result byte-identical to an
     uninterrupted sweep, down to the trace digests.
+
+    ``supervision`` (a :class:`~repro.sim.supervisor.SupervisorConfig`)
+    or ``mode="supervised"`` routes dispatch through the supervised
+    worker pool: crashes, hangs, and timeouts cost single replica
+    attempts instead of the ensemble, and poison replicas land as
+    :attr:`SweepResult.failures` (quarantine records persist in the
+    manifest).  On resume, quarantined replicas are retried by default;
+    ``retry_quarantined=False`` skips them and carries their failure
+    records into the result instead — both choices are deterministic,
+    because a retried replica re-runs from its pure ``replica_seed``.
+
+    A ``KeyboardInterrupt`` mid-sweep tears the worker pool down hard
+    but keeps the checkpoint manifest intact: every replica recorded
+    before the interrupt is already flushed (the writes are atomic and
+    per-replica), so ``--resume`` afterwards loses at most the work
+    that was in flight.
     """
     if config is None:
         config = SweepConfig(**overrides)
@@ -256,10 +304,21 @@ def run_sweep(spec, config=None, checkpoint_dir=None, resume=False,
                         "not both")
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires a checkpoint_dir")
+    mode = config.resolved_mode()
+    if supervision is not None:
+        if mode == "serial":
+            raise ValueError("serial mode cannot be supervised: "
+                             "supervision needs worker processes")
+        mode = "supervised"
+    elif mode == "supervised":
+        from repro.sim.supervisor import SupervisorConfig
+
+        supervision = SupervisorConfig()
     from repro.core.ensemble import run_replica
 
     manifest = None
     completed = {}
+    carried_failures = []
     if checkpoint_dir is not None:
         from repro.core.resume import SweepCheckpoint
 
@@ -267,23 +326,46 @@ def run_sweep(spec, config=None, checkpoint_dir=None, resume=False,
             manifest = SweepCheckpoint.load(checkpoint_dir)
             manifest.validate_against(spec, config)
             completed = manifest.completed()
+            if not retry_quarantined:
+                carried_failures = [
+                    failure
+                    for index, failure in sorted(manifest.failures().items())
+                    if failure.quarantined and index not in completed]
         else:
             manifest = SweepCheckpoint.create(checkpoint_dir, spec, config)
+    skipped = {failure.index for failure in carried_failures}
     pending = [index for index in range(config.replicas)
-               if index not in completed]
+               if index not in completed and index not in skipped]
 
     def record(replica):
         if manifest is not None:
             manifest.record(replica)
         return replica
 
-    mode = config.resolved_mode()
     chunk_size = config.resolved_chunk_size()
     started = time.perf_counter()
+    failures = []
+    supervision_report = None
     if mode == "serial":
         replicas = [record(run_replica(spec, index, config.base_seed))
                     for index in pending]
         workers_used = 1
+    elif mode == "supervised":
+        from repro.sim.supervisor import supervise_sweep
+
+        workers_used = min(config.workers, len(pending)) or 1
+        replicas = []
+        if pending:
+            outcome = supervise_sweep(
+                spec, config.base_seed, pending,
+                workers=config.workers, chunk_size=chunk_size,
+                supervision=supervision, record=record,
+                record_failure=(manifest.record_failure
+                                if manifest is not None else None))
+            replicas = outcome.replicas
+            failures = outcome.failures
+            supervision_report = outcome.report
+            workers_used = outcome.report["workers"]
     else:
         chunks = [(spec, config.base_seed, indices)
                   for indices in shard_chunks(pending, chunk_size)]
@@ -301,10 +383,31 @@ def run_sweep(spec, config=None, checkpoint_dir=None, resume=False,
             # a crash loses at most the in-flight chunks.  Replica
             # order is restored by the index sort below, so dispatch-
             # completion order never leaks into the result.
-            with context.Pool(processes=workers_used) as pool:
+            pool = context.Pool(processes=workers_used)
+            try:
                 for chunk in pool.imap_unordered(_run_chunk, chunks):
                     replicas.extend(record(replica) for replica in chunk)
+                pool.close()
+            except KeyboardInterrupt:
+                # Ctrl-C: workers may be mid-replica, so terminate
+                # rather than close-and-drain — but every replica that
+                # already streamed back went through record(), whose
+                # manifest writes are atomic and per-replica, so the
+                # checkpoint directory stays a valid resume point and
+                # loses at most the in-flight chunks.
+                pool.terminate()
+                raise
+            except BaseException:
+                pool.terminate()
+                raise
+            finally:
+                # join() requires close()/terminate() to have been
+                # called; every path above guarantees exactly that, so
+                # no worker process outlives the sweep.
+                pool.join()
         replicas.sort(key=lambda replica: replica.index)
+    failures = sorted(failures + carried_failures,
+                      key=lambda failure: failure.index)
     result = SweepResult(
         spec=spec,
         mode=mode,
@@ -313,6 +416,8 @@ def run_sweep(spec, config=None, checkpoint_dir=None, resume=False,
         base_seed=config.base_seed,
         replicas=replicas,
         wall_seconds=time.perf_counter() - started,
+        failures=failures,
+        supervision=supervision_report,
     )
     if completed:
         result.merge_replicas(completed.values())

@@ -147,3 +147,52 @@ def test_clean_none_failures_do_not_emit_attempt_errors(kernel):
     kernel.run()
     assert kernel.trace.count(actor="retry",
                               action="retry-attempt-error") == 0
+
+
+# -- deterministic_backoff: wall-clock retries, kernel-free ---------------------
+
+def test_deterministic_backoff_is_reproducible():
+    from repro.sim.retry import deterministic_backoff
+
+    policy = RetryPolicy(max_attempts=4, base_delay=0.05, multiplier=2.0,
+                         max_delay=2.0, jitter=0.25)
+    first = deterministic_backoff(policy, 42, "replica-0003")
+    second = deterministic_backoff(policy, 42, "replica-0003")
+    assert first == second
+    assert len(first) == policy.max_attempts - 1
+    assert all(delay > 0 for delay in first)
+
+
+def test_deterministic_backoff_varies_by_seed_and_label():
+    from repro.sim.retry import deterministic_backoff
+
+    policy = RetryPolicy(max_attempts=4, base_delay=0.05, jitter=0.25)
+    base = deterministic_backoff(policy, 42, "replica-0003")
+    assert deterministic_backoff(policy, 43, "replica-0003") != base
+    assert deterministic_backoff(policy, 42, "replica-0004") != base
+
+
+def test_deterministic_backoff_without_jitter_is_the_exact_schedule():
+    from repro.sim.retry import deterministic_backoff
+
+    policy = RetryPolicy(max_attempts=4, base_delay=0.5, multiplier=2.0,
+                         max_delay=10.0, jitter=0.0)
+    assert deterministic_backoff(policy, 1, "x") == [0.5, 1.0, 2.0]
+
+
+def test_deterministic_backoff_respects_max_delay_cap():
+    from repro.sim.retry import deterministic_backoff
+
+    policy = RetryPolicy(max_attempts=6, base_delay=1.0, multiplier=10.0,
+                         max_delay=5.0, jitter=0.0)
+    assert deterministic_backoff(policy, 1, "x") == [1.0, 5.0, 5.0, 5.0, 5.0]
+
+
+def test_deterministic_backoff_explicit_attempt_count():
+    from repro.sim.retry import deterministic_backoff
+
+    policy = RetryPolicy(max_attempts=2, base_delay=0.5, jitter=0.0)
+    assert deterministic_backoff(policy, 1, "x", attempts=0) == []
+    assert len(deterministic_backoff(policy, 1, "x", attempts=4)) == 4
+    with pytest.raises(ValueError):
+        deterministic_backoff(policy, 1, "x", attempts=-1)
