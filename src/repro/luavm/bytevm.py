@@ -1,0 +1,668 @@
+"""Dispatch-loop VM executing compiled Lua-subset chunks.
+
+The bytecode counterpart of :class:`repro.luavm.interpreter.LuaVM`,
+with the identical public surface — ``register`` / ``set_global`` /
+``get_global`` / ``run`` / ``call`` / ``has_function`` / ``output`` —
+the same :class:`LuaTable` values, the same stdlib, the same error
+types, and the same instruction budget and call-depth cap.  The
+semantic spec both backends implement lives in the
+:mod:`repro.luavm.interpreter` docstring; the differential fuzz suite
+holds this VM bit-for-bit to the tree walker's observable behaviour.
+
+Execution model: one flat dispatch loop over ``(op, a, b)`` triples.
+Lua-level calls push a frame tuple instead of recursing into Python,
+so deep scripted recursion hits the (shared) MAX_CALL_DEPTH limit, not
+the host interpreter's stack.  Scopes are small lists —
+``[parent, slot1, ...]`` — created per block entry, which preserves the
+tree walker's per-iteration closure capture; the compiler elides the
+scope for blocks that declare no locals and hoists it out of
+closure-free loop bodies.
+
+The if/elif dispatch ladder is ordered by measured dynamic opcode
+frequency on the Flame module workload (module scan loops dominate),
+not by opcode number — order changes here are pure performance.
+"""
+
+from repro.luavm import code as C
+from repro.luavm.compiler import compile_cached
+from repro.luavm.errors import LuaRuntimeError
+from repro.luavm.interpreter import (
+    LuaTable,
+    LuaVM,
+    _from_lua,
+    _to_lua,
+    lua_concat,
+)
+
+
+class BFunction:
+    """A compiled closure: proto + the scope chain it captured."""
+
+    __slots__ = ("chunk", "proto", "scope")
+
+    def __init__(self, chunk, proto, scope):
+        self.chunk = chunk
+        self.proto = proto
+        self.scope = scope
+
+    def __repr__(self):
+        return "BFunction(%s)" % self.proto.name
+
+
+class BytecodeVM:
+    """One bytecode interpreter instance with its own globals.
+
+    Drop-in replacement for :class:`~repro.luavm.interpreter.LuaVM`;
+    construct via :func:`repro.luavm.create_vm` to pick a backend.
+    ``run`` compiles through the process-wide source-digest cache, so
+    many VM instances (one per Flame replica) share one compilation
+    per distinct module script.
+    """
+
+    DEFAULT_BUDGET = LuaVM.DEFAULT_BUDGET
+    MAX_CALL_DEPTH = LuaVM.MAX_CALL_DEPTH
+
+    backend = "bytecode"
+
+    def __init__(self, instruction_budget=DEFAULT_BUDGET):
+        self._globals = {}
+        self._budget = instruction_budget
+        self._steps = 0
+        self._depth = 0
+        #: Lines produced by the script's print().
+        self.output = []
+        self._install_stdlib()
+
+    # -- public API (mirrors LuaVM) ----------------------------------------
+
+    def register(self, name, function):
+        """Expose a python callable to scripts as a global function."""
+
+        def bridge(*args):
+            return _to_lua(function(*[_from_lua(a) for a in args]))
+
+        bridge.__name__ = "lua_bridge_%s" % name
+        self._globals[name] = bridge
+
+    def set_global(self, name, value):
+        self._globals[name] = _to_lua(value)
+
+    def get_global(self, name):
+        return _from_lua(self._globals.get(name))
+
+    def run(self, source):
+        """Compile (via the shared cache) and execute a chunk."""
+        chunk = compile_cached(source)
+        self._steps = 0
+        return _from_lua(self._execute(chunk, chunk.protos[0], None, (),
+                                       as_function=False))
+
+    def run_chunk(self, chunk):
+        """Execute an already-compiled (e.g. deserialized) chunk."""
+        self._steps = 0
+        return _from_lua(self._execute(chunk, chunk.protos[0], None, (),
+                                       as_function=False))
+
+    def call(self, name, *args):
+        function = self._globals.get(name)
+        if function is None:
+            raise LuaRuntimeError("attempt to call undefined function %r"
+                                  % name)
+        self._steps = 0
+        return _from_lua(self._call_value(function,
+                                          [_to_lua(a) for a in args]))
+
+    def has_function(self, name):
+        value = self._globals.get(name)
+        return isinstance(value, BFunction) or callable(value)
+
+    # -- internals ---------------------------------------------------------
+
+    def _install_stdlib(self):
+        from repro.luavm.stdlib import build_stdlib
+
+        self._globals.update(build_stdlib(self))
+
+    def _call_value(self, function, args):
+        if isinstance(function, BFunction):
+            return self._execute(function.chunk, function.proto,
+                                 function.scope, args, as_function=True)
+        if callable(function):
+            return _to_lua(function(*args))
+        if function is None:
+            raise LuaRuntimeError("attempt to call a nil value")
+        raise LuaRuntimeError("attempt to call a %s value"
+                              % type(function).__name__)
+
+    def _execute(self, chunk, proto, upscope, args, as_function):
+        # The hot loop: opcodes and mutable state are locals, and the
+        # if/elif ladder is ordered by measured dynamic frequency in
+        # the Flame module workload.
+        OP_CONST = C.CONST
+        OP_GETG = C.GETG
+        OP_SETG = C.SETG
+        OP_GETL = C.GETL
+        OP_SETL = C.SETL
+        OP_JMP = C.JMP
+        OP_JMPF = C.JMPF
+        OP_AND = C.AND
+        OP_OR = C.OR
+        OP_POP = C.POP
+        OP_CALL = C.CALL
+        OP_METH = C.METH
+        OP_RET = C.RET
+        OP_RETNIL = C.RETNIL
+        OP_CLOSURE = C.CLOSURE
+        OP_NEWTABLE = C.NEWTABLE
+        OP_SETIDX = C.SETIDX
+        OP_SETKEY = C.SETKEY
+        OP_GETI = C.GETI
+        OP_SETI = C.SETI
+        OP_SETM = C.SETM
+        OP_ADD = C.ADD
+        OP_SUB = C.SUB
+        OP_MUL = C.MUL
+        OP_DIV = C.DIV
+        OP_MOD = C.MOD
+        OP_CONCAT = C.CONCAT
+        OP_EQ = C.EQ
+        OP_NE = C.NE
+        OP_LT = C.LT
+        OP_LE = C.LE
+        OP_GT = C.GT
+        OP_GE = C.GE
+        OP_NOT = C.NOT
+        OP_NEG = C.NEG
+        OP_LEN = C.LEN
+        OP_SCOPE = C.SCOPE
+        OP_EXITSCOPE = C.EXITSCOPE
+        OP_CHECKNUM = C.CHECKNUM
+        OP_FORPREP = C.FORPREP
+        OP_FORVAR = C.FORVAR
+        OP_FORLOOP = C.FORLOOP
+        OP_POPLOOP = C.POPLOOP
+        OP_GETF = C.GETF
+        OP_SETF = C.SETF
+        OP_SETKC = C.SETKC
+        OP_GETGF = C.GETGF
+        OP_GETGLI = C.GETGLI
+        OP_GETLF = C.GETLF
+        OP_GETLLI = C.GETLLI
+        OP_JCMPF = C.JCMPF
+
+        max_depth = self.MAX_CALL_DEPTH
+        if as_function:
+            if self._depth >= max_depth:
+                raise LuaRuntimeError("call stack overflow (depth %d)"
+                                      % max_depth)
+            self._depth += 1
+            scope = [upscope] + [None] * proto.nslots
+            count = len(args)
+            for i in range(proto.nparams):
+                scope[i + 1] = args[i] if i < count else None
+        else:
+            scope = upscope
+
+        globals_ = self._globals
+        budget = self._budget
+        steps = self._steps
+        consts = chunk.consts
+        protos = chunk.protos
+        code = proto.code
+        ip = 0
+        stack = []
+        append = stack.append
+        pop = stack.pop
+        frames = []
+        loops = []
+
+        try:
+            while True:
+                op, a, b = code[ip]
+                ip += 1
+                if op == OP_GETL:
+                    if a == 0:
+                        append(scope[b])
+                    else:
+                        s = scope
+                        while a:
+                            s = s[0]
+                            a -= 1
+                        append(s[b])
+                elif op == OP_CALL:
+                    steps += 1
+                    if steps > budget:
+                        raise LuaRuntimeError(
+                            "instruction budget exhausted (%d steps)"
+                            % budget)
+                    base = len(stack) - a
+                    fn = stack[base - 1]
+                    if type(fn) is BFunction:
+                        if self._depth >= max_depth:
+                            raise LuaRuntimeError(
+                                "call stack overflow (depth %d)" % max_depth)
+                        self._depth += 1
+                        frames.append((chunk, code, ip, scope, len(loops)))
+                        chunk = fn.chunk
+                        consts = chunk.consts
+                        protos = chunk.protos
+                        proto2 = fn.proto
+                        new_scope = [None] * (proto2.nslots + 1)
+                        new_scope[0] = fn.scope
+                        filled = proto2.nparams if a >= proto2.nparams \
+                            else a
+                        if filled:
+                            new_scope[1:filled + 1] = \
+                                stack[base:base + filled]
+                        del stack[base - 1:]
+                        scope = new_scope
+                        code = proto2.code
+                        ip = 0
+                    elif callable(fn):
+                        result = fn(*stack[base:])
+                        del stack[base - 1:]
+                        tr = type(result)
+                        if result is None or tr is int or tr is str \
+                                or tr is LuaTable or tr is bool \
+                                or tr is float:
+                            append(result)
+                        else:
+                            append(_to_lua(result))
+                    elif fn is None:
+                        raise LuaRuntimeError("attempt to call a nil value")
+                    else:
+                        raise LuaRuntimeError("attempt to call a %s value"
+                                              % type(fn).__name__)
+                elif op == OP_GETGF:
+                    obj = globals_.get(consts[a])
+                    if type(obj) is LuaTable:
+                        append(obj._data.get(consts[b]))
+                    elif obj is None:
+                        raise LuaRuntimeError("attempt to index a nil value")
+                    else:
+                        raise LuaRuntimeError("attempt to index a %s value"
+                                              % type(obj).__name__)
+                elif op == OP_FORLOOP:
+                    steps += 1
+                    if steps > budget:
+                        raise LuaRuntimeError(
+                            "instruction budget exhausted (%d steps)"
+                            % budget)
+                    control = loops[-1]
+                    step = control[2]
+                    value = control[0] + step
+                    control[0] = value
+                    if (value <= control[1]) if step > 0 \
+                            else (value >= control[1]):
+                        if b:
+                            scope[b] = value
+                        ip = a
+                    else:
+                        loops.pop()
+                elif op == OP_GETGLI:
+                    # globals[consts[a]][scope[b]] in one step: the
+                    # `TABLE[i]` pattern of the module scan loops.
+                    obj = globals_.get(consts[a])
+                    if type(obj) is LuaTable:
+                        key = scope[b]
+                        if type(key) is float and key.is_integer():
+                            key = int(key)
+                        append(obj._data.get(key))
+                    elif obj is None:
+                        raise LuaRuntimeError("attempt to index a nil value")
+                    else:
+                        raise LuaRuntimeError("attempt to index a %s value"
+                                              % type(obj).__name__)
+                elif op == OP_CONST:
+                    append(consts[a])
+                elif op == OP_JMPF:
+                    steps += 1
+                    if steps > budget:
+                        raise LuaRuntimeError(
+                            "instruction budget exhausted (%d steps)"
+                            % budget)
+                    value = pop()
+                    if value is None or value is False:
+                        ip = a
+                elif op == OP_JCMPF:
+                    steps += 1
+                    if steps > budget:
+                        raise LuaRuntimeError(
+                            "instruction budget exhausted (%d steps)"
+                            % budget)
+                    right = pop()
+                    left = pop()
+                    if b < 2:
+                        if type(left) is bool or type(right) is bool:
+                            result = left is right
+                        else:
+                            result = left == right
+                        if b:
+                            result = not result
+                    else:
+                        tl = type(left)
+                        tr = type(right)
+                        if ((tl is int or tl is float)
+                                and (tr is int or tr is float)) \
+                                or (tl is str and tr is str):
+                            if b == 2:
+                                result = left < right
+                            elif b == 3:
+                                result = left <= right
+                            elif b == 4:
+                                result = left > right
+                            else:
+                                result = left >= right
+                        else:
+                            raise LuaRuntimeError(
+                                "cannot compare %s with %s"
+                                % (tl.__name__, tr.__name__))
+                    if not result:
+                        ip = a
+                elif op == OP_RET or op == OP_RETNIL:
+                    steps += 1
+                    if steps > budget:
+                        raise LuaRuntimeError(
+                            "instruction budget exhausted (%d steps)"
+                            % budget)
+                    result = pop() if op == OP_RET else None
+                    if not frames:
+                        return result
+                    self._depth -= 1
+                    chunk, code, ip, scope, llen = frames.pop()
+                    consts = chunk.consts
+                    protos = chunk.protos
+                    del loops[llen:]
+                    append(result)
+                elif op == OP_FORPREP:
+                    steps += 1
+                    if steps > budget:
+                        raise LuaRuntimeError(
+                            "instruction budget exhausted (%d steps)"
+                            % budget)
+                    step = pop()
+                    stop = pop()
+                    start = pop()
+                    if step == 0:
+                        raise LuaRuntimeError("'for' step is zero")
+                    if (start <= stop) if step > 0 else (start >= stop):
+                        loops.append([start, stop, step])
+                        if b:
+                            scope[b] = start
+                    else:
+                        ip = a
+                elif op == OP_GETG:
+                    append(globals_.get(consts[a]))
+                elif op == OP_GETLF:
+                    hops = b >> 16
+                    s = scope
+                    while hops:
+                        s = s[0]
+                        hops -= 1
+                    obj = s[b & 0xFFFF]
+                    if type(obj) is LuaTable:
+                        append(obj._data.get(consts[a]))
+                    elif obj is None:
+                        raise LuaRuntimeError("attempt to index a nil value")
+                    else:
+                        raise LuaRuntimeError("attempt to index a %s value"
+                                              % type(obj).__name__)
+                elif op == OP_LEN:
+                    value = stack[-1]
+                    if type(value) is str:
+                        stack[-1] = len(value)
+                    elif type(value) is LuaTable:
+                        # Inline LuaTable.length(): the nil-hole border
+                        # walk, minus the method-call overhead.
+                        data = value._data
+                        n = 0
+                        while (n + 1) in data:
+                            n += 1
+                        stack[-1] = n
+                    else:
+                        raise LuaRuntimeError(
+                            "attempt to get length of a %s value"
+                            % type(value).__name__)
+                elif op == OP_SETL:
+                    if a == 0:
+                        scope[b] = pop()
+                    else:
+                        s = scope
+                        while a:
+                            s = s[0]
+                            a -= 1
+                        s[b] = pop()
+                elif op == OP_SETKC:
+                    value = pop()
+                    if value is None:
+                        stack[-1]._data.pop(consts[a], None)
+                    else:
+                        stack[-1]._data[consts[a]] = value
+                elif op == OP_CONCAT:
+                    right = pop()
+                    left = stack[-1]
+                    if type(left) is str and type(right) is str:
+                        stack[-1] = left + right
+                    else:
+                        stack[-1] = lua_concat(left, right)
+                elif op == OP_JMP:
+                    steps += 1
+                    if steps > budget:
+                        raise LuaRuntimeError(
+                            "instruction budget exhausted (%d steps)"
+                            % budget)
+                    ip = a
+                elif op == OP_ADD:
+                    right = pop()
+                    left = stack[-1]
+                    tl = type(left)
+                    tr = type(right)
+                    if (tl is int or tl is float) and \
+                            (tr is int or tr is float):
+                        stack[-1] = left + right
+                    else:
+                        raise LuaRuntimeError("arithmetic on non-number")
+                elif op == OP_EQ:
+                    right = pop()
+                    left = stack[-1]
+                    if type(left) is bool or type(right) is bool:
+                        stack[-1] = left is right
+                    else:
+                        stack[-1] = left == right
+                elif op == OP_GETF:
+                    # Fused constant-key read: key pre-normalized by the
+                    # compiler, so hit the table dict directly.
+                    obj = stack[-1]
+                    if type(obj) is LuaTable:
+                        stack[-1] = obj._data.get(consts[a])
+                    elif obj is None:
+                        raise LuaRuntimeError("attempt to index a nil value")
+                    else:
+                        raise LuaRuntimeError("attempt to index a %s value"
+                                              % type(obj).__name__)
+                elif op == OP_GETI:
+                    key = pop()
+                    obj = pop()
+                    if type(obj) is LuaTable:
+                        if type(key) is float and key.is_integer():
+                            key = int(key)
+                        append(obj._data.get(key))
+                    elif obj is None:
+                        raise LuaRuntimeError("attempt to index a nil value")
+                    else:
+                        raise LuaRuntimeError("attempt to index a %s value"
+                                              % type(obj).__name__)
+                elif op == OP_GETLLI:
+                    hops = a >> 16
+                    s = scope
+                    while hops:
+                        s = s[0]
+                        hops -= 1
+                    obj = s[a & 0xFFFF]
+                    if type(obj) is LuaTable:
+                        key = scope[b]
+                        if type(key) is float and key.is_integer():
+                            key = int(key)
+                        append(obj._data.get(key))
+                    elif obj is None:
+                        raise LuaRuntimeError("attempt to index a nil value")
+                    else:
+                        raise LuaRuntimeError("attempt to index a %s value"
+                                              % type(obj).__name__)
+                elif op == OP_SETG:
+                    globals_[consts[a]] = pop()
+                elif op == OP_AND:
+                    steps += 1
+                    if steps > budget:
+                        raise LuaRuntimeError(
+                            "instruction budget exhausted (%d steps)"
+                            % budget)
+                    value = stack[-1]
+                    if value is None or value is False:
+                        ip = a
+                    else:
+                        pop()
+                elif op == OP_OR:
+                    steps += 1
+                    if steps > budget:
+                        raise LuaRuntimeError(
+                            "instruction budget exhausted (%d steps)"
+                            % budget)
+                    value = stack[-1]
+                    if value is None or value is False:
+                        pop()
+                    else:
+                        ip = a
+                elif op == OP_NE:
+                    right = pop()
+                    left = stack[-1]
+                    if type(left) is bool or type(right) is bool:
+                        stack[-1] = left is not right
+                    else:
+                        stack[-1] = left != right
+                elif op == OP_SUB or op == OP_MUL:
+                    right = pop()
+                    left = stack[-1]
+                    tl = type(left)
+                    tr = type(right)
+                    if (tl is int or tl is float) and \
+                            (tr is int or tr is float):
+                        stack[-1] = (left - right) if op == OP_SUB \
+                            else (left * right)
+                    else:
+                        raise LuaRuntimeError("arithmetic on non-number")
+                elif op == OP_DIV or op == OP_MOD:
+                    right = pop()
+                    left = stack[-1]
+                    tl = type(left)
+                    tr = type(right)
+                    if (tl is int or tl is float) and \
+                            (tr is int or tr is float):
+                        if right == 0:
+                            raise LuaRuntimeError(
+                                "division by zero" if op == OP_DIV
+                                else "modulo by zero")
+                        stack[-1] = (left / right) if op == OP_DIV \
+                            else (left % right)
+                    else:
+                        raise LuaRuntimeError("arithmetic on non-number")
+                elif op == OP_LT or op == OP_LE or op == OP_GT \
+                        or op == OP_GE:
+                    right = pop()
+                    left = stack[-1]
+                    tl = type(left)
+                    tr = type(right)
+                    if ((tl is int or tl is float)
+                            and (tr is int or tr is float)) \
+                            or (tl is str and tr is str):
+                        if op == OP_LT:
+                            stack[-1] = left < right
+                        elif op == OP_LE:
+                            stack[-1] = left <= right
+                        elif op == OP_GT:
+                            stack[-1] = left > right
+                        else:
+                            stack[-1] = left >= right
+                    else:
+                        raise LuaRuntimeError("cannot compare %s with %s"
+                                              % (tl.__name__, tr.__name__))
+                elif op == OP_POP:
+                    pop()
+                elif op == OP_METH:
+                    obj = pop()
+                    if type(obj) is not LuaTable:
+                        raise LuaRuntimeError(
+                            "attempt to call method on non-table")
+                    append(obj.get(consts[a]))
+                    append(obj)
+                elif op == OP_NEWTABLE:
+                    append(LuaTable())
+                elif op == OP_SETIDX:
+                    value = pop()
+                    if value is not None:
+                        stack[-1]._data[a] = value
+                elif op == OP_SETKEY:
+                    key = pop()
+                    value = pop()
+                    stack[-1].set(key, value)
+                elif op == OP_SETF:
+                    obj = pop()
+                    value = pop()
+                    if type(obj) is not LuaTable:
+                        raise LuaRuntimeError(
+                            "attempt to index a non-table value")
+                    if value is None:
+                        obj._data.pop(consts[a], None)
+                    else:
+                        obj._data[consts[a]] = value
+                elif op == OP_SETI:
+                    key = pop()
+                    obj = pop()
+                    value = pop()
+                    if type(obj) is not LuaTable:
+                        raise LuaRuntimeError(
+                            "attempt to index a non-table value")
+                    obj.set(key, value)
+                elif op == OP_SETM:
+                    obj = pop()
+                    fn = pop()
+                    if type(obj) is not LuaTable:
+                        raise LuaRuntimeError(
+                            "cannot define method on non-table %r"
+                            % consts[b])
+                    obj.set(consts[a], fn)
+                elif op == OP_CLOSURE:
+                    append(BFunction(chunk, protos[a], scope))
+                elif op == OP_NOT:
+                    value = stack[-1]
+                    stack[-1] = value is None or value is False
+                elif op == OP_NEG:
+                    value = stack[-1]
+                    tv = type(value)
+                    if tv is int or tv is float:
+                        stack[-1] = -value
+                    else:
+                        raise LuaRuntimeError("arithmetic on non-number")
+                elif op == OP_SCOPE:
+                    new_scope = [None] * (a + 1)
+                    new_scope[0] = scope
+                    scope = new_scope
+                elif op == OP_EXITSCOPE:
+                    while a:
+                        scope = scope[0]
+                        a -= 1
+                elif op == OP_CHECKNUM:
+                    tv = type(stack[-1])
+                    if tv is not int and tv is not float:
+                        raise LuaRuntimeError("numeric expression expected")
+                elif op == OP_FORVAR:
+                    scope[b] = loops[-1][0]
+                elif op == OP_POPLOOP:
+                    loops.pop()
+                else:
+                    raise LuaRuntimeError("unknown opcode %d" % op)
+        finally:
+            # On an abort mid-call-chain the frames never unwound; put
+            # the depth budget back so the VM stays usable.
+            self._depth -= len(frames) + (1 if as_function else 0)
+            self._steps = steps

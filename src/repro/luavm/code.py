@@ -1,0 +1,392 @@
+"""Bytecode containers for the Lua subset: opcodes, protos, chunks.
+
+The compiler (:mod:`repro.luavm.compiler`) lowers the parser's AST to a
+stack bytecode; this module defines the instruction set and the
+:class:`Chunk` container with a *stable* serialized form — the byte
+stream is a pure function of the compiled program, so its SHA-256
+digest can key caches and pin golden artefacts.
+
+Instructions are ``(op, a, b)`` triples.  ``a``/``b`` meanings by op:
+
+===========  ====================================================
+``CONST a``      push ``consts[a]``
+``GETG a``       push ``globals[consts[a]]`` (nil when unset)
+``SETG a``       ``globals[consts[a]] = pop``
+``GETL a b``     walk ``a`` scope hops, push slot ``b``
+``SETL a b``     walk ``a`` scope hops, slot ``b`` = pop
+``JMP a``        jump to instruction ``a``
+``JMPF a``       pop; jump to ``a`` when falsey
+``AND a``        if top is falsey jump to ``a`` keeping it, else pop
+``OR a``         if top is truthy jump to ``a`` keeping it, else pop
+``POP``          discard top (statement-level call results)
+``CALL a``       call with ``a`` args: stack ``[fn, arg1..argN]``
+``METH a``       pop table, push ``table[consts[a]]`` then the table
+                 (method lookup before argument evaluation, like the
+                 tree walker)
+``RET``          return pop to the calling frame (or the host)
+``RETNIL``       return nil
+``CLOSURE a``    push a closure over ``protos[a]`` and current scope
+``NEWTABLE``     push an empty table
+``SETIDX a``     pop value, ``table.set(a, value)`` (table stays)
+``SETKEY``       pop key, pop value, ``table.set(key, value)``
+``GETI``         pop key, pop obj, push ``obj[key]``
+``SETI``         pop key, pop obj, pop value, ``obj[key] = value``
+                 (value evaluated first, like the tree walker)
+``SETM a``       pop obj, pop closure, ``obj[consts[a]] = closure``
+                 (``function t.name()`` definitions)
+``ADD..MOD``     arithmetic (numbers only, bools excluded)
+``CONCAT``       ``..`` under the interpreter-module coercion spec
+``EQ..GE``       comparisons under the same spec
+``NOT NEG LEN``  unary operators
+``SCOPE a``      enter a block scope with ``a`` slots
+``EXITSCOPE a``  leave ``a`` block scopes
+``CHECKNUM``     top of stack must be a number (for-loop bounds)
+``FORPREP a b``  pop step/stop/start, start the loop (writing the
+                 counter to slot ``b`` when nonzero) or jump to ``a``
+``FORVAR b``     write the loop counter into slot ``b``
+``FORLOOP a b``  step the counter (mirrored to slot ``b`` when
+                 nonzero); jump back to ``a`` or end the loop
+``POPLOOP``      discard the innermost loop control (``break``)
+``GETF a``       replace top with ``top[consts[a]]`` (constant key)
+``SETF a``       pop obj, pop value, ``obj[consts[a]] = value``
+``SETKC a``      pop value, ``table.set(consts[a], value)`` (table stays;
+                 table-constructor entries with literal keys)
+``GETGF a b``    push ``globals[consts[a]][consts[b]]``
+``GETGLI a b``   push ``globals[consts[a]][scope[b]]`` (hop-0 local key)
+``GETLF a b``    push ``local[b>>16 hops, b&0xFFFF][consts[a]]``
+``GETLLI a b``   push ``local[a>>16 hops, a&0xFFFF][scope[b]]``
+``JCMPF a b``    pop right, pop left, compare per kind ``b``
+                 (0 == .. 5 >=); jump to ``a`` when false
+===========  ====================================================
+"""
+
+import hashlib
+import struct
+
+from repro.luavm.errors import LuaBytecodeError
+
+# Opcodes.  The integer values are part of the serialized format;
+# append only.
+CONST = 0
+GETG = 1
+SETG = 2
+GETL = 3
+SETL = 4
+JMP = 5
+JMPF = 6
+AND = 7
+OR = 8
+POP = 9
+CALL = 10
+METH = 11
+RET = 12
+RETNIL = 13
+CLOSURE = 14
+NEWTABLE = 15
+SETIDX = 16
+SETKEY = 17
+GETI = 18
+SETI = 19
+SETM = 20
+ADD = 21
+SUB = 22
+MUL = 23
+DIV = 24
+MOD = 25
+CONCAT = 26
+EQ = 27
+NE = 28
+LT = 29
+LE = 30
+GT = 31
+GE = 32
+NOT = 33
+NEG = 34
+LEN = 35
+SCOPE = 36
+EXITSCOPE = 37
+CHECKNUM = 38
+FORPREP = 39
+FORVAR = 40
+FORLOOP = 41
+POPLOOP = 42
+# Fused field access (constant, pre-normalized keys) — the hot path of
+# the Flame module scripts (f.ext, report.os, ...).
+GETF = 43
+SETF = 44
+SETKC = 45
+GETGF = 46
+GETGLI = 47
+GETLF = 48
+GETLLI = 49
+JCMPF = 50
+
+OP_NAMES = (
+    "CONST", "GETG", "SETG", "GETL", "SETL", "JMP", "JMPF", "AND", "OR",
+    "POP", "CALL", "METH", "RET", "RETNIL", "CLOSURE", "NEWTABLE",
+    "SETIDX", "SETKEY", "GETI", "SETI", "SETM", "ADD", "SUB", "MUL",
+    "DIV", "MOD", "CONCAT", "EQ", "NE", "LT", "LE", "GT", "GE", "NOT",
+    "NEG", "LEN", "SCOPE", "EXITSCOPE", "CHECKNUM", "FORPREP", "FORVAR",
+    "FORLOOP", "POPLOOP", "GETF", "SETF", "SETKC", "GETGF", "GETGLI",
+    "GETLF", "GETLLI", "JCMPF",
+)
+
+#: Ops whose ``a`` operand is an instruction index.
+JUMP_OPS = frozenset((JMP, JMPF, AND, OR, FORPREP, FORLOOP,
+                      JCMPF))
+#: Ops whose ``a`` operand indexes the constant pool.
+CONST_OPS = frozenset((CONST, GETG, SETG, METH, SETM, GETF, SETF,
+                       SETKC, GETGF, GETGLI, GETLF))
+
+_MAGIC = b"RLBC"
+_VERSION = 1
+
+# Constant-pool tags (serialized format).
+_T_NIL, _T_FALSE, _T_TRUE, _T_INT, _T_FLOAT, _T_STR = range(6)
+
+
+class Proto:
+    """One compiled function body."""
+
+    __slots__ = ("name", "nparams", "nslots", "code")
+
+    def __init__(self, name, nparams, nslots, code):
+        self.name = name
+        self.nparams = nparams
+        self.nslots = nslots
+        self.code = tuple(code)
+
+    def __repr__(self):
+        return "Proto(%r, %d params, %d instrs)" % (self.name,
+                                                    self.nparams,
+                                                    len(self.code))
+
+
+class Chunk:
+    """A compiled chunk: shared constant pool plus its protos.
+
+    ``protos[0]`` is the chunk body.  Chunks are immutable and contain
+    only scalars, so one compiled chunk is safely shared by any number
+    of VM instances (the cross-replica module cache relies on this).
+    """
+
+    __slots__ = ("consts", "protos", "source_digest")
+
+    def __init__(self, consts, protos, source_digest=""):
+        self.consts = tuple(consts)
+        self.protos = tuple(protos)
+        self.source_digest = source_digest
+
+    # -- serialization -----------------------------------------------------
+
+    def to_bytes(self):
+        """Canonical byte form: stable across processes and sessions."""
+        out = [_MAGIC, struct.pack(">H", _VERSION)]
+        digest = self.source_digest.encode("ascii")
+        out.append(struct.pack(">B", len(digest)))
+        out.append(digest)
+        out.append(struct.pack(">I", len(self.consts)))
+        for value in self.consts:
+            out.append(_pack_const(value))
+        out.append(struct.pack(">I", len(self.protos)))
+        for proto in self.protos:
+            name = proto.name.encode("utf-8")
+            out.append(struct.pack(">H", len(name)))
+            out.append(name)
+            out.append(struct.pack(">HHI", proto.nparams, proto.nslots,
+                                   len(proto.code)))
+            for op, a, b in proto.code:
+                out.append(struct.pack(">Bii", op, a, b))
+        return b"".join(out)
+
+    def digest(self):
+        """SHA-256 of the canonical byte form."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()
+
+    @classmethod
+    def from_bytes(cls, data):
+        """Deserialize and validate; malformed input raises
+        :class:`LuaBytecodeError`, never a bare struct/decode error."""
+        reader = _Reader(data)
+        if reader.take(4) != _MAGIC:
+            raise LuaBytecodeError("bad chunk magic")
+        version = reader.unpack(">H")
+        if version != _VERSION:
+            raise LuaBytecodeError("unsupported bytecode version %d"
+                                   % version)
+        try:
+            digest_len = reader.unpack(">B")
+            source_digest = reader.take(digest_len).decode("ascii")
+            consts = [_unpack_const(reader)
+                      for _ in range(reader.unpack(">I"))]
+            protos = []
+            for _ in range(reader.unpack(">I")):
+                name = reader.take(reader.unpack(">H")).decode("utf-8")
+                nparams, nslots, ncode = reader.unpack(">HHI")
+                if ncode > len(data):  # cheap bound before allocating
+                    raise LuaBytecodeError("truncated chunk: code length %d "
+                                           "exceeds stream" % ncode)
+                code = [reader.unpack(">Bii") for _ in range(ncode)]
+                protos.append(Proto(name, nparams, nslots, code))
+        except LuaBytecodeError:
+            raise
+        except (ValueError, struct.error) as exc:
+            # UnicodeDecodeError is a ValueError: corrupted text fields
+            # become the typed failure too.
+            raise LuaBytecodeError("malformed chunk: %s" % exc) from None
+        if reader.remaining():
+            raise LuaBytecodeError("trailing bytes after chunk")
+        chunk = cls(consts, protos, source_digest)
+        chunk.validate()
+        return chunk
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self):
+        """Structural checks so the dispatch loop can trust the chunk."""
+        if not self.protos:
+            raise LuaBytecodeError("chunk has no protos")
+        for index, proto in enumerate(self.protos):
+            if proto.nparams > proto.nslots:
+                raise LuaBytecodeError(
+                    "proto %d: %d params but only %d slots"
+                    % (index, proto.nparams, proto.nslots))
+            size = len(proto.code)
+            if size == 0 or proto.code[-1][0] not in (RET, RETNIL):
+                raise LuaBytecodeError(
+                    "proto %d does not end in a return" % index)
+            for position, (op, a, b) in enumerate(proto.code):
+                where = "proto %d instr %d" % (index, position)
+                if not isinstance(op, int) or not 0 <= op < len(OP_NAMES):
+                    raise LuaBytecodeError("%s: unknown opcode %r"
+                                           % (where, op))
+                if op in JUMP_OPS and not 0 <= a < size:
+                    raise LuaBytecodeError(
+                        "%s: jump target %d outside code of %d"
+                        % (where, a, size))
+                if op in CONST_OPS and not 0 <= a < len(self.consts):
+                    raise LuaBytecodeError(
+                        "%s: constant index %d outside pool of %d"
+                        % (where, a, len(self.consts)))
+                if op == CLOSURE and not 0 <= a < len(self.protos):
+                    raise LuaBytecodeError(
+                        "%s: proto index %d outside %d protos"
+                        % (where, a, len(self.protos)))
+                if op in (GETL, SETL) and (a < 0 or b < 1):
+                    raise LuaBytecodeError(
+                        "%s: bad local reference hop=%d slot=%d"
+                        % (where, a, b))
+                if op == GETGF and not 0 <= b < len(self.consts):
+                    raise LuaBytecodeError(
+                        "%s: constant index %d outside pool of %d"
+                        % (where, b, len(self.consts)))
+                if op == GETGLI and b < 1:
+                    raise LuaBytecodeError(
+                        "%s: bad local reference slot=%d" % (where, b))
+                if op == GETLF and b & 0xFFFF < 1:
+                    raise LuaBytecodeError(
+                        "%s: bad local reference slot=%d"
+                        % (where, b & 0xFFFF))
+                if op == GETLLI and (a & 0xFFFF < 1 or b < 1):
+                    raise LuaBytecodeError(
+                        "%s: bad local reference" % where)
+                if op == JCMPF and not 0 <= b <= 5:
+                    raise LuaBytecodeError(
+                        "%s: bad comparison kind %d" % (where, b))
+                if op in (FORPREP, FORLOOP, FORVAR) and b < 0:
+                    raise LuaBytecodeError(
+                        "%s: bad loop slot %d" % (where, b))
+        return self
+
+    # -- inspection --------------------------------------------------------
+
+    def disassemble(self):
+        """Human-readable listing (one string per line), for tests and
+        docs — not part of the stable format."""
+        lines = []
+        for index, proto in enumerate(self.protos):
+            lines.append("proto %d %s (%d params, %d slots)"
+                         % (index, proto.name, proto.nparams,
+                            proto.nslots))
+            for position, (op, a, b) in enumerate(proto.code):
+                detail = ""
+                if op in CONST_OPS:
+                    detail = "  ; %r" % (self.consts[a],)
+                lines.append("  %4d  %-10s %6d %6d%s"
+                             % (position, OP_NAMES[op], a, b, detail))
+        return lines
+
+    def __repr__(self):
+        return "Chunk(%d consts, %d protos)" % (len(self.consts),
+                                                len(self.protos))
+
+
+class _Reader:
+    """Bounds-checked cursor over a byte stream."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data):
+        if not isinstance(data, (bytes, bytearray)):
+            raise LuaBytecodeError("chunk stream must be bytes, got %s"
+                                   % type(data).__name__)
+        self._data = bytes(data)
+        self._pos = 0
+
+    def take(self, count):
+        end = self._pos + count
+        if count < 0 or end > len(self._data):
+            raise LuaBytecodeError(
+                "truncated chunk: wanted %d bytes at offset %d of %d"
+                % (count, self._pos, len(self._data)))
+        piece = self._data[self._pos:end]
+        self._pos = end
+        return piece
+
+    def unpack(self, fmt):
+        values = struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+        return values if len(values) > 1 else values[0]
+
+    def remaining(self):
+        return len(self._data) - self._pos
+
+
+def _pack_const(value):
+    if value is None:
+        return struct.pack(">B", _T_NIL)
+    if value is True:
+        return struct.pack(">B", _T_TRUE)
+    if value is False:
+        return struct.pack(">B", _T_FALSE)
+    if isinstance(value, int):
+        # repr-encoded: Lua-subset integers are arbitrary precision.
+        text = repr(value).encode("ascii")
+        return struct.pack(">BI", _T_INT, len(text)) + text
+    if isinstance(value, float):
+        return struct.pack(">Bd", _T_FLOAT, value)
+    if isinstance(value, str):
+        text = value.encode("utf-8")
+        return struct.pack(">BI", _T_STR, len(text)) + text
+    raise LuaBytecodeError("unserializable constant %r" % (value,))
+
+
+def _unpack_const(reader):
+    tag = reader.unpack(">B")
+    if tag == _T_NIL:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        text = reader.take(reader.unpack(">I"))
+        try:
+            return int(text.decode("ascii"))
+        except ValueError:
+            raise LuaBytecodeError("malformed integer constant %r"
+                                   % text) from None
+    if tag == _T_FLOAT:
+        return reader.unpack(">d")
+    if tag == _T_STR:
+        return reader.take(reader.unpack(">I")).decode("utf-8")
+    raise LuaBytecodeError("unknown constant tag %d" % tag)

@@ -1,0 +1,729 @@
+"""AST -> bytecode compiler for the Lua subset.
+
+Lowers the parser's tuple AST (:mod:`repro.luavm.parser`) to the stack
+bytecode of :mod:`repro.luavm.code`, preserving the tree walker's
+observable semantics exactly — evaluation order (assignment values
+before targets, table-constructor values before keys, method lookup
+before argument evaluation), scope behaviour (chunk top-level ``local``
+bindings land in the global environment; every block entered at runtime
+gets a fresh scope so per-iteration closures capture distinct
+variables), and error types.  See the :mod:`repro.luavm.interpreter`
+docstring for the shared semantic spec.
+
+Two compile-time transforms:
+
+* **Constant folding** — arithmetic, concat, comparisons, ``and``/
+  ``or``, and unary operators over literal operands evaluate at compile
+  time *through the shared semantic helpers*, so a folded result is
+  bit-identical to runtime evaluation.  An operation that would raise
+  (``1/0``, ``1 .. nil``) is left unfolded: the error must stay at
+  runtime, on the execution path that reaches it.
+* **Jump patching** — forward branches are emitted with a placeholder
+  target and patched once the destination is known; ``break`` unwinds
+  the exact number of block scopes entered since its loop.
+
+The module also owns the cross-replica compile cache: chunks are keyed
+by the SHA-256 of their source, so a Flame sweep compiles each module
+script once per process no matter how many replicas instantiate it.
+"""
+
+import hashlib
+
+from repro.luavm import code as C
+from repro.luavm.code import Chunk, Proto
+from repro.luavm.errors import LuaRuntimeError, LuaSyntaxError
+from repro.luavm.interpreter import (
+    _truthy,
+    lua_compare,
+    lua_concat,
+    lua_eq,
+    parse,
+)
+
+_CONST_TAGS = ("number", "string", "nil", "true", "false")
+
+_CLOSURE_TAGS = ("function", "local_function", "function_expr")
+
+#: Comparison operators and their JCMPF kind operand.
+_CMP_KINDS = {"==": 0, "~=": 1, "<": 2, "<=": 3, ">": 4, ">=": 5}
+
+
+def _contains_closure(node):
+    """True when the AST fragment creates any function value.
+
+    Gates the loop scope-hoisting optimisation: per-iteration scope
+    freshness is only observable by a closure capturing it.
+    """
+    if isinstance(node, (tuple, list)):
+        if node and node[0] in _CLOSURE_TAGS:
+            return True
+        return any(_contains_closure(child) for child in node)
+    return False
+
+_BINOP_OPS = {
+    "+": C.ADD, "-": C.SUB, "*": C.MUL, "/": C.DIV, "%": C.MOD,
+    "..": C.CONCAT, "==": C.EQ, "~=": C.NE,
+    "<": C.LT, "<=": C.LE, ">": C.GT, ">=": C.GE,
+}
+
+_UNOP_OPS = {"not": C.NOT, "-": C.NEG, "#": C.LEN}
+
+
+class _Scope:
+    """Compile-time image of one runtime scope level.
+
+    ``names`` maps a variable to its runtime slot index (1-based: slot 0
+    of the runtime list is the parent link).  Redeclaring a name in the
+    same scope reuses its slot — the tree walker overwrites the binding
+    in place, and closures created in between must see the update.
+    """
+
+    __slots__ = ("parent", "names", "nslots")
+
+    def __init__(self, parent):
+        self.parent = parent
+        self.names = {}
+        self.nslots = 0
+
+    def declare(self, name):
+        slot = self.names.get(name)
+        if slot is None:
+            self.nslots += 1
+            slot = self.nslots
+            self.names[name] = slot
+        return slot
+
+
+class _Loop:
+    __slots__ = ("kind", "depth", "breaks")
+
+    def __init__(self, kind, depth):
+        self.kind = kind
+        self.depth = depth
+        self.breaks = []
+
+
+class Compiler:
+    """One-shot compiler: ``Compiler().compile(block)`` -> Chunk."""
+
+    def __init__(self):
+        self._consts = []
+        self._const_map = {}
+        self._protos = []
+        # Per-proto state, saved/restored around nested function bodies.
+        self._code = None
+        self._scope = None
+        self._depth = 0
+        self._loops = []
+
+    # -- entry points ------------------------------------------------------
+
+    def compile(self, block, source_digest=""):
+        self._compile_proto("main", [], block, toplevel=True)
+        chunk = Chunk(self._consts, self._protos, source_digest)
+        return chunk.validate()
+
+    # -- emission helpers --------------------------------------------------
+
+    def _emit(self, op, a=0, b=0):
+        self._code.append((op, a, b))
+        return len(self._code) - 1
+
+    def _patch(self, index, target=None):
+        op, a, b = self._code[index]
+        self._code[index] = (op,
+                             len(self._code) if target is None else target,
+                             b)
+
+    def _const(self, value):
+        key = (type(value), value)
+        index = self._const_map.get(key)
+        if index is None:
+            index = len(self._consts)
+            self._consts.append(value)
+            self._const_map[key] = index
+        return index
+
+    def _resolve(self, name):
+        """(hops, slot) for a lexically visible local, else None."""
+        hops = 0
+        scope = self._scope
+        while scope is not None:
+            slot = scope.names.get(name)
+            if slot is not None:
+                return hops, slot
+            hops += 1
+            scope = scope.parent
+        return None
+
+    # -- protos ------------------------------------------------------------
+
+    def _compile_proto(self, name, params, body, toplevel=False):
+        index = len(self._protos)
+        self._protos.append(None)  # reserve: CLOSURE refs by index
+        saved = (self._code, self._scope, self._depth, self._loops)
+        self._code = []
+        self._depth = 0
+        self._loops = []
+        root = None
+        if not toplevel:
+            # Params and the body's top-level locals share the call
+            # scope, exactly like the tree walker's _call_value env.
+            root = _Scope(self._scope)
+            for param in params:
+                root.declare(param)
+            self._scope = root
+        for statement in body:
+            self._statement(statement)
+        self._emit(C.RETNIL)
+        nslots = root.nslots if root is not None else 0
+        self._protos[index] = Proto(name, len(params), nslots, self._code)
+        self._code, self._scope, self._depth, self._loops = saved
+        return index
+
+    # -- blocks ------------------------------------------------------------
+
+    @staticmethod
+    def _declares_locals(statements):
+        return any(s[0] in ("local", "local_function") for s in statements)
+
+    def _enter_block(self, force=False):
+        """Open a runtime scope for a block; None when elided.
+
+        Blocks that declare no locals skip the SCOPE/EXITSCOPE pair —
+        an empty scope level is unobservable (closures and name
+        resolution walk straight through it) and loop bodies are hot.
+        """
+        if not force:
+            return None
+        scope = _Scope(self._scope)
+        self._scope = scope
+        self._depth += 1
+        return (scope, self._emit(C.SCOPE, 0))
+
+    def _exit_block(self, token):
+        if token is None:
+            return
+        scope, index = token
+        op, _, b = self._code[index]
+        self._code[index] = (op, scope.nslots, b)
+        self._emit(C.EXITSCOPE, 1)
+        self._scope = scope.parent
+        self._depth -= 1
+
+    def _block(self, statements, extra_names=()):
+        token = self._enter_block(
+            force=bool(extra_names) or self._declares_locals(statements))
+        slots = [self._scope.declare(name) for name in extra_names]
+        for statement in statements:
+            self._statement(statement)
+        self._exit_block(token)
+        return slots, token
+
+    # -- statements --------------------------------------------------------
+
+    def _statement(self, node):
+        tag = node[0]
+        if tag == "local":
+            _, name, expr = node
+            # Value first, *then* the binding: `local x = x` reads the
+            # outer x, as in the tree walker.
+            if expr is None:
+                self._emit(C.CONST, self._const(None))
+            else:
+                self._expression(expr)
+            self._store_new_local(name)
+        elif tag == "assign":
+            _, target, expr = node
+            self._expression(expr)  # value before target, per the tree
+            if target[0] == "name":
+                self._store_name(target[1])
+            else:
+                key = self._const_key(target[2])
+                if key is not None:
+                    self._expression(target[1])
+                    self._emit(C.SETF, key)
+                else:
+                    self._expression(target[1])
+                    self._expression(target[2])
+                    self._emit(C.SETI)
+        elif tag == "call_stmt":
+            self._expression(node[1])
+            self._emit(C.POP)
+        elif tag == "function":
+            _, path, params, body = node
+            proto = self._compile_proto(".".join(path), params, body)
+            self._emit(C.CLOSURE, proto)
+            if len(path) == 1:
+                self._store_name(path[0])
+            else:
+                self._load_name(path[0])
+                for part in path[1:-1]:
+                    self._emit(C.GETF, self._const(part))
+                self._emit(C.SETM, self._const(path[-1]),
+                           self._const(path[0]))
+        elif tag == "local_function":
+            _, name, params, body = node
+            # Declare before compiling the body so the function can
+            # recurse through its own (still-nil) binding.
+            if self._scope is not None:
+                slot = self._scope.declare(name)
+                proto = self._compile_proto(name, params, body)
+                self._emit(C.CLOSURE, proto)
+                self._emit(C.SETL, 0, slot)
+            else:
+                proto = self._compile_proto(name, params, body)
+                self._emit(C.CLOSURE, proto)
+                self._emit(C.SETG, self._const(name))
+        elif tag == "if":
+            self._if_statement(node)
+        elif tag == "while":
+            self._while_statement(node)
+        elif tag == "fornum":
+            self._fornum_statement(node)
+        elif tag == "return":
+            if node[1] is None:
+                self._emit(C.RETNIL)
+            else:
+                self._expression(node[1])
+                self._emit(C.RET)
+        elif tag == "break":
+            if not self._loops:
+                raise LuaSyntaxError("'break' outside a loop", 0)
+            loop = self._loops[-1]
+            unwind = self._depth - loop.depth
+            if unwind:
+                self._emit(C.EXITSCOPE, unwind)
+            if loop.kind == "for":
+                self._emit(C.POPLOOP)
+            loop.breaks.append(self._emit(C.JMP, -1))
+        else:
+            raise LuaRuntimeError("unknown statement tag %r" % tag)
+
+    def _cond_jumpf(self, cond):
+        """Emit a (folded, non-constant) condition plus its
+        jump-if-false; returns the jump's patch index.
+
+        A bare comparison fuses into one JCMPF instruction — `if a == b
+        then` is the dominant conditional shape in the module scripts.
+        """
+        if cond[0] == "binop" and cond[1] in _CMP_KINDS:
+            self._expression(cond[2])
+            self._expression(cond[3])
+            return self._emit(C.JCMPF, -1, _CMP_KINDS[cond[1]])
+        self._expression(cond)
+        return self._emit(C.JMPF, -1)
+
+    def _if_statement(self, node):
+        _, arms, else_block = node
+        end_jumps = []
+        for cond, block in arms:
+            cond = _fold(cond)
+            if cond[0] in _CONST_TAGS:
+                if not _truthy(_const_value(cond)):
+                    continue  # arm can never run
+                # Constant-true arm: it always runs, later arms never.
+                self._block(block)
+                else_block = None
+                break
+            skip = self._cond_jumpf(cond)
+            self._block(block)
+            end_jumps.append(self._emit(C.JMP, -1))
+            self._patch(skip)
+        if else_block is not None:
+            self._block(else_block)
+        for index in end_jumps:
+            self._patch(index)
+
+    def _while_statement(self, node):
+        _, cond, block = node
+        cond = _fold(cond)
+        if cond[0] in _CONST_TAGS and not _truthy(_const_value(cond)):
+            return  # `while false` never runs its body
+        hoist = self._declares_locals(block) and \
+            not _contains_closure(block)
+        # Same scope-hoisting rule as numeric for: a closure-free body
+        # keeps one scope for the whole loop.  The condition compiles
+        # before the body's locals are declared, so its names resolve
+        # to outer bindings either way.
+        token = self._enter_block(force=True) if hoist else None
+        top = len(self._code)
+        skip = None
+        if not (cond[0] in _CONST_TAGS):
+            skip = self._cond_jumpf(cond)
+        loop = _Loop("while", self._depth)
+        self._loops.append(loop)
+        if hoist:
+            for statement in block:
+                self._statement(statement)
+        else:
+            self._block(block)
+        self._loops.pop()
+        self._emit(C.JMP, top)
+        if skip is not None:
+            self._patch(skip)
+        for index in loop.breaks:
+            self._patch(index)
+        if hoist:
+            self._exit_block(token)
+
+    def _for_bound(self, expr):
+        # Each bound is type-checked as it is evaluated, matching the
+        # tree walker's _eval_number call order; a bound that folds to
+        # a numeric literal cannot fail the check, so it is elided.
+        expr = _fold(expr)
+        self._expression(expr)
+        if expr[0] != "number":
+            self._emit(C.CHECKNUM)
+
+    def _fornum_statement(self, node):
+        _, var, start_e, stop_e, step_e, block = node
+        self._for_bound(start_e)
+        self._for_bound(stop_e)
+        if step_e is None:
+            self._emit(C.CONST, self._const(1))
+        else:
+            self._for_bound(step_e)
+        if not _contains_closure(block):
+            # Per-iteration scope freshness is only observable through
+            # closures; a closure-free body gets one scope allocated
+            # around the whole loop instead of one per iteration.
+            token = self._enter_block(force=True)
+            slot = self._scope.declare(var)
+            # FORPREP/FORLOOP write the counter slot themselves (the
+            # scope outlives the iteration), so no FORVAR per pass.
+            prep = self._emit(C.FORPREP, -1, slot)
+            body_top = len(self._code)
+            loop = _Loop("for", self._depth)
+            self._loops.append(loop)
+            for statement in block:
+                self._statement(statement)
+            self._loops.pop()
+            self._emit(C.FORLOOP, body_top, slot)
+            self._patch(prep)
+            for index in loop.breaks:
+                self._patch(index)
+            self._exit_block(token)
+            return
+        prep = self._emit(C.FORPREP, -1)
+        body_top = len(self._code)
+        loop = _Loop("for", self._depth)
+        self._loops.append(loop)
+        # The loop body opens a scope per iteration: the control
+        # variable is a fresh local each time around, and closures in
+        # the body capture that iteration's scope.
+        token = self._enter_block(force=True)
+        slot = self._scope.declare(var)
+        self._emit(C.FORVAR, 0, slot)
+        for statement in block:
+            self._statement(statement)
+        self._exit_block(token)
+        self._loops.pop()
+        self._emit(C.FORLOOP, body_top)
+        self._patch(prep)
+        for index in loop.breaks:
+            self._patch(index)
+
+    def _const_key(self, node):
+        """Constant-pool index for a literal table key, else ``None``.
+
+        Keys are normalized at compile time exactly like
+        ``LuaTable._normalize_key`` (integer-valued floats fold to int)
+        so the fused GETF/SETF/SETKC handlers can hit ``_data`` without
+        a runtime normalization step.
+        """
+        node = _fold(node)
+        tag = node[0]
+        if tag == "string":
+            return self._const(node[1])
+        if tag == "number":
+            value = node[1]
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            return self._const(value)
+        return None
+
+    # -- names -------------------------------------------------------------
+
+    def _store_new_local(self, name):
+        if self._scope is None:
+            # Chunk top level: the tree walker declares locals straight
+            # into the global environment.
+            self._emit(C.SETG, self._const(name))
+        else:
+            self._emit(C.SETL, 0, self._scope.declare(name))
+
+    def _store_name(self, name):
+        resolved = self._resolve(name)
+        if resolved is None:
+            self._emit(C.SETG, self._const(name))
+        else:
+            self._emit(C.SETL, resolved[0], resolved[1])
+
+    def _load_name(self, name):
+        resolved = self._resolve(name)
+        if resolved is None:
+            self._emit(C.GETG, self._const(name))
+        else:
+            self._emit(C.GETL, resolved[0], resolved[1])
+
+    # -- expressions -------------------------------------------------------
+
+    def _expression(self, node):
+        node = _fold(node)
+        tag = node[0]
+        if tag == "number" or tag == "string":
+            self._emit(C.CONST, self._const(node[1]))
+        elif tag == "nil":
+            self._emit(C.CONST, self._const(None))
+        elif tag == "true":
+            self._emit(C.CONST, self._const(True))
+        elif tag == "false":
+            self._emit(C.CONST, self._const(False))
+        elif tag == "name":
+            self._load_name(node[1])
+        elif tag == "index":
+            self._index_expression(node)
+        elif tag == "call":
+            self._expression(node[1])
+            for arg in node[2]:
+                self._expression(arg)
+            self._emit(C.CALL, len(node[2]))
+        elif tag == "method":
+            self._expression(node[1])
+            self._emit(C.METH, self._const(node[2]))
+            for arg in node[3]:
+                self._expression(arg)
+            self._emit(C.CALL, len(node[3]) + 1)
+        elif tag == "binop":
+            self._binop(node)
+        elif tag == "unop":
+            self._expression(node[2])
+            self._emit(_UNOP_OPS[node[1]])
+        elif tag == "function_expr":
+            proto = self._compile_proto("<anonymous>", node[1], node[2])
+            self._emit(C.CLOSURE, proto)
+        elif tag == "table":
+            self._emit(C.NEWTABLE)
+            index = 1
+            for key_node, value_node in node[1]:
+                # Value before key, matching the tree walker.
+                self._expression(value_node)
+                if key_node is None:
+                    self._emit(C.SETIDX, index)
+                    index += 1
+                else:
+                    key = self._const_key(key_node)
+                    if key is not None:
+                        self._emit(C.SETKC, key)
+                    else:
+                        self._expression(key_node)
+                        self._emit(C.SETKEY)
+        else:
+            raise LuaRuntimeError("unknown expression tag %r" % tag)
+
+    def _index_expression(self, node):
+        """``obj[key]`` with superinstruction selection.
+
+        ``name.field`` / ``name[local]`` shapes — the hot patterns in
+        the Flame module scripts — fuse the whole read into one
+        instruction; everything else falls back to the generic forms.
+        Both operands here are side-effect-free loads, so fusing cannot
+        change evaluation order observably.
+        """
+        obj_node = _fold(node[1])
+        key = self._const_key(node[2])
+        if obj_node[0] == "name":
+            resolved = self._resolve(obj_node[1])
+            packable = resolved is not None and resolved[0] < 0x8000 \
+                and resolved[1] < 0x10000
+            if key is not None:
+                if resolved is None:
+                    self._emit(C.GETGF, self._const(obj_node[1]), key)
+                    return
+                if packable:
+                    self._emit(C.GETLF, key,
+                               (resolved[0] << 16) | resolved[1])
+                    return
+            else:
+                key_node = _fold(node[2])
+                if key_node[0] == "name":
+                    kres = self._resolve(key_node[1])
+                    if kres is not None and kres[0] == 0:
+                        if resolved is None:
+                            self._emit(C.GETGLI,
+                                       self._const(obj_node[1]), kres[1])
+                            return
+                        if packable:
+                            self._emit(
+                                C.GETLLI,
+                                (resolved[0] << 16) | resolved[1],
+                                kres[1])
+                            return
+        if key is not None:
+            self._expression(node[1])
+            self._emit(C.GETF, key)
+        else:
+            self._expression(node[1])
+            self._expression(node[2])
+            self._emit(C.GETI)
+
+    def _binop(self, node):
+        _, op, left, right = node
+        if op == "and" or op == "or":
+            self._expression(left)
+            skip = self._emit(C.AND if op == "and" else C.OR, -1)
+            self._expression(right)
+            self._patch(skip)
+            return
+        self._expression(left)
+        self._expression(right)
+        self._emit(_BINOP_OPS[op])
+
+
+# -- constant folding ---------------------------------------------------------
+
+def _const_value(node):
+    tag = node[0]
+    if tag == "number" or tag == "string":
+        return node[1]
+    if tag == "nil":
+        return None
+    return tag == "true"
+
+
+def _value_node(value):
+    if value is None:
+        return ("nil",)
+    if value is True:
+        return ("true",)
+    if value is False:
+        return ("false",)
+    if isinstance(value, str):
+        return ("string", value)
+    return ("number", value)
+
+
+def _fold(node):
+    """Fold constant subtrees; return the node unchanged otherwise.
+
+    Folding evaluates through the shared semantic helpers, so results
+    are bit-identical to runtime evaluation; anything that would raise
+    is left for the runtime to raise on the executing path.
+    """
+    tag = node[0]
+    if tag == "binop":
+        op = node[1]
+        left = _fold(node[2])
+        right = _fold(node[3])
+        if left[0] in _CONST_TAGS:
+            lval = _const_value(left)
+            if op == "and":
+                return left if not _truthy(lval) else right
+            if op == "or":
+                return left if _truthy(lval) else right
+            if right[0] in _CONST_TAGS:
+                folded = _fold_binop(op, lval, _const_value(right))
+                if folded is not None:
+                    return folded
+        if left is not node[2] or right is not node[3]:
+            return ("binop", op, left, right)
+        return node
+    if tag == "unop":
+        operand = _fold(node[2])
+        if operand[0] in _CONST_TAGS:
+            folded = _fold_unop(node[1], _const_value(operand))
+            if folded is not None:
+                return folded
+        if operand is not node[2]:
+            return ("unop", node[1], operand)
+        return node
+    return node
+
+
+def _is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _fold_binop(op, left, right):
+    try:
+        if op == "==":
+            return _value_node(lua_eq(left, right))
+        if op == "~=":
+            return _value_node(not lua_eq(left, right))
+        if op == "..":
+            return _value_node(lua_concat(left, right))
+        if op in ("<", "<=", ">", ">="):
+            return _value_node(lua_compare(op, left, right))
+        if not _is_number(left) or not _is_number(right):
+            return None  # runtime raises "arithmetic on non-number"
+        if op == "+":
+            return _value_node(left + right)
+        if op == "-":
+            return _value_node(left - right)
+        if op == "*":
+            return _value_node(left * right)
+        if op == "/" and right != 0:
+            return _value_node(left / right)
+        if op == "%" and right != 0:
+            return _value_node(left % right)
+    except LuaRuntimeError:
+        pass  # leave the error on the runtime path
+    return None
+
+
+def _fold_unop(op, value):
+    if op == "not":
+        return _value_node(not _truthy(value))
+    if op == "-" and _is_number(value):
+        return _value_node(-value)
+    if op == "#" and isinstance(value, str):
+        return _value_node(len(value))
+    return None
+
+
+# -- public API + compile cache -----------------------------------------------
+
+def source_digest(source):
+    """SHA-256 of the script source — the compile-cache key."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def compile_source(source):
+    """Parse and compile a script to a fresh validated :class:`Chunk`."""
+    return Compiler().compile(parse(source), source_digest(source))
+
+
+_CACHE = {}
+_STATS = {"hits": 0, "misses": 0}
+
+
+def compile_cached(source):
+    """Compile through the process-wide source-digest-keyed cache.
+
+    Chunks are immutable, so the cached object is shared directly:
+    every Flame replica in a sweep worker reuses one compilation per
+    distinct module source (built-ins *and* hot-swapped updates).
+    """
+    key = source_digest(source)
+    chunk = _CACHE.get(key)
+    if chunk is not None:
+        _STATS["hits"] += 1
+        return chunk
+    chunk = compile_source(source)
+    _CACHE[key] = chunk
+    _STATS["misses"] += 1
+    return chunk
+
+
+def clear_compile_cache():
+    """Drop all cached chunks and reset the hit/miss counters."""
+    _CACHE.clear()
+    _STATS["hits"] = 0
+    _STATS["misses"] = 0
+
+
+def compile_cache_stats():
+    """Snapshot of cache effectiveness: hits, misses, entries."""
+    return {"hits": _STATS["hits"], "misses": _STATS["misses"],
+            "entries": len(_CACHE)}

@@ -1,4 +1,43 @@
-"""Tree-walking evaluator for the Lua subset."""
+"""Tree-walking evaluator for the Lua subset — the reference backend.
+
+This module is also the *semantic specification* both backends cite:
+the bytecode VM (:mod:`repro.luavm.bytevm`) must agree with the
+evaluator here on every observable behaviour, and the differential
+fuzz suite (``tests/test_luavm_differential.py``) enforces it.  The
+load-bearing subset rules, pinned after the fuzzing work surfaced two
+ambiguities:
+
+**Table length / border semantics.**  ``#t`` is the length of the
+contiguous integer-key prefix starting at 1: the first missing index is
+the border, and anything beyond a nil hole is not part of the array
+part (``{1, nil, 3}`` has length 1).  Storing ``nil`` *removes* the
+key — a table never holds a nil value, however it was built, so the
+border is well defined.  Host-constructed tables follow the same rule:
+:class:`LuaTable`'s constructor routes through :meth:`LuaTable.set`, so
+float keys normalise (``1.0`` is ``1``) and ``None`` values become
+holes instead of phantom entries that would inflate ``#t``.
+
+**Coercion in ``..`` versus comparison operators.**  Concatenation
+coerces *numbers only*: ``"v" .. 2`` is ``"v2"`` (integral floats drop
+the ``.0``), while nil, booleans, tables, and functions raise
+``attempt to concatenate a <type> value``.  Order comparisons
+(``< <= > >=``) coerce *nothing*: both operands must be numbers, or
+both strings (bytewise order); any other pairing — including booleans,
+which Python would happily order as integers — raises ``cannot
+compare X with Y``.  Equality (``== ~=``) never coerces across types:
+booleans are only equal to booleans (``1 == true`` is ``false``, not
+Python's ``True``), numbers compare by value (``1 == 1.0``), and
+tables compare by identity.
+
+**Call depth.**  Both backends cap Lua-level call nesting at
+:data:`LuaVM.MAX_CALL_DEPTH` and raise :class:`LuaRuntimeError` on
+overflow, so hostile recursion exhausts neither the Python stack (tree
+walker) nor memory (bytecode frame list), and both abort the same way.
+
+The helpers :func:`lua_eq`, :func:`lua_compare`, and
+:func:`lua_concat` implement the coercion rules once; both backends
+call them, so the spec cannot fork.
+"""
 
 from repro.luavm.errors import LuaRuntimeError
 from repro.luavm.parser import parse
@@ -15,7 +54,11 @@ class LuaTable:
         self._data = {}
         if items:
             for key, value in items.items():
-                self._data[key] = value
+                # Through set(): normalise keys and drop None values, so
+                # host-built tables obey the same border semantics as
+                # script-built ones (a None value is a hole, not an
+                # entry that #t would count).
+                self.set(key, value)
 
     def get(self, key):
         return self._data.get(_normalize_key(key))
@@ -28,6 +71,12 @@ class LuaTable:
             self._data[key] = value
 
     def length(self):
+        """``#t``: the border of the array part.
+
+        The contiguous integer-key prefix from 1; the first missing
+        index ends it, so keys beyond a nil hole never count (see the
+        module docstring for the pinned border semantics).
+        """
         n = 0
         while (n + 1) in self._data:
             n += 1
@@ -117,6 +166,64 @@ def _truthy(value):
     return value is not None and value is not False
 
 
+def _lua_type_name(value):
+    """The type name scripts see (used in error messages)."""
+    if value is None:
+        return "nil"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, LuaTable):
+        return "table"
+    return "function"
+
+
+def _is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def lua_eq(left, right):
+    """``==`` per the module-docstring spec: no cross-type coercion.
+
+    Booleans only equal booleans (Python would treat ``1 == True`` as
+    true); numbers compare by value; tables by identity (LuaTable has
+    no ``__eq__``, so ``==`` falls back to ``is``).
+    """
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left is right
+    return left == right
+
+
+def lua_compare(op, left, right):
+    """``< <= > >=`` per the spec: numbers with numbers, strings with
+    strings, nothing else — booleans are *not* numbers here even though
+    Python orders them as integers."""
+    if (_is_number(left) and _is_number(right)) or \
+            (isinstance(left, str) and isinstance(right, str)):
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+    raise LuaRuntimeError("cannot compare %s with %s"
+                          % (type(left).__name__, type(right).__name__))
+
+
+def lua_concat(left, right):
+    """``..`` per the spec: strings and numbers only; integral floats
+    render without the ``.0``."""
+    for value in (left, right):
+        if not isinstance(value, str) and not _is_number(value):
+            raise LuaRuntimeError("attempt to concatenate a %s value"
+                                  % _lua_type_name(value))
+    return _lua_str(left) + _lua_str(right)
+
+
 class LuaVM:
     """One interpreter instance with its own global environment.
 
@@ -130,10 +237,21 @@ class LuaVM:
 
     DEFAULT_BUDGET = 2_000_000
 
+    #: Maximum Lua-level call nesting, enforced by both backends (see
+    #: module docstring): deeper recursion raises LuaRuntimeError
+    #: instead of exhausting the Python stack.
+    MAX_CALL_DEPTH = 200
+
+    #: Which implementation this is, mirroring TraceLog.query_linear's
+    #: role: "tree" is the differential reference the bytecode backend
+    #: is fuzzed against.
+    backend = "tree"
+
     def __init__(self, instruction_budget=DEFAULT_BUDGET):
         self._globals = _Env()
         self._budget = instruction_budget
         self._steps = 0
+        self._depth = 0
         #: Lines produced by the script's print().
         self.output = []
         self._install_stdlib()
@@ -339,13 +457,20 @@ class LuaVM:
 
     def _call_value(self, function, args):
         if isinstance(function, LuaFunction):
+            if self._depth >= self.MAX_CALL_DEPTH:
+                raise LuaRuntimeError(
+                    "call stack overflow (depth %d)" % self.MAX_CALL_DEPTH
+                )
             scope = _Env(function.env)
             for i, param in enumerate(function.params):
                 scope.declare(param, args[i] if i < len(args) else None)
+            self._depth += 1
             try:
                 self._exec_block(function.body, scope)
             except _Return as ret:
                 return ret.value
+            finally:
+                self._depth -= 1
             return None
         if callable(function):
             # Stdlib and bridged host functions receive VM values as-is;
@@ -365,25 +490,13 @@ class LuaVM:
         left = self._eval(left_node, env)
         right = self._eval(right_node, env)
         if op == "..":
-            return _lua_str(left) + _lua_str(right)
+            return lua_concat(left, right)
         if op == "==":
-            return left == right
+            return lua_eq(left, right)
         if op == "~=":
-            return left != right
+            return not lua_eq(left, right)
         if op in ("<", "<=", ">", ">="):
-            try:
-                if op == "<":
-                    return left < right
-                if op == "<=":
-                    return left <= right
-                if op == ">":
-                    return left > right
-                return left >= right
-            except TypeError:
-                raise LuaRuntimeError(
-                    "cannot compare %s with %s"
-                    % (type(left).__name__, type(right).__name__)
-                ) from None
+            return lua_compare(op, left, right)
         if not isinstance(left, (int, float)) or not isinstance(right, (int, float)) \
                 or isinstance(left, bool) or isinstance(right, bool):
             raise LuaRuntimeError("arithmetic on non-number")

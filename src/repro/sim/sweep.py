@@ -122,7 +122,13 @@ def shard_chunks(indices, chunk_size):
 def _run_chunk(payload):
     """Pool worker: run one chunk of replicas, return their reductions."""
     from repro.core.ensemble import run_replica
+    from repro.malware.flame.scripts import warm_compile_cache
 
+    # Compile the scripted modules once per worker process; every
+    # replica in this chunk (and later chunks on the same worker) then
+    # reuses the cached chunks instead of re-lowering identical Lua
+    # sources.
+    warm_compile_cache()
     spec, base_seed, indices = payload
     return [run_replica(spec, index, base_seed) for index in indices]
 

@@ -161,3 +161,60 @@ def test_checkpointed_run_matches_golden_digest(name, finished_kernels,
     meta = {"campaign": name, "seed": GOLDEN_SEED, "preset": "quick"}
     assert export_digest(report.kernel, meta=meta) == \
         export_digest(finished_kernels[name], meta=meta)
+
+
+def test_flame_tree_backend_matches_golden_digest(finished_kernels):
+    """Both Lua backends drive the Flame campaign to a byte-identical
+    export.  The module fixture ran on the process default (bytecode);
+    re-running the same seed on the tree-walker must land on the same
+    digest — the campaign-level differential check that the compiled
+    VM is not merely close but observationally indistinguishable."""
+    from repro.luavm import using_backend
+
+    name = "flame"
+    with using_backend("tree"):
+        campaign = CAMPAIGNS[name](seed=GOLDEN_SEED,
+                                   **dict(QUICK_PARAMS[name]))
+        campaign.run()
+    meta = {"campaign": name, "seed": GOLDEN_SEED, "preset": "quick"}
+    assert export_digest(campaign.world.kernel, meta=meta) == \
+        export_digest(finished_kernels[name], meta=meta)
+
+
+def test_flame_resume_mid_campaign_with_compiled_cache(finished_kernels,
+                                                       tmp_path):
+    """Checkpoint a Flame run, cut the checkpoint log mid-campaign, and
+    resume while the compiled-module cache is already warm: the replay
+    reuses cached chunks (hits observed) and still reproduces the
+    uninterrupted run's export digest exactly."""
+    from repro.core.resume import (
+        CheckpointStore,
+        interrupt_after,
+        resume_checkpointed,
+    )
+    from repro.luavm.compiler import compile_cache_stats
+
+    name = "flame"
+    directory = str(tmp_path / "flame-resume")
+    meta = {"campaign": name, "seed": GOLDEN_SEED}
+
+    def factory():
+        return CAMPAIGNS[name](seed=GOLDEN_SEED,
+                               **dict(QUICK_PARAMS[name]))
+
+    run_meta = {"campaign": name, "seed": GOLDEN_SEED, "preset": "quick"}
+    from repro.core.resume import run_checkpointed
+
+    baseline = run_checkpointed(factory, directory, meta=meta)
+    recorded = CheckpointStore(directory).load().entries()
+    interrupt_after(directory, keep=max(len(recorded) // 2, 1))
+    hits_before = compile_cache_stats()["hits"]
+    report = resume_checkpointed(factory, directory, meta=meta)
+    assert not report.short_circuited
+    # The replay loaded flask+jimmy again; with the cache warm that is
+    # pure hits, no recompilation.
+    assert compile_cache_stats()["hits"] > hits_before
+    assert export_digest(report.kernel, meta=run_meta) == \
+        export_digest(finished_kernels[name], meta=run_meta)
+    assert export_digest(baseline.kernel, meta=run_meta) == \
+        export_digest(finished_kernels[name], meta=run_meta)

@@ -1,0 +1,272 @@
+"""Bytecode pipeline: serialization, validation, folding, and the cache."""
+
+import pytest
+
+from repro.luavm import BytecodeVM, LuaBytecodeError, LuaVM
+from repro.luavm.code import (
+    CALL,
+    CONST,
+    GETL,
+    JMP,
+    OP_NAMES,
+    RET,
+    RETNIL,
+    Chunk,
+    Proto,
+)
+from repro.luavm.compiler import (
+    clear_compile_cache,
+    compile_cache_stats,
+    compile_cached,
+    compile_source,
+    source_digest,
+)
+from repro.malware.flame.scripts import (
+    FLASK_SOURCE,
+    JIMMY_SOURCE,
+    JIMMY_V2_SOURCE,
+    warm_compile_cache,
+)
+
+SAMPLE = """
+local function weight(x)
+  return x * 3 + 1
+end
+total = 0
+for i = 1, 5 do
+  total = total + weight(i)
+end
+return total
+"""
+
+
+# --- round trip -------------------------------------------------------------
+
+def test_round_trip_is_bit_stable():
+    chunk = compile_source(SAMPLE)
+    data = chunk.to_bytes()
+    revived = Chunk.from_bytes(data)
+    assert revived.to_bytes() == data
+    assert revived.digest() == chunk.digest()
+    assert revived.source_digest == source_digest(SAMPLE)
+
+
+def test_round_trip_preserves_execution():
+    chunk = compile_source(SAMPLE)
+    revived = Chunk.from_bytes(chunk.to_bytes())
+    assert BytecodeVM().run_chunk(revived) == 50
+    assert BytecodeVM().run(SAMPLE) == 50
+
+
+def test_serialization_is_deterministic_across_compilations():
+    assert compile_source(SAMPLE).to_bytes() == \
+        compile_source(SAMPLE).to_bytes()
+
+
+def test_flame_scripts_compile_and_round_trip():
+    for source in (FLASK_SOURCE, JIMMY_SOURCE, JIMMY_V2_SOURCE):
+        chunk = compile_source(source)
+        assert Chunk.from_bytes(chunk.to_bytes()).to_bytes() == \
+            chunk.to_bytes()
+
+
+def test_constant_pool_round_trips_every_type():
+    chunk = Chunk(
+        (None, True, False, 7, -3, 2 ** 80, 1.5, -0.25, "", "text", "é"),
+        (Proto("main", 0, 0, [(RETNIL, 0, 0)]),),
+        "d" * 8,
+    )
+    revived = Chunk.from_bytes(chunk.to_bytes())
+    assert revived.consts == chunk.consts
+    assert [type(c) for c in revived.consts] == \
+        [type(c) for c in chunk.consts]
+
+
+# --- malformed chunks -------------------------------------------------------
+
+def test_bad_magic_raises():
+    data = compile_source(SAMPLE).to_bytes()
+    with pytest.raises(LuaBytecodeError, match="magic"):
+        Chunk.from_bytes(b"XXXX" + data[4:])
+
+
+def test_unsupported_version_raises():
+    data = bytearray(compile_source(SAMPLE).to_bytes())
+    data[4:6] = b"\x00\x63"
+    with pytest.raises(LuaBytecodeError, match="version"):
+        Chunk.from_bytes(bytes(data))
+
+
+@pytest.mark.parametrize("cut", [5, 10, 40, -20, -1])
+def test_truncated_stream_raises(cut):
+    data = compile_source(SAMPLE).to_bytes()
+    with pytest.raises(LuaBytecodeError):
+        Chunk.from_bytes(data[:cut])
+
+
+def test_trailing_garbage_raises():
+    data = compile_source(SAMPLE).to_bytes()
+    with pytest.raises(LuaBytecodeError, match="trailing"):
+        Chunk.from_bytes(data + b"\x00")
+
+
+def test_non_bytes_input_raises():
+    with pytest.raises(LuaBytecodeError):
+        Chunk.from_bytes("not bytes")
+
+
+def test_every_single_byte_corruption_is_typed():
+    """Flipping any one byte must yield LuaBytecodeError or an
+    equivalent chunk — never an uncaught struct/index/decode error."""
+    data = compile_source("return 1 + 2").to_bytes()
+    for position in range(len(data)):
+        corrupted = bytearray(data)
+        corrupted[position] ^= 0xFF
+        try:
+            Chunk.from_bytes(bytes(corrupted))
+        except LuaBytecodeError:
+            pass
+
+
+# --- validation -------------------------------------------------------------
+
+def _chunk_with_code(code, consts=(), nslots=0):
+    return Chunk(consts, (Proto("main", 0, nslots, code),))
+
+
+def test_validate_rejects_missing_return():
+    with pytest.raises(LuaBytecodeError, match="return"):
+        _chunk_with_code([(CONST, 0, 0)], consts=(1,)).validate()
+
+
+def test_validate_rejects_empty_proto():
+    with pytest.raises(LuaBytecodeError, match="return"):
+        _chunk_with_code([]).validate()
+
+
+def test_validate_rejects_unknown_opcode():
+    with pytest.raises(LuaBytecodeError, match="opcode"):
+        _chunk_with_code([(len(OP_NAMES), 0, 0), (RETNIL, 0, 0)]).validate()
+
+
+def test_validate_rejects_out_of_range_jump():
+    with pytest.raises(LuaBytecodeError, match="jump"):
+        _chunk_with_code([(JMP, 99, 0), (RETNIL, 0, 0)]).validate()
+
+
+def test_validate_rejects_out_of_range_constant():
+    with pytest.raises(LuaBytecodeError, match="constant"):
+        _chunk_with_code([(CONST, 3, 0), (RET, 0, 0)],
+                         consts=(1,)).validate()
+
+
+def test_validate_rejects_bad_local_slot():
+    with pytest.raises(LuaBytecodeError, match="local"):
+        _chunk_with_code([(GETL, 0, 0), (RET, 0, 0)], nslots=1).validate()
+
+
+def test_validate_rejects_params_exceeding_slots():
+    chunk = Chunk((), (Proto("f", 3, 1, [(RETNIL, 0, 0)]),))
+    with pytest.raises(LuaBytecodeError, match="params"):
+        chunk.validate()
+
+
+def test_compiler_output_always_validates():
+    for source in (SAMPLE, FLASK_SOURCE, JIMMY_SOURCE, JIMMY_V2_SOURCE):
+        compile_source(source).validate()
+
+
+# --- constant folding -------------------------------------------------------
+
+def test_folding_collapses_constant_expressions():
+    folded = compile_source("return 2 + 3 * 4")
+    assert 14 in folded.consts
+    # CONST + RET (plus the implicit chunk epilogue): the arithmetic
+    # happened at compile time.
+    assert [op for op, _, _ in folded.protos[0].code] == \
+        [CONST, RET, RETNIL]
+
+
+def test_folding_handles_concat_and_comparison():
+    chunk = compile_source("return 'a' .. 'b' .. 1")
+    assert "ab1" in chunk.consts
+    chunk = compile_source("if 1 < 2 then return 'yes' end return 'no'")
+    assert BytecodeVM().run_chunk(chunk) == "yes"
+    # The dead arm's guard folded away entirely.
+    assert all(op != JMP or True for op, _, _ in chunk.protos[0].code)
+
+
+def test_folding_never_hoists_runtime_errors():
+    # 1/0 must still raise at *run* time, identically to the tree.
+    from repro.luavm import LuaRuntimeError
+
+    for source in ("return 1 / 0", "return 1 % 0", "return 1 .. nil",
+                   "return 1 < 'x'", "return - 'x'"):
+        chunk = compile_source(source)  # compiles fine
+        with pytest.raises(LuaRuntimeError):
+            BytecodeVM().run_chunk(chunk)
+        with pytest.raises(LuaRuntimeError):
+            LuaVM().run(source)
+
+
+def test_folded_results_match_unfolded_tree_execution():
+    cases = [
+        "return (2 + 3) * (10 - 4)",
+        "return 7 / 2",
+        "return 10 % 3",
+        "return 'n=' .. 4 * 5",
+        "return not (1 == 2)",
+        "return - (3 * 3)",
+        "return #'hello'",
+        "return 1 < 2 and 'lo' or 'hi'",
+    ]
+    for source in cases:
+        assert BytecodeVM().run(source) == LuaVM().run(source), source
+
+
+def test_const_false_while_is_elided():
+    chunk = compile_source("while 1 == 2 do x = 1 end return 9")
+    ops = [op for op, _, _ in chunk.protos[0].code]
+    assert CALL not in ops and JMP not in ops
+    assert BytecodeVM().run_chunk(chunk) == 9
+
+
+# --- compile cache ----------------------------------------------------------
+
+def test_compile_cache_hits_and_misses():
+    clear_compile_cache()
+    first = compile_cached(SAMPLE)
+    second = compile_cached(SAMPLE)
+    assert first is second
+    stats = compile_cache_stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] == 1
+    assert stats["entries"] == 1
+    clear_compile_cache()
+    assert compile_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+def test_vms_share_cached_chunks():
+    clear_compile_cache()
+    vms = [BytecodeVM() for _ in range(4)]
+    for vm in vms:
+        assert vm.run(SAMPLE) == 50
+    stats = compile_cache_stats()
+    assert stats["misses"] == 1
+    assert stats["hits"] == 3
+
+
+def test_warm_compile_cache_precompiles_flame_scripts():
+    clear_compile_cache()
+    assert warm_compile_cache() == 3
+    stats = compile_cache_stats()
+    assert stats["entries"] == 3
+    assert stats["misses"] == 3
+    warm_compile_cache()
+    assert compile_cache_stats()["hits"] == 3
+
+
+def test_disassemble_names_every_instruction():
+    listing = compile_source(SAMPLE).disassemble()
+    assert any("CALL" in line for line in listing)
+    assert listing[0].startswith("proto 0 main")

@@ -185,3 +185,84 @@ def test_do_block_scopes():
 def test_return_from_chunk():
     vm = LuaVM()
     assert vm.run("return 1 + 2") == 3
+
+
+# --- border semantics and coercion regressions (both backends) ---------------
+#
+# These pin the subset semantics documented in the interpreter module
+# docstring; the bytecode VM must match, so each case runs on both.
+
+from repro.luavm import LuaTable, create_vm  # noqa: E402
+
+
+@pytest.fixture(params=["tree", "bytecode"])
+def any_vm(request):
+    return create_vm(backend=request.param)
+
+
+def test_length_stops_at_first_nil_hole(any_vm):
+    any_vm.run("t = {1, 2, 3}\nt[2] = nil\nn = #t")
+    assert any_vm.get_global("n") == 1
+
+
+def test_length_of_table_built_with_nil_hole_from_host():
+    # Passing None values through the constructor must not create
+    # phantom entries that inflate the border.
+    table = LuaTable({1: "a", 2: None, 3: "c"})
+    assert table.length() == 1
+    assert table.get(2) is None
+
+
+def test_constructor_normalises_float_keys_like_set():
+    table = LuaTable({1.0: "a"})
+    assert table.get(1) == "a"
+    assert table.length() == 1
+
+
+def test_length_empty_and_dense(any_vm):
+    any_vm.run("a = #{}\nb = #{10, 20, 30}")
+    assert any_vm.get_global("a") == 0
+    assert any_vm.get_global("b") == 3
+
+
+def test_concat_rejects_non_scalar_values(any_vm):
+    with pytest.raises(LuaRuntimeError, match="concatenate a table value"):
+        any_vm.run("x = {} .. 'tail'")
+    with pytest.raises(LuaRuntimeError, match="concatenate a boolean value"):
+        any_vm.run("x = true .. 'tail'")
+    with pytest.raises(LuaRuntimeError, match="concatenate a nil value"):
+        any_vm.run("x = nil .. 'tail'")
+
+
+def test_concat_coerces_numbers_but_comparison_never_coerces(any_vm):
+    any_vm.run("joined = 1 .. '2'")
+    assert any_vm.get_global("joined") == "12"
+    with pytest.raises(LuaRuntimeError, match="cannot compare"):
+        any_vm.run("x = 1 < '2'")
+    with pytest.raises(LuaRuntimeError, match="cannot compare"):
+        any_vm.run("x = 'a' <= 1")
+
+
+def test_equality_never_crosses_types(any_vm):
+    any_vm.run("""
+    a = 1 == '1'
+    b = 1 == true
+    c = 0 == false
+    d = nil == false
+    """)
+    assert any_vm.get_global("a") is False
+    assert any_vm.get_global("b") is False
+    assert any_vm.get_global("c") is False
+    assert any_vm.get_global("d") is False
+
+
+def test_booleans_do_not_order(any_vm):
+    with pytest.raises(LuaRuntimeError, match="cannot compare"):
+        any_vm.run("x = true < 1")
+    with pytest.raises(LuaRuntimeError, match="cannot compare"):
+        any_vm.run("x = false < true")
+
+
+def test_call_depth_cap_raises_typed_error(any_vm):
+    with pytest.raises(LuaRuntimeError, match="call stack overflow"):
+        any_vm.run("local function f() return f() end\nreturn f()")
