@@ -33,6 +33,14 @@ from repro.core import (
     run_checkpointed,
     seed_user_documents,
 )
+from repro.epidemic import (
+    EpidemicModel,
+    FlameEpidemicCampaign,
+    FullFidelityEpidemic,
+    HostPool,
+    StuxnetEpidemicCampaign,
+    TransmissionProfile,
+)
 from repro.obs import (
     MetricsRegistry,
     SpanRecorder,
@@ -57,9 +65,14 @@ __all__ = [
     "CampaignWorld",
     "CheckpointError",
     "CheckpointStore",
+    "EpidemicModel",
+    "FlameEpidemicCampaign",
     "FlameEspionageCampaign",
+    "FullFidelityEpidemic",
+    "HostPool",
     "Kernel",
     "MetricsRegistry",
+    "StuxnetEpidemicCampaign",
     "ShamoonWiperCampaign",
     "SpanRecorder",
     "StuxnetNatanzCampaign",

@@ -25,12 +25,18 @@ from repro.core.campaign import (
     ShamoonWiperCampaign,
     StuxnetNatanzCampaign,
 )
+from repro.epidemic.scenarios import (
+    FlameEpidemicCampaign,
+    StuxnetEpidemicCampaign,
+)
 
 #: The sweepable campaigns, by CLI name.
 CAMPAIGNS = {
     "stuxnet": StuxnetNatanzCampaign,
     "flame": FlameEspionageCampaign,
     "shamoon": ShamoonWiperCampaign,
+    "stuxnet-epidemic": StuxnetEpidemicCampaign,
+    "flame-epidemic": FlameEpidemicCampaign,
 }
 
 #: Scaled-down parameter presets: every campaign finishes in well under a
@@ -55,6 +61,18 @@ QUICK_PARAMS = {
         "docs_per_host": 2,
         "start": datetime(2012, 8, 14, tzinfo=timezone.utc),
         "end": datetime(2012, 8, 16, tzinfo=timezone.utc),
+    },
+    "stuxnet-epidemic": {
+        "host_count": 400,
+        "epochs": 10,
+        "initial_infections": 3,
+        "promote_samples": 2,
+    },
+    "flame-epidemic": {
+        "host_count": 400,
+        "epochs": 10,
+        "initial_infections": 3,
+        "promote_samples": 2,
     },
 }
 

@@ -1,0 +1,78 @@
+"""Population-scale epidemics: the hybrid fidelity tier.
+
+Layers, bottom up:
+
+* :mod:`repro.epidemic.pool` — struct-of-arrays host population
+  (8 bytes/host; a 10^6-host pool is ~8 MB and four base64 strings in
+  a checkpoint);
+* :mod:`repro.epidemic.model` — the seeded discrete-time S/E/I/R
+  stepper with per-campaign USB/LAN/C2 transmission profiles, damped
+  live by the fault engine's DNS dispositions;
+* :mod:`repro.epidemic.promote` — on-demand promotion of pool rows to
+  full :class:`~repro.winsim.WindowsHost` fidelity, and the write-back
+  demotion;
+* :mod:`repro.epidemic.oracle` — the slow full-fidelity reference the
+  differential suite checks the fast tier against;
+* :mod:`repro.epidemic.scenarios` — Stuxnet/Flame campaigns calibrated
+  to the paper's victim distributions.
+"""
+
+from repro.epidemic.model import (
+    EpidemicModel,
+    SECONDS_PER_DAY,
+    TransmissionProfile,
+    c2_availability,
+)
+from repro.epidemic.oracle import FullFidelityEpidemic
+from repro.epidemic.pool import (
+    EXPOSED,
+    HostPool,
+    INFECTIOUS,
+    RECOVERED,
+    STATE_NAMES,
+    SUSCEPTIBLE,
+    VECTORS,
+    assign_regions,
+)
+from repro.epidemic.promote import (
+    EpidemicInfection,
+    demote_host,
+    promote_host,
+)
+from repro.epidemic.scenarios import (
+    EpidemicCampaign,
+    FLAME_EPIDEMIC_DOMAINS,
+    FLAME_REGIONS,
+    FlameEpidemicCampaign,
+    STUXNET_REGIONS,
+    StuxnetEpidemicCampaign,
+    flame_profile,
+    stuxnet_profile,
+)
+
+__all__ = [
+    "EXPOSED",
+    "EpidemicCampaign",
+    "EpidemicInfection",
+    "EpidemicModel",
+    "FLAME_EPIDEMIC_DOMAINS",
+    "FLAME_REGIONS",
+    "FlameEpidemicCampaign",
+    "FullFidelityEpidemic",
+    "HostPool",
+    "INFECTIOUS",
+    "RECOVERED",
+    "SECONDS_PER_DAY",
+    "STATE_NAMES",
+    "STUXNET_REGIONS",
+    "SUSCEPTIBLE",
+    "StuxnetEpidemicCampaign",
+    "TransmissionProfile",
+    "VECTORS",
+    "assign_regions",
+    "c2_availability",
+    "demote_host",
+    "flame_profile",
+    "promote_host",
+    "stuxnet_profile",
+]

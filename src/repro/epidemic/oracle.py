@@ -1,0 +1,251 @@
+"""The full-fidelity epidemic oracle for differential testing.
+
+:class:`FullFidelityEpidemic` implements the epoch-stepping spec from
+:mod:`repro.epidemic.model` *independently*, over real
+:class:`~repro.winsim.WindowsHost` objects: every host is a genuine
+object, exposure registers a genuine :class:`EpidemicInfection`, and —
+crucially — the compartment counts that drive each epoch's hazards are
+**recounted from the host objects** (``host.infections`` plus the
+recovered ledger) rather than carried in aggregate counters.
+
+Because both tiers fork the same RNG labels (``epidemic-regions:<label>``
+for region assignment, ``epidemic-seed:<label>`` for patient zeros,
+``epidemic:<label>`` for the dynamics) and follow the same draw order,
+two same-seed kernels — one driving an :class:`EpidemicModel`, one
+driving this oracle — must produce byte-identical infection curves.
+The differential suite asserts exactly that; any divergence means one
+tier's bookkeeping (the pool's incremental counters, the FIFO orders,
+the skip-draw rules) is wrong.
+
+The oracle is O(N) objects and O(N) recounting per epoch, so it only
+scales to a few hundred hosts — which is the point: it is the slow,
+obviously-correct implementation the fast one is checked against.
+"""
+
+from repro.epidemic.model import SECONDS_PER_DAY, c2_availability
+from repro.epidemic.pool import assign_regions
+from repro.epidemic.promote import EpidemicInfection
+
+
+class FullFidelityEpidemic:
+    """Per-host epidemic over real Windows hosts; the slow reference.
+
+    Parameters mirror :class:`~repro.epidemic.model.EpidemicModel`;
+    ``world`` is a :class:`~repro.core.environments.CampaignWorld`
+    whose ``make_host`` builds each member of the population.
+    """
+
+    def __init__(self, world, profile, host_count, epochs,
+                 epoch_seconds=SECONDS_PER_DAY, label=None,
+                 hostname_prefix="ORACLE", **config_kwargs):
+        if host_count <= 0:
+            raise ValueError("oracle needs at least one host, got %r"
+                             % host_count)
+        if not isinstance(epochs, int) or epochs < 1:
+            raise ValueError("epochs must be an integer >= 1, got %r"
+                             % (epochs,))
+        self._world = world
+        self._kernel = world.kernel
+        self.profile = profile
+        self._label = label or profile.name
+        #: Same fork label + same assignment function as the pool tier,
+        #: so both tiers agree on every host's region by construction.
+        self._regions = assign_regions(
+            self._kernel.rng.fork("epidemic-regions:%s" % self._label),
+            host_count, profile.region_weights)
+        self.region_names = tuple(name for name, _
+                                  in profile.region_weights)
+        self._region_counts = [0] * len(self.region_names)
+        for code in self._regions:
+            self._region_counts[code] += 1
+        self._rng = self._kernel.rng.fork("epidemic:%s" % self._label)
+        self.hosts = [world.make_host("%s-%06d" % (hostname_prefix, i),
+                                      **config_kwargs)
+                      for i in range(host_count)]
+        self._epochs = epochs
+        self._epoch_seconds = float(epoch_seconds)
+        self._epoch = 0
+        self._curve = []
+        self._seeded = False
+        self._exposed = []
+        self._infectious = []
+        self._recovered = set()
+
+    @property
+    def label(self):
+        return self._label
+
+    @property
+    def epoch(self):
+        return self._epoch
+
+    @property
+    def curve(self):
+        return list(self._curve)
+
+    # -- ground truth ---------------------------------------------------------
+
+    def _compartments(self):
+        """Recount S/E/I/R by inspecting every host object.
+
+        This is the oracle's defining move: no incremental counters —
+        the hazard inputs are re-derived from the infection registries
+        each epoch, so aggregate-tier counter bugs cannot be mirrored
+        here.
+        """
+        name = self.profile.name
+        s = e = i = r = 0
+        infectious_by_region = [0] * len(self.region_names)
+        for index, host in enumerate(self.hosts):
+            infection = host.infections.get(name)
+            if infection is not None:
+                if infection.active:
+                    i += 1
+                    infectious_by_region[self._regions[index]] += 1
+                else:
+                    e += 1
+            elif index in self._recovered:
+                r += 1
+            else:
+                s += 1
+        return s, e, i, r, infectious_by_region
+
+    def host_state(self, index):
+        """One host's compartment name, from the object itself."""
+        infection = self.hosts[index].infections.get(self.profile.name)
+        if infection is not None:
+            return "infectious" if infection.active else "exposed"
+        if index in self._recovered:
+            return "recovered"
+        return "susceptible"
+
+    # -- driving --------------------------------------------------------------
+
+    def seed_initial(self, count, vector="initial"):
+        if self._seeded:
+            raise RuntimeError("oracle %r is already seeded" % self._label)
+        if not 0 < count <= len(self.hosts):
+            raise ValueError(
+                "initial infections must be within [1, %d], got %r"
+                % (len(self.hosts), count))
+        rng = self._kernel.rng.fork("epidemic-seed:%s" % self._label)
+        chosen = sorted(rng.sample(range(len(self.hosts)), count))
+        name = self.profile.name
+        for index in chosen:
+            self.hosts[index].register_infection(
+                name, EpidemicInfection(name, vector, 0, active=True))
+            self._infectious.append(index)
+        self._seeded = True
+        self._record_epoch(new_infections=count, c2_availability=1.0)
+        return chosen
+
+    def run(self):
+        """Step every epoch, pacing the kernel clock like the model.
+
+        The model steps on timer events at ``k * epoch_seconds``; the
+        oracle reproduces that by running the kernel up to each epoch
+        boundary before stepping, so fault windows (a DNS takedown at
+        epoch 10) open and close at the same virtual instants for both
+        tiers.
+        """
+        if not self._seeded:
+            raise RuntimeError("seed_initial() must run before run()")
+        start = self._kernel.clock.now
+        for k in range(1, self._epochs + 1):
+            self._kernel.run(until=start + k * self._epoch_seconds)
+            self._step_epoch()
+        return self.curve
+
+    def _step_epoch(self):
+        self._epoch += 1
+        epoch = self._epoch
+        name = self.profile.name
+        total = len(self.hosts)
+        _, _, i_total, _, infectious_by_region = self._compartments()
+        availability = c2_availability(self._kernel,
+                                       self.profile.c2_domains)
+        usb, lan, c2, recovery = self.profile.rates_at(epoch)
+        p_usb = usb * i_total / total
+        p_c2 = c2 * availability if i_total else 0.0
+        hazards = []
+        shares = []
+        any_hazard = False
+        for code, population in enumerate(self._region_counts):
+            infectious_here = infectious_by_region[code]
+            p_lan = (lan * infectious_here / population) if population \
+                else 0.0
+            hazard = 1.0 - (1.0 - p_usb) * (1.0 - p_lan) * (1.0 - p_c2)
+            hazards.append(hazard)
+            shares.append((p_usb, p_lan, p_c2))
+            if hazard > 0.0:
+                any_hazard = True
+
+        new_exposed = []
+        if any_hazard:
+            rand = self._rng.random
+            recovered = self._recovered
+            for index, host in enumerate(self.hosts):
+                if index in recovered or \
+                        host.infections.get(name) is not None:
+                    continue
+                code = self._regions[index]
+                if rand() < hazards[code]:
+                    p_u, p_l, p_c = shares[code]
+                    draw = rand() * (p_u + p_l + p_c)
+                    if draw < p_u:
+                        vector = "usb"
+                    elif draw < p_u + p_l:
+                        vector = "lan"
+                    else:
+                        vector = "c2"
+                    host.register_infection(name, EpidemicInfection(
+                        name, vector, epoch, active=False))
+                    new_exposed.append(index)
+
+        if recovery > 0.0 and self._infectious:
+            rand = self._rng.random
+            still_infectious = []
+            for index in self._infectious:
+                if rand() < recovery:
+                    self.hosts[index].remove_infection(name)
+                    self._recovered.add(index)
+                else:
+                    still_infectious.append(index)
+            self._infectious = still_infectious
+
+        latency = self.profile.latency_epochs
+        promoted = 0
+        exposed = self._exposed
+        while promoted < len(exposed):
+            index = exposed[promoted]
+            infection = self.hosts[index].infections[name]
+            if epoch - infection.exposed_epoch < latency:
+                break
+            infection.activate()
+            self._infectious.append(index)
+            promoted += 1
+        if promoted:
+            self._exposed = exposed[promoted:]
+
+        self._exposed.extend(new_exposed)
+        self._record_epoch(new_infections=len(new_exposed),
+                           c2_availability=availability)
+
+    def _record_epoch(self, new_infections, c2_availability):
+        s, e, i, r, _ = self._compartments()
+        self._curve.append({
+            "epoch": self._epoch,
+            "susceptible": s,
+            "exposed": e,
+            "infectious": i,
+            "recovered": r,
+            "cumulative": len(self.hosts) - s,
+            "new_infections": new_infections,
+            "c2_availability": c2_availability,
+        })
+
+    def __repr__(self):
+        s, e, i, r, _ = self._compartments()
+        return ("FullFidelityEpidemic(%r, epoch %d/%d, S/E/I/R=[%d, %d, "
+                "%d, %d])" % (self._label, self._epoch, self._epochs,
+                              s, e, i, r))

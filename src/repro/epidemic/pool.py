@@ -1,0 +1,378 @@
+"""Struct-of-arrays host pool: a million hosts without a million objects.
+
+The paper's campaigns are regional epidemics (tens of thousands of
+infections across the Middle East), but a full :class:`WindowsHost`
+costs kilobytes of Python objects — a filesystem, a registry, a disk.
+The pool stores only what the compartmental model needs, as parallel
+``array`` rows:
+
+* ``state``      — one byte per host: S/E/I/R compartment code;
+* ``region``     — one short per host: index into the pool's region
+  name table (the paper's per-country victim distributions);
+* ``exposed_epoch`` — the epoch a host left S (−1 while susceptible),
+  which together with the profile's fixed latency also determines when
+  it turns infectious — so the model's iteration orders are fully
+  reconstructible from the arrays alone;
+* ``vector``     — which transmission channel claimed it (USB / LAN /
+  C2 / initial seeding).
+
+That is 8 bytes per host: a 10^6-host pool fits in ~8 MB and snapshots
+into a checkpoint as four base64 strings.  Compartment totals, per-
+region infectious counts, and per-vector tallies are maintained
+incrementally, so the epidemic stepper's hazard computation is O(#
+regions), not O(N).
+
+Individual hosts are promoted to full fidelity on demand — see
+:mod:`repro.epidemic.promote`.
+"""
+
+import base64
+import sys
+from array import array
+from bisect import bisect_right
+
+#: Compartment codes, in lifecycle order.  A host only ever moves
+#: forward: S -> E (exposed, latent) -> I (infectious) -> R (removed —
+#: cleaned, patched, or suicided).
+SUSCEPTIBLE = 0
+EXPOSED = 1
+INFECTIOUS = 2
+RECOVERED = 3
+
+STATE_NAMES = ("susceptible", "exposed", "infectious", "recovered")
+
+#: Transmission channels a pool host can be claimed by.  Stored as an
+#: index into this tuple; 0 means "not infected yet".
+VECTORS = ("none", "initial", "usb", "lan", "c2")
+
+_VECTOR_CODES = {name: code for code, name in enumerate(VECTORS)}
+
+
+def assign_regions(rng, count, region_weights):
+    """Deterministically assign ``count`` hosts to weighted regions.
+
+    One uniform draw per host against the cumulative weight table, in
+    host-index order — the full-fidelity oracle uses the same function
+    on the same forked stream, so both tiers agree on every host's
+    region by construction.  Returns an ``array('h')`` of region codes.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0, got %r" % count)
+    weights = [float(weight) for _, weight in region_weights]
+    if not weights or any(w < 0 for w in weights) or sum(weights) <= 0:
+        raise ValueError("region weights must be non-negative with a "
+                         "positive sum, got %r" % (region_weights,))
+    cumulative = []
+    total = 0.0
+    for weight in weights:
+        total += weight
+        cumulative.append(total)
+    regions = array("h")
+    rand = rng.random
+    top = len(weights) - 1
+    for _ in range(count):
+        regions.append(min(bisect_right(cumulative, rand() * total), top))
+    return regions
+
+
+def _encode_array(values):
+    """JSON-safe snapshot of one pool array (canonical little-endian)."""
+    if sys.byteorder == "big":
+        values = array(values.typecode, values)
+        values.byteswap()
+    return {
+        "typecode": values.typecode,
+        "itemsize": values.itemsize,
+        "data": base64.b64encode(values.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(payload, expected_typecode, expected_length):
+    """Rebuild one pool array from :func:`_encode_array` output."""
+    from repro.sim.errors import CheckpointError
+
+    try:
+        typecode = payload["typecode"]
+        itemsize = int(payload["itemsize"])
+        data = base64.b64decode(payload["data"].encode("ascii"),
+                                validate=True)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            "malformed pool array payload: %s: %s"
+            % (type(exc).__name__, exc)) from exc
+    if typecode != expected_typecode:
+        raise CheckpointError(
+            "pool array typecode mismatch: snapshot has %r, this build "
+            "uses %r" % (typecode, expected_typecode))
+    values = array(expected_typecode)
+    if values.itemsize != itemsize:
+        raise CheckpointError(
+            "pool array itemsize mismatch for typecode %r: snapshot "
+            "recorded %d, this platform uses %d"
+            % (typecode, itemsize, values.itemsize))
+    try:
+        values.frombytes(data)
+    except ValueError as exc:
+        raise CheckpointError(
+            "truncated pool array payload: %s" % exc) from exc
+    if len(values) != expected_length:
+        raise CheckpointError(
+            "pool array length mismatch: snapshot holds %d entries, "
+            "pool expects %d" % (len(values), expected_length))
+    if sys.byteorder == "big":
+        values.byteswap()
+    return values
+
+
+class HostPool:
+    """The aggregate-fidelity population: parallel arrays, no objects.
+
+    Parameters
+    ----------
+    count:
+        Number of hosts in the pool.
+    region_weights:
+        Sequence of ``(region_name, weight)`` pairs — the paper's
+        victim distributions.
+    rng:
+        A dedicated forked stream for region assignment (one draw per
+        host; nothing else in the pool consumes randomness).
+    """
+
+    def __init__(self, count, region_weights, rng):
+        if count <= 0:
+            raise ValueError("pool needs at least one host, got %r" % count)
+        self.count = count
+        self.region_names = tuple(name for name, _ in region_weights)
+        if len(set(self.region_names)) != len(self.region_names):
+            raise ValueError("duplicate region names: %r"
+                             % (self.region_names,))
+        self._region = assign_regions(rng, count, region_weights)
+        self._state = array("b", bytes(count))
+        self._exposed_epoch = array("i", [-1]) * count
+        self._vector = array("b", bytes(count))
+        #: Hosts per region (fixed at construction).
+        self.region_counts = [0] * len(self.region_names)
+        for code in self._region:
+            self.region_counts[code] += 1
+        #: Compartment totals, maintained incrementally.
+        self.counts = [count, 0, 0, 0]
+        #: Infectious hosts per region, maintained incrementally — the
+        #: stepper's LAN hazard is O(#regions) because of this.
+        self.infectious_by_region = [0] * len(self.region_names)
+        #: Cumulative infections per transmission channel.
+        self.vector_counts = {}
+
+    # -- read access ----------------------------------------------------------
+
+    def state_of(self, index):
+        return self._state[index]
+
+    def region_of(self, index):
+        """Region *name* of one host."""
+        return self.region_names[self._region[index]]
+
+    def vector_of(self, index):
+        """Transmission channel that claimed this host ('none' if S)."""
+        return VECTORS[self._vector[index]]
+
+    def exposed_epoch_of(self, index):
+        """Epoch the host left S, or -1 while still susceptible."""
+        return self._exposed_epoch[index]
+
+    def region_view(self):
+        """The raw region-code array — read-only, for hot loops."""
+        return self._region
+
+    def state_view(self):
+        """The raw state array — read-only, for hot loops."""
+        return self._state
+
+    def exposed_epoch_view(self):
+        """The raw exposure-epoch array — read-only."""
+        return self._exposed_epoch
+
+    def indices_in_state(self, state):
+        """Ascending host indices currently in ``state``."""
+        return [index for index, code in enumerate(self._state)
+                if code == state]
+
+    def compartments(self):
+        """``{name: count}`` snapshot of the compartment totals."""
+        return dict(zip(STATE_NAMES, self.counts))
+
+    def cumulative_infections(self):
+        """Hosts that have ever left S (E + I + R)."""
+        return self.count - self.counts[SUSCEPTIBLE]
+
+    def infected_by_region(self):
+        """``{region: ever-infected hosts}`` — one O(N) scan."""
+        totals = [0] * len(self.region_names)
+        region = self._region
+        for index, code in enumerate(self._state):
+            if code != SUSCEPTIBLE:
+                totals[region[index]] += 1
+        return {name: totals[code]
+                for code, name in enumerate(self.region_names)}
+
+    # -- transitions ----------------------------------------------------------
+
+    def _claim(self, index, epoch, vector):
+        if self._state[index] != SUSCEPTIBLE:
+            raise ValueError(
+                "host %d is %s, not susceptible"
+                % (index, STATE_NAMES[self._state[index]]))
+        code = _VECTOR_CODES.get(vector)
+        if code is None:
+            raise ValueError("unknown vector %r (expected one of %s)"
+                             % (vector, VECTORS[1:]))
+        self._exposed_epoch[index] = epoch
+        self._vector[index] = code
+        self.counts[SUSCEPTIBLE] -= 1
+        self.vector_counts[vector] = self.vector_counts.get(vector, 0) + 1
+
+    def expose(self, index, epoch, vector):
+        """S -> E: the host caught the malware this epoch."""
+        self._claim(index, epoch, vector)
+        self._state[index] = EXPOSED
+        self.counts[EXPOSED] += 1
+
+    def seed(self, index, epoch=0, vector="initial"):
+        """S -> I directly: a patient-zero host, infectious from day one."""
+        self._claim(index, epoch, vector)
+        self._state[index] = INFECTIOUS
+        self.counts[INFECTIOUS] += 1
+        self.infectious_by_region[self._region[index]] += 1
+
+    def activate(self, index):
+        """E -> I: the latency elapsed; the host spreads from now on."""
+        if self._state[index] != EXPOSED:
+            raise ValueError(
+                "host %d is %s, not exposed"
+                % (index, STATE_NAMES[self._state[index]]))
+        self._state[index] = INFECTIOUS
+        self.counts[EXPOSED] -= 1
+        self.counts[INFECTIOUS] += 1
+        self.infectious_by_region[self._region[index]] += 1
+
+    def recover(self, index):
+        """I -> R: cleaned, patched, or suicided out of the population."""
+        if self._state[index] != INFECTIOUS:
+            raise ValueError(
+                "host %d is %s, not infectious"
+                % (index, STATE_NAMES[self._state[index]]))
+        self._state[index] = RECOVERED
+        self.counts[INFECTIOUS] -= 1
+        self.counts[RECOVERED] += 1
+        self.infectious_by_region[self._region[index]] -= 1
+
+    def force_state(self, index, state):
+        """Overwrite one host's compartment, fixing every counter.
+
+        The demotion write-back path: a promoted host may have been
+        disinfected (or infected) at full fidelity, and its pool row
+        must reflect the outcome whatever it was.
+        """
+        if state not in (SUSCEPTIBLE, EXPOSED, INFECTIOUS, RECOVERED):
+            raise ValueError("unknown state code %r" % (state,))
+        old = self._state[index]
+        if old == state:
+            return
+        self.counts[old] -= 1
+        self.counts[state] += 1
+        region = self._region[index]
+        if old == INFECTIOUS:
+            self.infectious_by_region[region] -= 1
+        if state == INFECTIOUS:
+            self.infectious_by_region[region] += 1
+        if state == SUSCEPTIBLE:
+            self._exposed_epoch[index] = -1
+            self._vector[index] = 0
+        self._state[index] = state
+
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot_state(self):
+        """JSON-safe snapshot: arrays as base64, counters for checking.
+
+        Pure observation — reads every array, mutates nothing, consumes
+        no randomness.
+        """
+        return {
+            "count": self.count,
+            "region_names": list(self.region_names),
+            "region_counts": list(self.region_counts),
+            "counts": list(self.counts),
+            "vector_counts": dict(sorted(self.vector_counts.items())),
+            "arrays": {
+                "state": _encode_array(self._state),
+                "region": _encode_array(self._region),
+                "exposed_epoch": _encode_array(self._exposed_epoch),
+                "vector": _encode_array(self._vector),
+            },
+        }
+
+    def load_state(self, state):
+        """Restore a snapshot; derived counters are recomputed from the
+        arrays and cross-checked against the recorded ones, so a
+        tampered or miscounted snapshot fails loudly."""
+        from repro.sim.errors import CheckpointError
+
+        try:
+            count = int(state["count"])
+            region_names = tuple(state["region_names"])
+            arrays = state["arrays"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                "malformed pool snapshot: %s: %s"
+                % (type(exc).__name__, exc)) from exc
+        if count != self.count:
+            raise CheckpointError(
+                "pool size mismatch: snapshot holds %d hosts, pool was "
+                "built with %d" % (count, self.count))
+        if region_names != self.region_names:
+            raise CheckpointError(
+                "pool region mismatch: snapshot has %r, pool was built "
+                "with %r" % (region_names, self.region_names))
+        self._state = _decode_array(arrays["state"], "b", count)
+        self._region = _decode_array(arrays["region"], "h", count)
+        self._exposed_epoch = _decode_array(arrays["exposed_epoch"], "i",
+                                            count)
+        self._vector = _decode_array(arrays["vector"], "b", count)
+        counts = [0, 0, 0, 0]
+        infectious_by_region = [0] * len(self.region_names)
+        region_counts = [0] * len(self.region_names)
+        vector_counts = {}
+        for index, code in enumerate(self._state):
+            if not 0 <= code <= RECOVERED:
+                raise CheckpointError(
+                    "pool snapshot holds invalid state code %r at host %d"
+                    % (code, index))
+            counts[code] += 1
+            region = self._region[index]
+            if not 0 <= region < len(self.region_names):
+                raise CheckpointError(
+                    "pool snapshot holds invalid region code %r at host %d"
+                    % (region, index))
+            region_counts[region] += 1
+            if code == INFECTIOUS:
+                infectious_by_region[region] += 1
+            vector = self._vector[index]
+            if code != SUSCEPTIBLE:
+                name = VECTORS[vector]
+                vector_counts[name] = vector_counts.get(name, 0) + 1
+        if counts != list(state.get("counts", counts)):
+            raise CheckpointError(
+                "pool snapshot counters disagree with its arrays: "
+                "recorded %r, recomputed %r" % (state["counts"], counts))
+        self.counts = counts
+        self.region_counts = region_counts
+        self.infectious_by_region = infectious_by_region
+        self.vector_counts = dict(sorted(vector_counts.items()))
+
+    def __len__(self):
+        return self.count
+
+    def __repr__(self):
+        return ("HostPool(%d hosts, %d regions, S/E/I/R=%r)"
+                % (self.count, len(self.region_names), self.counts))

@@ -5,6 +5,7 @@ from repro.netsim.http import HttpRequest, url_host
 from repro.netsim.packet import PacketCapture
 from repro.netsim.wpad import discover_proxy
 from repro.sim.faults import GLOBAL_SCOPE, REQUEST_TIMEOUT, lan_scope
+from repro.winsim.interface import SimHost
 
 
 class NetworkError(Exception):
@@ -135,7 +136,18 @@ class Lan:
     # -- membership -----------------------------------------------------------
 
     def attach(self, host, ip=None, join_domain=True):
-        """Connect a host; assigns an address and (optionally) domain trust."""
+        """Connect a host; assigns an address and (optionally) domain trust.
+
+        ``host`` must implement the :class:`~repro.winsim.SimHost`
+        interface — attaching anything else used to fail much later
+        with an ``AttributeError`` deep inside NetBIOS or SMB; now it
+        is rejected here with a typed error.
+        """
+        if not isinstance(host, SimHost):
+            raise NetworkError(
+                "cannot attach %r to LAN %r: hosts must implement the "
+                "SimHost interface (repro.winsim.SimHost)"
+                % (type(host).__name__, self.name))
         hostname = host.hostname.lower()
         if hostname in self._hosts_by_name:
             raise NetworkError(

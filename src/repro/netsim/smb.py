@@ -18,11 +18,22 @@ class SmbError(Exception):
 def _check_access(lan, src_host, dst_host, credential):
     if dst_host.nic is None or dst_host.nic[0] is not lan:
         raise SmbError("target %r not on LAN %r" % (dst_host.hostname, lan.name))
-    if not dst_host.config.file_and_print_sharing:
+    # Capability probe, not a config read: reduced-fidelity hosts have
+    # no HostConfig and answer False here instead of crashing.
+    if not dst_host.smb_sharing_enabled():
         return False
     if credential not in dst_host.accepted_credentials:
         return False
     return True
+
+
+def _require_filesystem(dst_host):
+    """SMB file operations need a target with filesystem fidelity."""
+    if dst_host.vfs is None:
+        raise SmbError(
+            "target %r has no filesystem fidelity; promote it to a full "
+            "WindowsHost before SMB file operations" % dst_host.hostname)
+    return dst_host.vfs
 
 
 def smb_accessible(lan, src_host, dst_host, credential,
@@ -35,6 +46,8 @@ def smb_accessible(lan, src_host, dst_host, credential,
     lan.capture.record(src_host.hostname, dst_host.hostname, "smb",
                        "access probe (open/close %d files)" % len(probe_paths))
     if not _check_access(lan, src_host, dst_host, credential):
+        return False
+    if dst_host.vfs is None:
         return False
     for path in probe_paths:
         if not dst_host.vfs.exists(path):
@@ -57,7 +70,8 @@ def smb_copy_file(lan, src_host, dst_host, credential, data, remote_path,
                        "copy to %s" % remote_path, size=len(data))
     if not _check_access(lan, src_host, dst_host, credential):
         raise SmbError("access denied to %r" % dst_host.hostname)
-    return dst_host.vfs.write(remote_path, data, payload=payload, origin=origin)
+    vfs = _require_filesystem(dst_host)
+    return vfs.write(remote_path, data, payload=payload, origin=origin)
 
 
 def smb_read_file(lan, src_host, dst_host, credential, remote_path):
@@ -66,8 +80,9 @@ def smb_read_file(lan, src_host, dst_host, credential, remote_path):
                        "read %s" % remote_path)
     if not _check_access(lan, src_host, dst_host, credential):
         raise SmbError("access denied to %r" % dst_host.hostname)
+    vfs = _require_filesystem(dst_host)
     try:
-        return dst_host.vfs.read(remote_path)
+        return vfs.read(remote_path)
     except FileNotFound:
         raise SmbError("remote file missing: %s" % remote_path)
 

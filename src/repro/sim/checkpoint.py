@@ -170,8 +170,14 @@ def read_checkpoint(path, kind=None):
 # -- kernel snapshot / restore -------------------------------------------------
 
 def kernel_state(kernel):
-    """The raw state payload for one kernel (no envelope, no digests)."""
-    return {
+    """The raw state payload for one kernel (no envelope, no digests).
+
+    Kernels carrying registered state providers (see
+    :meth:`repro.sim.events.Kernel.register_state_provider`) gain an
+    ``extensions`` section — absent otherwise, so checkpoints of plain
+    kernels are byte-identical to the pre-extension format.
+    """
+    state = {
         "clock": {
             "epoch": kernel.clock.epoch.isoformat(),
             "now": kernel.clock.now,
@@ -184,6 +190,15 @@ def kernel_state(kernel):
         "metrics": kernel.metrics.snapshot(),
         "faults": kernel.faults.snapshot_state(),
     }
+    extensions = {name: provider.snapshot_state()
+                  for name, provider in kernel._state_providers.items()}
+    for name, payload in kernel._pending_extension_state.items():
+        # Restored-but-unclaimed state passes through, so re-snapshotting
+        # a restored kernel never silently drops an extension.
+        extensions.setdefault(name, payload)
+    if extensions:
+        state["extensions"] = extensions
+    return state
 
 
 def snapshot_kernel(kernel, meta=None):
@@ -298,6 +313,25 @@ def restore_kernel(envelope, kernel=None, callbacks=None):
     kernel.spans.load_state(state["spans"])
     _restore_metrics(kernel.metrics, state["metrics"])
     kernel.faults.load_state(state["faults"])
+    pending = {}
+    for name in sorted(state.get("extensions", {})):
+        payload = state["extensions"][name]
+        provider = kernel._state_providers.get(name)
+        if provider is not None:
+            try:
+                provider.load_state(payload)
+            except CheckpointError:
+                raise
+            except Exception as exc:
+                raise CheckpointError(
+                    "malformed extension state for %r: %s: %s"
+                    % (name, type(exc).__name__, exc)) from exc
+        else:
+            # No provider yet: hold the payload for a later
+            # register_state_provider() call (the resume short-circuit
+            # restores onto a bare kernel before components exist).
+            pending[name] = payload
+    kernel._pending_extension_state = pending
     return kernel
 
 

@@ -259,6 +259,12 @@ class Kernel:
         self._ckpt_hook = None
         self._ckpt_every = 0
         self._ckpt_countdown = 0
+        #: Named components whose state travels inside kernel
+        #: checkpoints (see :meth:`register_state_provider`).
+        self._state_providers = {}
+        #: Extension payloads restored from a checkpoint before their
+        #: provider was registered; delivered on registration.
+        self._pending_extension_state = {}
 
     @property
     def now(self):
@@ -330,6 +336,38 @@ class Kernel:
         stage in the simulated timeline.
         """
         return self.spans.span(name, **attrs)
+
+    def register_state_provider(self, name, provider):
+        """Attach a named component whose state rides in checkpoints.
+
+        ``provider`` must expose ``snapshot_state()`` (a JSON-safe
+        payload, captured without perturbing the run) and
+        ``load_state(payload)``.  Snapshots taken by
+        :func:`repro.sim.checkpoint.kernel_state` gain an
+        ``extensions`` section mapping each registered name to its
+        provider's payload; restoring a checkpoint feeds the matching
+        providers — and stashes payloads whose provider is not yet
+        registered, delivering them the moment it is (a restored
+        kernel's components are often built after the restore).
+
+        Returns the provider for chaining.
+        """
+        if not isinstance(name, str) or not name:
+            raise TypeError("provider name must be a non-empty string, "
+                            "got %r" % (name,))
+        if name in self._state_providers:
+            raise SimulationError(
+                "state provider %r is already registered" % name)
+        self._state_providers[name] = provider
+        pending = self._pending_extension_state.pop(name, None)
+        if pending is not None:
+            provider.load_state(pending)
+        return provider
+
+    @property
+    def state_providers(self):
+        """Registered provider names, sorted (read-only view)."""
+        return sorted(self._state_providers)
 
     def set_checkpoint_hook(self, hook, every_events=1000):
         """Install (or clear) a periodic auto-checkpoint hook.

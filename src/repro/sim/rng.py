@@ -20,6 +20,16 @@ class DeterministicRandom:
     def seed(self):
         return self._seed
 
+    def random(self):
+        """A uniform float in [0, 1).
+
+        The raw stream behind :meth:`chance`, exposed for hot loops
+        (the epidemic stepper draws one Bernoulli per susceptible host
+        per epoch) that hoist the bound method and compare against a
+        precomputed hazard instead of paying a range check per draw.
+        """
+        return self._random.random()
+
     def chance(self, probability):
         """Return True with the given probability in [0, 1]."""
         if not 0.0 <= probability <= 1.0:

@@ -36,6 +36,7 @@ from repro.winsim.services import ScheduledTask, Service, ServiceManager, TaskSc
 from repro.winsim.drivers import Driver, DriverManager, DriverLoadError
 from repro.winsim.eventlog import EventLog, EventLogEntry
 from repro.winsim.hooks import ApiHookTable
+from repro.winsim.interface import SimHost
 from repro.winsim.host import WindowsHost, HostConfig
 
 __all__ = [
@@ -65,6 +66,7 @@ __all__ = [
     "ScheduledTask",
     "Service",
     "ServiceManager",
+    "SimHost",
     "TaskScheduler",
     "VULNERABILITIES",
     "VfsError",

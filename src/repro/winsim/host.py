@@ -10,6 +10,7 @@ from repro.winsim.disk import Disk
 from repro.winsim.drivers import DriverManager
 from repro.winsim.eventlog import EventLog
 from repro.winsim.hooks import ApiHookTable
+from repro.winsim.interface import SimHost
 from repro.winsim.patches import PatchState
 from repro.winsim.processes import IntegrityLevel, ProcessTable
 from repro.winsim.registry import Registry
@@ -42,8 +43,8 @@ class HostConfig:
         self.auto_update_enabled = auto_update_enabled
 
 
-class WindowsHost:
-    """One simulated Windows machine.
+class WindowsHost(SimHost):
+    """One simulated Windows machine at full fidelity.
 
     Parameters
     ----------
@@ -60,8 +61,7 @@ class WindowsHost:
     """
 
     def __init__(self, kernel, hostname, trust_store, config=None):
-        self.kernel = kernel
-        self.hostname = hostname
+        super().__init__(kernel, hostname)
         self.trust_store = trust_store
         self.config = config or HostConfig()
 
@@ -76,40 +76,12 @@ class WindowsHost:
         self.drivers = DriverManager(self)
         self.hooks = ApiHookTable()
 
-        #: Network interface; set by :meth:`repro.netsim.Lan.attach`.
-        self.nic = None
-        #: Shared folders exposed over the LAN: name -> directory path.
-        self.shares = {}
-        #: NetBIOS names this host answers broadcasts for:
-        #: name -> callable(client_host) -> value.  Flame's SNACK module
-        #: claims "wpad" here.
-        self.netbios_claims = {}
-        #: Cached proxy configuration (set by the WPAD dance).
-        self.proxy_config = None
-        #: When this host acts as an HTTP proxy, the object whose
-        #: ``handle(request)`` may intercept proxied traffic.
-        self.proxy_service = None
-        #: Credentials this host accepts for remote (SMB/psexec) access.
-        self.accepted_credentials = set()
-        #: Installed software labels ("step7", "ie", ...).
-        self.installed_software = set()
-        #: Malware instances resident on this host: name -> object.
-        self.infections = {}
         #: Nearby bluetooth devices; populated by the bluetooth radio env.
         self.bluetooth_radio = None
         #: USB drives currently plugged in.
         self.usb_ports = []
 
         self._seed_standard_files()
-
-    # -- plumbing -------------------------------------------------------------
-
-    def now(self):
-        return self.kernel.clock.now
-
-    def trace(self, action, target=None, **detail):
-        """Record a host-attributed event in the global trace."""
-        return self.kernel.trace.record(self.hostname, action, target, **detail)
 
     def _seed_standard_files(self):
         self.vfs.write(SYSTEM_DIR + "\\kernel32.dll", b"\x00" * 64, origin="windows")
@@ -124,16 +96,8 @@ class WindowsHost:
         """The %system% directory the paper's droppers write into."""
         return SYSTEM_DIR
 
-    def is_infected_by(self, malware_name):
-        return malware_name in self.infections
-
-    def register_infection(self, malware_name, instance):
-        """Called by malware models when they take residence."""
-        self.infections[malware_name] = instance
-        self.trace("infected", target=malware_name)
-
-    def remove_infection(self, malware_name):
-        return self.infections.pop(malware_name, None)
+    def smb_sharing_enabled(self):
+        return self.config.file_and_print_sharing
 
     def usable(self):
         """Can a user still boot and use this machine?

@@ -1,0 +1,107 @@
+"""The host abstraction: what the network and infection layers rely on.
+
+Historically every simulated machine was a full :class:`WindowsHost` —
+a virtual filesystem, registry, disk, process table, and so on — which
+caps campaigns at LAN scale.  The epidemic tier models a million hosts
+as rows in a struct-of-arrays pool and only *promotes* a sampled few to
+full fidelity, so the substrate layers (LANs, NetBIOS, SMB, infection
+bookkeeping) must be written against an interface rather than against
+``WindowsHost`` itself.
+
+:class:`SimHost` is that interface.  It carries exactly the state the
+network stack mutates (NIC binding, shares, NetBIOS claims, proxy
+configuration, accepted credentials) and the infection registry the
+malware models use, with conservative defaults for everything a
+reduced-fidelity host cannot answer: no filesystem (``vfs is None``),
+no SMB sharing, and ``usable()`` is True because there is no disk to
+brick.  ``WindowsHost`` subclasses it and overrides those capability
+probes with answers backed by its real subsystems.
+"""
+
+
+class SimHost:
+    """Minimal simulated host: the contract netsim and malware code on.
+
+    Parameters
+    ----------
+    kernel:
+        The shared simulation kernel (clock/trace/rng).
+    hostname:
+        Unique name; doubles as the trace actor.
+    """
+
+    #: Reduced-fidelity hosts have no virtual filesystem; SMB operations
+    #: that need one fail with a typed error instead of an attribute
+    #: crash.  :class:`WindowsHost` shadows this with a real VFS.
+    vfs = None
+
+    def __init__(self, kernel, hostname):
+        self.kernel = kernel
+        self.hostname = hostname
+
+        #: Network interface; set by :meth:`repro.netsim.Lan.attach`.
+        self.nic = None
+        #: Shared folders exposed over the LAN: name -> directory path.
+        self.shares = {}
+        #: NetBIOS names this host answers broadcasts for:
+        #: name -> callable(client_host) -> value.  Flame's SNACK module
+        #: claims "wpad" here.
+        self.netbios_claims = {}
+        #: Cached proxy configuration (set by the WPAD dance).
+        self.proxy_config = None
+        #: When this host acts as an HTTP proxy, the object whose
+        #: ``handle(request)`` may intercept proxied traffic.
+        self.proxy_service = None
+        #: Credentials this host accepts for remote (SMB/psexec) access.
+        self.accepted_credentials = set()
+        #: Installed software labels ("step7", "ie", ...).
+        self.installed_software = set()
+        #: Malware instances resident on this host: name -> object.
+        self.infections = {}
+
+    # -- plumbing -------------------------------------------------------------
+
+    def now(self):
+        return self.kernel.clock.now
+
+    def trace(self, action, target=None, **detail):
+        """Record a host-attributed event in the global trace."""
+        return self.kernel.trace.record(self.hostname, action, target,
+                                        **detail)
+
+    # -- infection registry ------------------------------------------------------
+
+    def is_infected_by(self, malware_name):
+        return malware_name in self.infections
+
+    def register_infection(self, malware_name, instance):
+        """Called by malware models when they take residence."""
+        self.infections[malware_name] = instance
+        self.trace("infected", target=malware_name)
+
+    def remove_infection(self, malware_name):
+        return self.infections.pop(malware_name, None)
+
+    # -- capability probes -------------------------------------------------------
+
+    def usable(self):
+        """Can a user still boot and use this machine?
+
+        A reduced-fidelity host has no disk to wipe, so it is always
+        usable; :class:`WindowsHost` answers from its MBR state.
+        """
+        return True
+
+    def smb_sharing_enabled(self):
+        """Does this host expose Windows file-and-print sharing?
+
+        The SMB layer consults this instead of reaching into
+        ``host.config`` so hosts without a full configuration object
+        read as cleanly unreachable rather than crashing the probe.
+        """
+        return False
+
+    def __repr__(self):
+        return "%s(%r, infections=%s)" % (type(self).__name__,
+                                          self.hostname,
+                                          sorted(self.infections))

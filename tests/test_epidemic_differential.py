@@ -1,0 +1,162 @@
+"""Differential testing: the aggregate pool tier vs the full oracle.
+
+Two same-seed kernels, two independent implementations of the epidemic
+stepping spec — :class:`EpidemicModel` over a struct-of-arrays pool,
+:class:`FullFidelityEpidemic` over real :class:`WindowsHost` objects
+whose compartments are recounted from their infection registries each
+epoch.  Everything observable must agree exactly: the per-epoch curve
+(cumulative counts included), every individual host's compartment, the
+transmission-vector attribution, the exposure epochs, and the response
+to fault-engine C2 takedowns.  Populations stay at or under 200 hosts
+— the oracle is deliberately O(objects).
+"""
+
+import pytest
+
+from repro.core import CampaignWorld
+from repro.epidemic import (
+    EpidemicModel,
+    FullFidelityEpidemic,
+    STATE_NAMES,
+    TransmissionProfile,
+)
+from repro.epidemic.scenarios import flame_profile, stuxnet_profile
+
+HOSTS = 150
+EPOCHS = 12
+INITIAL = 3
+DAY = 86400.0
+
+PROFILES = {
+    "stuxnet-epidemic": stuxnet_profile,
+    "flame-epidemic": flame_profile,
+}
+
+
+def run_model(profile, seed, hosts=HOSTS, epochs=EPOCHS, faults=None):
+    world = CampaignWorld(seed=seed)
+    if faults is not None:
+        faults(world)
+    model = EpidemicModel(world.kernel, profile, hosts, epochs)
+    model.seed_initial(INITIAL)
+    model.start()
+    world.kernel.run(until=model.horizon_seconds())
+    return model
+
+
+def run_oracle(profile, seed, hosts=HOSTS, epochs=EPOCHS, faults=None):
+    world = CampaignWorld(seed=seed)
+    if faults is not None:
+        faults(world)
+    oracle = FullFidelityEpidemic(world, profile, hosts, epochs)
+    oracle.seed_initial(INITIAL)
+    oracle.run()
+    return oracle
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_infection_curves_agree_exactly(name):
+    """Both tiers emit the same curve record at every epoch."""
+    model = run_model(PROFILES[name](), seed=401)
+    oracle = run_oracle(PROFILES[name](), seed=401)
+    assert len(model.curve) == len(oracle.curve) == EPOCHS + 1
+    for ours, theirs in zip(model.curve, oracle.curve):
+        assert ours == theirs
+    # The epidemic actually happened — a frozen population would make
+    # this differential vacuous.
+    assert model.curve[-1]["cumulative"] > INITIAL
+
+
+@pytest.mark.parametrize("name", sorted(PROFILES))
+def test_cumulative_infections_agree_per_epoch(name):
+    """The ISSUE's headline: cumulative infection counts per epoch."""
+    model = run_model(PROFILES[name](), seed=77)
+    oracle = run_oracle(PROFILES[name](), seed=77)
+    ours = [point["cumulative"] for point in model.curve]
+    theirs = [point["cumulative"] for point in oracle.curve]
+    assert ours == theirs
+
+
+def test_every_host_compartment_agrees():
+    """Beyond aggregates: host *i* is in the same compartment in both
+    tiers — the pool's rows and the oracle's objects are the same
+    population, not just the same totals."""
+    profile = stuxnet_profile()
+    model = run_model(profile, seed=11)
+    oracle = run_oracle(profile, seed=11)
+    pool = model.pool
+    for index in range(HOSTS):
+        assert STATE_NAMES[pool.state_of(index)] == \
+            oracle.host_state(index), "host %d diverged" % index
+
+
+def test_vector_attribution_and_exposure_epochs_agree():
+    """Resident infections carry the same vector and exposure epoch."""
+    profile = flame_profile()
+    model = run_model(profile, seed=23)
+    oracle = run_oracle(profile, seed=23)
+    pool = model.pool
+    compared = 0
+    for index, host in enumerate(oracle.hosts):
+        infection = host.infections.get(profile.name)
+        if infection is None:
+            continue
+        assert pool.vector_of(index) == infection.vector
+        assert pool.exposed_epoch_of(index) == infection.exposed_epoch
+        compared += 1
+    assert compared > INITIAL
+
+
+def test_region_assignment_is_shared_by_construction():
+    profile = stuxnet_profile()
+    model = run_model(profile, seed=31, epochs=1)
+    oracle = run_oracle(profile, seed=31, epochs=1)
+    assert list(model.pool.region_view()) == list(oracle._regions)
+
+
+def test_curves_agree_under_c2_takedown():
+    """Fault-engine damping is observed identically by both tiers."""
+    profile = flame_profile()
+
+    def takedown(world):
+        for domain in profile.c2_domains[:2]:
+            world.kernel.faults.inject_takedown(domain, at=3 * DAY)
+        world.kernel.faults.inject_sinkhole(profile.c2_domains[2],
+                                            at=6 * DAY)
+
+    model = run_model(profile, seed=59, faults=takedown)
+    oracle = run_oracle(profile, seed=59, faults=takedown)
+    assert model.curve == oracle.curve
+    availability = [point["c2_availability"] for point in model.curve]
+    assert 0.25 in availability and 1.0 in availability
+
+
+def test_takedown_actually_slows_a_c2_driven_epidemic():
+    """A C2-only profile freezes when every domain is seized — the
+    fault hook is load-bearing, not decorative."""
+    profile = TransmissionProfile(
+        "c2-only", c2_rate=0.6,
+        c2_domains=("a.example", "b.example"),
+        region_weights=(("world", 1.0),))
+
+    def seize_all(world):
+        for domain in profile.c2_domains:
+            world.kernel.faults.inject_takedown(domain, at=0.0)
+
+    undisturbed = run_model(profile, seed=7, hosts=80, epochs=8)
+    seized = run_model(profile, seed=7, hosts=80, epochs=8,
+                       faults=seize_all)
+    assert undisturbed.curve[-1]["cumulative"] > INITIAL
+    assert seized.curve[-1]["cumulative"] == INITIAL
+    # And the oracle agrees about the frozen world too.
+    oracle = run_oracle(profile, seed=7, hosts=80, epochs=8,
+                        faults=seize_all)
+    assert oracle.curve == seized.curve
+
+
+def test_differential_holds_at_the_issue_ceiling():
+    """One run at the full 200-host budget, more epochs than default."""
+    profile = stuxnet_profile()
+    model = run_model(profile, seed=2013, hosts=200, epochs=15)
+    oracle = run_oracle(profile, seed=2013, hosts=200, epochs=15)
+    assert model.curve == oracle.curve

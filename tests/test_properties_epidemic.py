@@ -1,0 +1,161 @@
+"""Property-based tests: epidemic pool and model invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CampaignWorld
+from repro.epidemic import (
+    EpidemicModel,
+    HostPool,
+    INFECTIOUS,
+    RECOVERED,
+    SUSCEPTIBLE,
+    TransmissionProfile,
+    demote_host,
+    promote_host,
+)
+from repro.sim import Kernel
+from repro.sim.checkpoint import canonical_json
+
+REGIONS = (("alpha", 3.0), ("beta", 1.0), ("gamma", 0.5))
+
+rates = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def build_model(seed, usb, lan, c2, recovery, hosts, epochs,
+                latency=1, initial=2):
+    kernel = Kernel(seed=seed)
+    profile = TransmissionProfile(
+        "prop", usb_rate=usb, lan_rate=lan, c2_rate=c2,
+        recovery_rate=recovery, latency_epochs=latency,
+        region_weights=REGIONS)
+    model = EpidemicModel(kernel, profile, hosts, epochs)
+    model.seed_initial(initial)
+    model.start()
+    kernel.run(until=model.horizon_seconds())
+    return model
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, usb=rates, lan=rates, c2=rates, recovery=rates,
+       hosts=st.integers(min_value=3, max_value=60),
+       epochs=st.integers(min_value=1, max_value=8))
+def test_host_count_is_conserved(seed, usb, lan, c2, recovery, hosts,
+                                 epochs):
+    """Compartments partition the population at every epoch."""
+    model = build_model(seed, usb, lan, c2, recovery, hosts, epochs)
+    assert len(model.curve) == epochs + 1
+    for point in model.curve:
+        total = (point["susceptible"] + point["exposed"]
+                 + point["infectious"] + point["recovered"])
+        assert total == hosts
+    assert sum(model.pool.counts) == hosts
+    assert sum(model.pool.region_counts) == hosts
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, usb=rates, lan=rates, c2=rates, recovery=rates,
+       hosts=st.integers(min_value=3, max_value=60),
+       epochs=st.integers(min_value=1, max_value=8))
+def test_cumulative_infections_never_decrease(seed, usb, lan, c2,
+                                              recovery, hosts, epochs):
+    """S only drains, so the cumulative curve is monotone — recovery
+    removes infectiousness, never history."""
+    model = build_model(seed, usb, lan, c2, recovery, hosts, epochs)
+    cumulative = [point["cumulative"] for point in model.curve]
+    susceptible = [point["susceptible"] for point in model.curve]
+    assert cumulative == sorted(cumulative)
+    assert susceptible == sorted(susceptible, reverse=True)
+    for point in model.curve:
+        assert point["cumulative"] == hosts - point["susceptible"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, hosts=st.integers(min_value=3, max_value=60),
+       epochs=st.integers(min_value=1, max_value=8))
+def test_zero_transmission_freezes_the_state(seed, hosts, epochs):
+    """All-zero rates: nothing moves, and — the stronger claim — no
+    randomness is consumed, so a dead epidemic costs no draws."""
+    model = build_model(seed, 0.0, 0.0, 0.0, 0.0, hosts, epochs)
+    fresh = Kernel(seed=seed).rng.fork("epidemic:prop")
+    assert canonical_json(model.snapshot_state()["rng"]) == \
+        canonical_json(fresh.getstate())
+    first = model.curve[0]
+    for point in model.curve[1:]:
+        for key in ("susceptible", "exposed", "infectious", "recovered",
+                    "cumulative"):
+            assert point[key] == first[key]
+        assert point["new_infections"] == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, usb=rates, lan=rates, c2=rates, recovery=rates,
+       hosts=st.integers(min_value=3, max_value=40),
+       epochs=st.integers(min_value=1, max_value=6))
+def test_same_seed_runs_are_identical(seed, usb, lan, c2, recovery,
+                                      hosts, epochs):
+    one = build_model(seed, usb, lan, c2, recovery, hosts, epochs)
+    two = build_model(seed, usb, lan, c2, recovery, hosts, epochs)
+    assert one.curve == two.curve
+    assert canonical_json(one.snapshot_state()) == \
+        canonical_json(two.snapshot_state())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds,
+       hosts=st.integers(min_value=5, max_value=40),
+       epochs=st.integers(min_value=1, max_value=6),
+       picks=st.integers(min_value=1, max_value=4))
+def test_promotion_round_trip_preserves_pool_state(seed, hosts, epochs,
+                                                   picks):
+    """Promote arbitrary rows to full hosts and demote them untouched:
+    the pool snapshot must be bit-for-bit what it was."""
+    world = CampaignWorld(seed=seed)
+    profile = TransmissionProfile(
+        "prop", usb_rate=0.4, lan_rate=0.3, recovery_rate=0.1,
+        region_weights=REGIONS)
+    model = EpidemicModel(world.kernel, profile, hosts, epochs)
+    model.seed_initial(2)
+    model.start()
+    world.kernel.run(until=model.horizon_seconds())
+    pool = model.pool
+    before = canonical_json(pool.snapshot_state())
+    rng = world.kernel.rng.fork("pick")
+    for index in rng.sample(range(hosts), min(picks, hosts)):
+        host = promote_host(world, pool, index, profile.name)
+        expected = pool.state_of(index)
+        # The promoted host answers infection checks like its row did.
+        assert host.is_infected_by(profile.name) == \
+            (expected not in (SUSCEPTIBLE, RECOVERED))
+        assert demote_host(pool, host, profile.name) == expected
+    assert canonical_json(pool.snapshot_state()) == before
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, count=st.integers(min_value=1, max_value=80))
+def test_pool_snapshot_round_trips(seed, count):
+    """load_state(snapshot_state()) reproduces the arrays and every
+    derived counter, across a second pool instance."""
+    kernel = Kernel(seed=seed)
+    pool = HostPool(count, REGIONS, kernel.rng.fork("pool"))
+    rng = kernel.rng.fork("mutate")
+    for index in range(count):
+        roll = rng.random()
+        if roll < 0.2:
+            pool.seed(index, epoch=0)
+        elif roll < 0.5:
+            pool.expose(index, epoch=1, vector="usb")
+            if roll < 0.35:
+                pool.activate(index)
+                if roll < 0.25:
+                    pool.recover(index)
+    snapshot = pool.snapshot_state()
+    clone = HostPool(count, REGIONS, Kernel(seed=seed).rng.fork("pool"))
+    clone.load_state(snapshot)
+    assert canonical_json(clone.snapshot_state()) == \
+        canonical_json(snapshot)
+    assert clone.counts == pool.counts
+    assert clone.infectious_by_region == pool.infectious_by_region
+    assert clone.vector_counts == pool.vector_counts
+    assert clone.indices_in_state(INFECTIOUS) == \
+        pool.indices_in_state(INFECTIOUS)
