@@ -1,83 +1,154 @@
-"""Sweep engine scaling: serial vs parallel wall time, identical results.
+"""Sweep engine scaling: warm-pool parallel vs serial, identical results.
 
-Runs the same 16-replica Stuxnet ensemble through the serial fallback
-and the worker pool, asserts the two paths produce bit-identical
+Runs the same quick Stuxnet ensemble through the serial path and the
+warm worker pool, asserts the two paths produce bit-identical
 per-replica measurements and trace digests, and writes the wall-time
 comparison to ``BENCH_sweep.json`` at the repository root so CI can
 track the perf trajectory across PRs.
 
-The >= 1.5x speedup assertion only applies on machines with at least
-four cores (on fewer, a process pool is pure overhead and only the
-identity guarantees are checked).  ``--quick`` shrinks the replica
-count for CI smoke runs.
+Timing methodology mirrors ``test_perf_luavm.py``: interleaved
+serial/parallel rounds, keeping each side's minimum, reporting the
+ratio of minimums — the minimum of several rounds converges on the
+true cost, and interleaving cancels machine-load drift.  One deliberate
+difference: the luavm benchmark times ``process_time`` (CPU), but a
+process pool does its work in *children*, which ``process_time`` never
+sees — so this benchmark must time wall clock (``perf_counter``).
+
+A warm-up round runs first, so the timed rounds measure the steady
+state the warm pool exists for: spec already shipped, compile caches
+hot, pool reused round after round (``pool_reused`` is asserted).
+
+The >= 1.5x speedup floor is asserted with 2 workers wherever 2+ cores
+are actually available (CI runners have 4); on a single effective core
+a process pool is physically pure overhead and only the identity
+guarantees and the benchmark artefact are checked.  ``--quick``
+shrinks the replica count so CI finishes in seconds.
 """
 
 import json
 import os
 import sys
+import time
 from pathlib import Path
 
 from repro.core.ensemble import CampaignSpec
 from repro.sim.sweep import SweepConfig, run_sweep
+from repro.sim.workerpool import pool_start_method
 
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
 
-#: Cores below which the speedup assertion is vacuous (matches the
-#: acceptance criterion: ">= 1.5x ... on >= 4 cores").
-MIN_CORES_FOR_SPEEDUP = 4
-
+#: Acceptance criterion: warm-pool parallel dispatch with 2 workers
+#: must beat serial by at least this factor on the quick workload.
 SPEEDUP_FLOOR = 1.5
 
+#: Cores the floor needs to be meaningful: 2 workers want 2 cores.
+MIN_CORES_FOR_SPEEDUP = 2
 
-def test_sweep_scaling_serial_vs_parallel(quick):
+WORKERS = 2
+BASE_SEED = 2013
+
+
+def effective_cores():
+    """Cores this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _interleaved_minimums(serial_fn, parallel_fn, rounds):
+    """Alternate the two dispatch paths and keep each side's best
+    wall time (children do the parallel work, so CPU time would lie)."""
+    serial_times, parallel_times = [], []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        serial_fn()
+        serial_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        parallel_fn()
+        parallel_times.append(time.perf_counter() - start)
+    return min(serial_times), min(parallel_times)
+
+
+def test_sweep_scaling_serial_vs_warm_pool(quick):
     replicas = 6 if quick else 16
-    cores = os.cpu_count() or 1
-    workers = min(4, cores) if cores > 1 else 2
+    rounds = 3 if quick else 5
+    cores = effective_cores()
     spec = CampaignSpec.quick("stuxnet")
 
-    serial = run_sweep(spec, SweepConfig(
-        replicas=replicas, workers=1, mode="serial", base_seed=2013))
-    parallel = run_sweep(spec, SweepConfig(
-        replicas=replicas, workers=workers, mode="parallel", base_seed=2013))
+    serial_config = SweepConfig(replicas=replicas, workers=1,
+                                mode="serial", base_seed=BASE_SEED)
+    # chunk_size=1 + fallback=False pins the pure pool path: no serial
+    # probe inside the timed region, every replica through a worker.
+    parallel_config = SweepConfig(replicas=replicas, workers=WORKERS,
+                                  mode="parallel", base_seed=BASE_SEED,
+                                  chunk_size=1, fallback=False)
 
-    # The engine's core guarantee: the pool changes wall time, never
-    # results.
+    # Warm-up round: ships the spec, builds the shared pool, fills the
+    # compile caches — and proves the engine's core guarantee before
+    # any timing: the pool changes wall time, never results.
+    serial = run_sweep(spec, serial_config)
+    parallel = run_sweep(spec, parallel_config)
     assert serial.measurements() == parallel.measurements()
     assert serial.digests() == parallel.digests()
     assert [r.seed for r in serial.replicas] == \
         [r.seed for r in parallel.replicas]
+    assert parallel.dispatch["path"] == "warm-pool"
 
-    speedup = (serial.wall_seconds / parallel.wall_seconds
-               if parallel.wall_seconds else float("inf"))
+    reused = []
+
+    def timed_parallel():
+        result = run_sweep(spec, parallel_config)
+        reused.append(result.dispatch["pool_reused"])
+
+    serial_s, parallel_s = _interleaved_minimums(
+        lambda: run_sweep(spec, serial_config),
+        timed_parallel,
+        rounds,
+    )
+    # The steady state being measured is the *warm* pool: every timed
+    # round must have reused the pool the warm-up round built.
+    assert all(reused)
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    asserted = cores >= MIN_CORES_FOR_SPEEDUP
     payload = {
         "benchmark": "sweep-scaling",
         "campaign": "stuxnet",
         "quick": quick,
         "python": sys.version.split()[0],
-        "cpu_count": cores,
+        "cpu_count": os.cpu_count() or 1,
+        "effective_cores": cores,
+        "start_method": pool_start_method(),
         "replicas": replicas,
-        "workers": parallel.workers,
-        "chunk_size": parallel.chunk_size,
-        "serial_wall_seconds": serial.wall_seconds,
-        "parallel_wall_seconds": parallel.wall_seconds,
+        "workers": WORKERS,
+        "chunk_size": 1,
+        "rounds": rounds,
+        "pool_reused_every_round": all(reused),
+        "serial_wall_seconds": serial_s,
+        "parallel_wall_seconds": parallel_s,
         "speedup": speedup,
-        "speedup_asserted": cores >= MIN_CORES_FOR_SPEEDUP,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "speedup_asserted": asserted,
         "identical_measurements": True,
         "mean_replica_wall_seconds": (
             sum(r.wall_seconds for r in serial.replicas) / replicas),
         "events_dispatched_total": (
             sum(r.events_dispatched for r in serial.replicas)),
     }
+    # The artefact lands before the floor assertion on purpose: a slow
+    # run must still leave the measurement for the CI upload to find.
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 
     print()
-    print("sweep scaling (%d replicas, %d cores): serial %.2fs, "
-          "parallel %.2fs with %d workers -> %.2fx"
-          % (replicas, cores, serial.wall_seconds, parallel.wall_seconds,
-             parallel.workers, speedup))
+    print("sweep scaling (%d replicas, %d effective cores, %s): "
+          "serial %.2fs, warm-pool %.2fs with %d workers -> %.2fx"
+          % (replicas, cores, pool_start_method(), serial_s, parallel_s,
+             WORKERS, speedup))
     print("wrote %s" % BENCH_PATH)
 
-    if cores >= MIN_CORES_FOR_SPEEDUP:
+    if asserted:
         assert speedup >= SPEEDUP_FLOOR, (
-            "parallel sweep only %.2fx faster than serial on %d cores "
-            "(floor: %.1fx)" % (speedup, cores, SPEEDUP_FLOOR))
+            "warm-pool sweep only %.2fx faster than serial on %d "
+            "effective cores (floor: %.1fx)"
+            % (speedup, cores, SPEEDUP_FLOOR))

@@ -259,7 +259,8 @@ def _cmd_sweep(args):
                                             else "auto")
     config = SweepConfig(replicas=args.replicas, workers=args.workers,
                          chunk_size=args.chunk_size, base_seed=args.seed,
-                         mode=mode)
+                         mode=mode, pool_warm=args.pool_warm,
+                         fallback=args.fallback)
     if args.resume and args.checkpoint_dir is None:
         raise SystemExit("--resume requires --checkpoint-dir")
     if args.skip_quarantined and not args.resume:
@@ -281,6 +282,16 @@ def _cmd_sweep(args):
           % (args.campaign, profile, len(result.replicas), result.mode,
              result.workers, "" if result.workers == 1 else "s",
              result.chunk_size, result.wall_seconds))
+    if result.dispatch:
+        notes = []
+        if result.dispatch.get("pool_reused"):
+            notes.append("warm pool reused")
+        if result.dispatch.get("probe_seconds") is not None:
+            notes.append("probe %.3fs/replica"
+                         % result.dispatch["probe_seconds"])
+        print("dispatch path: %s%s"
+              % (result.dispatch.get("path", result.mode),
+                 " (%s)" % ", ".join(notes) if notes else ""))
     print("distinct trace digests: %d / %d"
           % (len(set(result.digests())), len(result.replicas)))
     print(ensemble_table(
@@ -404,6 +415,19 @@ def build_parser():
                        help="base seed each replica's seed is forked from")
     sweep.add_argument("--chunk-size", type=int, default=None,
                        help="replicas per dispatched work unit")
+    sweep.add_argument("--pool-warm", dest="pool_warm",
+                       action="store_true", default=True,
+                       help="reuse the process-wide warm worker pool "
+                            "across sweeps (default)")
+    sweep.add_argument("--no-pool-warm", dest="pool_warm",
+                       action="store_false",
+                       help="use a private worker pool torn down with "
+                            "the sweep")
+    sweep.add_argument("--no-fallback", dest="fallback",
+                       action="store_false", default=True,
+                       help="always dispatch to worker processes, even "
+                            "when the probed ensemble cost is below the "
+                            "parallelism break-even")
     sweep.add_argument("--serial", action="store_true",
                        help="force the bit-identical serial fallback path")
     sweep.add_argument("--supervised", action="store_true",

@@ -25,7 +25,12 @@ this module is the policy layer that decides *when* to snapshot and
   replica.  On resume, finished replicas short-circuit straight from
   the manifest and only the missing ones re-run; deterministic
   per-replica seeding makes the merged result byte-identical to an
-  uninterrupted sweep.
+  uninterrupted sweep.  The pending set re-enters ``run_sweep`` with
+  the same (spec, base seed, workers) triple, so in-process resumes
+  (retry loops, salvage-then-retry) land on the process-wide warm
+  worker pool (:mod:`repro.sim.workerpool`) instead of paying pool
+  start-up and cache warm-up again; and when the pending set is small,
+  the adaptive fallback skips process dispatch for it entirely.
 """
 
 import os

@@ -27,14 +27,23 @@ from repro.sim.errors import (
     SimulationError,
     ScheduleInPastError,
     SupervisionError,
+    SweepWorkerError,
 )
 from repro.sim.events import Event, EventQueue, Kernel, PeriodicTask
 from repro.sim.faults import FaultInjector, FaultKind, FaultWindow, lan_scope
 from repro.sim.retry import RetryPolicy, RetryTask, deterministic_backoff
 from repro.sim.rng import DeterministicRandom
 from repro.sim.supervisor import ChaosPlan, SupervisorConfig, supervise_sweep
-from repro.sim.sweep import SweepConfig, SweepResult, run_sweep, shard_indices
+from repro.sim.sweep import (
+    SweepConfig,
+    SweepResult,
+    adaptive_chunk_size,
+    run_sweep,
+    shard_indices,
+    should_fallback,
+)
 from repro.sim.trace import TraceLog, TraceRecord
+from repro.sim.workerpool import WarmPool, shared_pool, shutdown_shared_pool
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -62,14 +71,20 @@ __all__ = [
     "SupervisorConfig",
     "SweepConfig",
     "SweepResult",
+    "SweepWorkerError",
     "TraceLog",
     "TraceRecord",
+    "WarmPool",
+    "adaptive_chunk_size",
     "deterministic_backoff",
     "lan_scope",
     "read_checkpoint",
     "restore_kernel",
     "run_sweep",
     "shard_indices",
+    "shared_pool",
+    "should_fallback",
+    "shutdown_shared_pool",
     "snapshot_kernel",
     "state_digest",
     "supervise_sweep",

@@ -55,6 +55,32 @@ class PoisonReplicaError(SupervisionError):
         self.reason = reason
 
 
+class SweepWorkerError(SimulationError):
+    """A replica failed inside a (non-supervised) warm-pool worker.
+
+    The worker catches replica exceptions at the chunk boundary and
+    reports them as framed error rows, so the pool itself normally
+    stays healthy — ``pool_broken`` is True only when the worker
+    *process* died mid-chunk (detected as pipe EOF), in which case the
+    pool must be torn down rather than reused.  For crash *recovery*
+    instead of a raised error, use ``mode="supervised"``.
+    """
+
+    def __init__(self, index, kind, detail, dropped=0, pool_broken=False):
+        where = ("replica %d" % index) if index is not None else "a replica"
+        extra = ""
+        if dropped:
+            extra = " (+%d more replica error%s)" % (
+                dropped, "" if dropped == 1 else "s")
+        super().__init__("%s failed in a warm-pool worker: %s: %s%s"
+                         % (where, kind, detail, extra))
+        self.index = index
+        self.kind = kind
+        self.detail = detail
+        self.dropped = dropped
+        self.pool_broken = pool_broken
+
+
 class CheckpointError(SimulationError):
     """A checkpoint could not be written, read, restored, or verified.
 

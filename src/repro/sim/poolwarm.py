@@ -1,0 +1,26 @@
+"""Worker warm-up: importing this module pre-warms sweep caches.
+
+The import side-effect is the whole point: it precompiles the Lua
+sources behind Flame's scripted modules into the process-wide
+``compile_cached`` store, so the first replica a sweep worker runs
+pays no compile latency.  The module is consumed three ways, one per
+start method:
+
+* **forkserver** — preloaded into the fork server
+  (``context.set_forkserver_preload``), so every worker it forks is
+  born with a warm cache;
+* **fork** — imported by the pool parent before spawning, so children
+  inherit the warm cache through the fork;
+* **spawn** — imported by each worker at startup before its first task.
+
+A warm-up failure must never take a worker (or the fork server) down:
+a build without the scripted-module stack still sweeps, it just
+compiles lazily on first use.
+"""
+
+try:
+    from repro.malware.flame.scripts import warm_compile_cache
+
+    warm_compile_cache()
+except Exception:  # pragma: no cover - defensive: partial builds
+    pass

@@ -44,7 +44,6 @@ campaigns from inside :mod:`repro.sim`, so the ensemble imports happen
 lazily inside functions to keep package import order acyclic.
 """
 
-import multiprocessing
 import os
 import threading
 import time
@@ -210,18 +209,27 @@ class SupervisorConfig:
 
 # -- worker side ---------------------------------------------------------------
 
-def _worker_main(worker_id, tasks, results, heartbeat_interval):
+def _worker_main(worker_id, spec, base_seed, tasks, results,
+                 heartbeat_interval):
     """Supervised worker: run chunks off ``tasks``, report on ``results``.
+
+    The campaign spec and base seed arrive once, as process arguments —
+    a task is just the chunk's ``(index, chaos behaviour)`` items, so
+    the spec never crosses the task pipe (same warm-worker economics as
+    :mod:`repro.sim.workerpool`, which also supplies the compact binary
+    row an ``ok`` message carries instead of a pickled replica dict).
 
     Protocol (all messages lead with a tag and the worker id):
     ``("start", wid, index)`` before each replica, ``("ok", wid, index,
-    payload)`` / ``("error", wid, index, type, detail)`` after it,
+    row_bytes)`` / ``("error", wid, index, type, detail)`` after it,
     ``("idle", wid)`` after each chunk, ``("hb", wid, index)`` from the
     heartbeat thread, ``("bye", wid)`` on orderly shutdown.  The
     ``start`` marker is what lets the supervisor attribute a crash to
     exactly one replica.
     """
+    import repro.sim.poolwarm  # noqa: F401  (import side-effect warms caches)
     from repro.core.ensemble import run_replica
+    from repro.sim.workerpool import encode_replica_row
 
     send_lock = threading.Lock()
     state = {"index": None, "stop": False, "frozen": False}
@@ -253,8 +261,7 @@ def _worker_main(worker_id, tasks, results, heartbeat_interval):
             if task is None:
                 send(("bye", worker_id))
                 return
-            spec, base_seed, items = task
-            for index, behavior in items:
+            for index, behavior in task:
                 state["index"] = index
                 send(("start", worker_id, index))
                 if behavior == "crash":
@@ -271,7 +278,8 @@ def _worker_main(worker_id, tasks, results, heartbeat_interval):
                     send(("error", worker_id, index,
                           type(exc).__name__, str(exc)))
                 else:
-                    send(("ok", worker_id, index, replica.as_dict()))
+                    send(("ok", worker_id, index,
+                          encode_replica_row(replica)))
                 state["index"] = None
             send(("idle", worker_id))
     finally:
@@ -346,9 +354,9 @@ def supervise_sweep(spec, base_seed, pending, workers, chunk_size,
     :class:`SupervisionOutcome`; raises only for supervisor-level
     breakdowns or, under ``on_failure="fail"``, the first quarantine.
     """
-    from repro.core.ensemble import ReplicaFailure, ReplicaResult, \
-        replica_seed
-    from repro.sim.sweep import _START_METHOD, shard_chunks
+    from repro.core.ensemble import ReplicaFailure, replica_seed
+    from repro.sim.sweep import shard_chunks
+    from repro.sim.workerpool import decode_replica_row, pool_context
 
     pending = list(pending)
     clock = _WallClock()
@@ -376,7 +384,11 @@ def supervise_sweep(spec, base_seed, pending, workers, chunk_size,
     initial_chunks = len(ready)
     target_workers = max(1, min(workers, initial_chunks))
 
-    context = multiprocessing.get_context(_START_METHOD)
+    # Same warmed context as the plain warm pool: on the forkserver
+    # path repro.sim.poolwarm is preloaded into the server, so every
+    # worker — including each restart after a crash — is born with the
+    # Lua compile cache populated instead of paying cold-start again.
+    context = pool_context()
     pool = {}
     widgen = count(1)
     restarts = 0
@@ -392,7 +404,7 @@ def supervise_sweep(spec, base_seed, pending, workers, chunk_size,
         result_recv, result_send = context.Pipe(duplex=False)
         process = context.Process(
             target=_worker_main,
-            args=(wid, task_recv, result_send,
+            args=(wid, spec, base_seed, task_recv, result_send,
                   supervision.heartbeat_interval),
             daemon=True, name="sweep-worker-%d" % wid)
         process.start()
@@ -486,7 +498,7 @@ def supervise_sweep(spec, base_seed, pending, workers, chunk_size,
             attempts[index] += 1
         elif tag == "ok":
             index, payload = message[2], message[3]
-            replica = ReplicaResult(**payload)
+            replica = decode_replica_row(payload, base_seed)
             if record is not None:
                 record(replica)
             completed[index] = replica
@@ -522,7 +534,7 @@ def supervise_sweep(spec, base_seed, pending, workers, chunk_size,
             worker = idle.pop()
             items = [(index, chaos.behavior(index, attempts[index] + 1))
                      for index in chunk]
-            worker.tasks.send((spec, base_seed, items))
+            worker.tasks.send(items)
             worker.idle = False
             worker.remaining = list(chunk)
             worker.current = None

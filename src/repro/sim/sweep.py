@@ -15,6 +15,15 @@ properties make the ensemble trustworthy:
    :func:`~repro.core.ensemble.run_replica`, so ``mode="serial"``
    reproduces the parallel results exactly, replica for replica.
 
+The parallel path dispatches through the warm, reusable worker pool in
+:mod:`repro.sim.workerpool` (spec shipped once at warm-up, compact
+binary result rows, cross-sweep reuse) and is *adaptive*: a timed
+in-process probe of the first pending replica sizes the chunks
+(:func:`adaptive_chunk_size`) and, when the whole remaining ensemble
+costs less than the parallelism break-even, skips process dispatch
+entirely (:func:`should_fallback`).  Which path actually ran is
+recorded in :attr:`SweepResult.dispatch` so tests can assert on it.
+
 This module sits in :mod:`repro.sim` but drives :mod:`repro.core`
 campaigns — the one place the layering inverts — so it imports the
 ensemble helpers lazily inside functions to keep package import order
@@ -22,15 +31,59 @@ acyclic.
 """
 
 import math
-import multiprocessing
 import os
 import time
 
-#: Prefer fork (cheap, no re-import) where the platform offers it; the
-#: spawn fallback works because the chunk worker and everything it
-#: pickles are module-level and primitive-only.
-_START_METHOD = ("fork" if "fork" in multiprocessing.get_all_start_methods()
-                 else "spawn")
+from repro.sim.errors import SweepWorkerError
+
+#: Estimated remaining serial seconds below which process dispatch
+#: cannot pay for itself: pool warm-up, task framing, and row decoding
+#: cost on the order of low hundreds of milliseconds, so an ensemble
+#: cheaper than this finishes sooner run in-process.
+PARALLEL_BREAK_EVEN_SECONDS = 0.2
+
+#: Target wall-clock seconds per dispatched chunk when sizing chunks
+#: from the measured probe: large enough to amortise per-chunk framing,
+#: small enough to keep workers load-balanced and checkpoints fresh.
+CHUNK_TARGET_SECONDS = 0.25
+
+
+def should_fallback(replicas, probe_seconds,
+                    threshold=PARALLEL_BREAK_EVEN_SECONDS):
+    """True when dispatching ``replicas`` to a pool cannot pay off.
+
+    A pure function of its arguments (property-tested as such), so the
+    adaptive path stays deterministic given the same probe measurement.
+    ``probe_seconds`` is None when nothing was measured (probe skipped),
+    which always means "do not fall back".
+    """
+    if probe_seconds is None:
+        return False
+    return replicas * probe_seconds < threshold
+
+
+def adaptive_chunk_size(replicas, workers, probe_seconds,
+                        target_seconds=CHUNK_TARGET_SECONDS):
+    """Chunk size derived from a measured per-replica cost.
+
+    Starts from the classic four-chunks-per-worker spread (amortises
+    per-task overhead while smoothing uneven replicas) and shrinks it
+    so no chunk is expected to exceed ``target_seconds`` — expensive
+    replicas stream back (and checkpoint) nearly one at a time, cheap
+    ones batch up.  A pure function of its arguments; with no probe
+    measurement it reduces to the spread alone.
+    """
+    if replicas < 1:
+        return 1
+    spread = max(1, math.ceil(replicas / (workers * 4)))
+    if not probe_seconds or probe_seconds <= 0:
+        return spread
+    by_cost = target_seconds / probe_seconds
+    # Compare before int(): a subnormal probe makes the ratio overflow
+    # to inf, and the cost cap can only ever shrink the spread anyway.
+    if by_cost >= spread:
+        return spread
+    return max(1, int(by_cost))
 
 
 def _integral(name, value):
@@ -56,12 +109,14 @@ class SweepConfig:
     instead of the bare ``multiprocessing.Pool``.
     """
 
-    __slots__ = ("replicas", "workers", "chunk_size", "base_seed", "mode")
+    __slots__ = ("replicas", "workers", "chunk_size", "base_seed", "mode",
+                 "pool_warm", "fallback", "fallback_threshold")
 
     MODES = ("auto", "serial", "parallel", "supervised")
 
     def __init__(self, replicas=16, workers=None, chunk_size=None,
-                 base_seed=0, mode="auto"):
+                 base_seed=0, mode="auto", pool_warm=True, fallback=True,
+                 fallback_threshold=None):
         replicas = _integral("replicas", replicas)
         if workers is None:
             workers = os.cpu_count() or 1
@@ -71,11 +126,30 @@ class SweepConfig:
         if mode not in self.MODES:
             raise ValueError("mode must be one of %s, got %r"
                              % (self.MODES, mode))
+        for name, value in (("pool_warm", pool_warm),
+                            ("fallback", fallback)):
+            if not isinstance(value, bool):
+                raise TypeError("%s must be a bool, got %r" % (name, value))
+        if fallback_threshold is not None:
+            if isinstance(fallback_threshold, bool) or \
+                    not isinstance(fallback_threshold, (int, float)):
+                raise TypeError("fallback_threshold must be a number or "
+                                "None, got %r" % (fallback_threshold,))
+            if not fallback_threshold > 0:
+                raise ValueError("fallback_threshold must be positive, "
+                                 "got %r" % (fallback_threshold,))
         self.replicas = replicas
         self.workers = workers
         self.chunk_size = chunk_size
         self.base_seed = base_seed
         self.mode = mode
+        #: Reuse the process-wide warm pool across sweeps (default).
+        #: False builds a private pool and closes it with the sweep.
+        self.pool_warm = pool_warm
+        #: Allow the adaptive serial fallback when the probed ensemble
+        #: cost sits below the parallelism break-even.
+        self.fallback = fallback
+        self.fallback_threshold = fallback_threshold
 
     def resolved_mode(self):
         """The dispatch path ``run_sweep`` will actually take."""
@@ -95,11 +169,18 @@ class SweepConfig:
             return self.chunk_size
         return max(1, math.ceil(self.replicas / (self.workers * 4)))
 
+    def resolved_fallback_threshold(self):
+        """Break-even seconds below which dispatch falls back to serial."""
+        if self.fallback_threshold is not None:
+            return self.fallback_threshold
+        return PARALLEL_BREAK_EVEN_SECONDS
+
     def __repr__(self):
         return ("SweepConfig(replicas=%d, workers=%d, chunk_size=%r, "
-                "base_seed=%r, mode=%r)"
+                "base_seed=%r, mode=%r, pool_warm=%r, fallback=%r)"
                 % (self.replicas, self.workers, self.chunk_size,
-                   self.base_seed, self.mode))
+                   self.base_seed, self.mode, self.pool_warm,
+                   self.fallback))
 
 
 def shard_indices(replicas, chunk_size):
@@ -119,20 +200,6 @@ def shard_chunks(indices, chunk_size):
             for start in range(0, len(indices), chunk_size)]
 
 
-def _run_chunk(payload):
-    """Pool worker: run one chunk of replicas, return their reductions."""
-    from repro.core.ensemble import run_replica
-    from repro.malware.flame.scripts import warm_compile_cache
-
-    # Compile the scripted modules once per worker process; every
-    # replica in this chunk (and later chunks on the same worker) then
-    # reuses the cached chunks instead of re-lowering identical Lua
-    # sources.
-    warm_compile_cache()
-    spec, base_seed, indices = payload
-    return [run_replica(spec, index, base_seed) for index in indices]
-
-
 class SweepResult:
     """An ensemble's replicas plus how they were produced.
 
@@ -145,10 +212,11 @@ class SweepResult:
 
     __slots__ = ("spec", "mode", "workers", "chunk_size", "base_seed",
                  "replicas", "wall_seconds", "failures", "supervision",
-                 "_cache")
+                 "dispatch", "_cache")
 
     def __init__(self, spec, mode, workers, chunk_size, base_seed,
-                 replicas, wall_seconds, failures=None, supervision=None):
+                 replicas, wall_seconds, failures=None, supervision=None,
+                 dispatch=None):
         self.spec = spec
         self.mode = mode
         self.workers = workers
@@ -167,6 +235,13 @@ class SweepResult:
         #: the replica data because it is inherently wall-clock-bound
         #: and therefore nondeterministic.
         self.supervision = supervision
+        #: How dispatch actually went: which path ran ("serial",
+        #: "warm-pool", "serial-fallback", "supervised"), the probe
+        #: measurement and break-even that steered it, and whether a
+        #: warm pool was reused.  Wall-clock-bound like ``supervision``,
+        #: so kept apart from the replica data — tests assert on
+        #: ``dispatch["path"]``, never on the timings.
+        self.dispatch = dispatch or {}
         self._cache = {}
 
     def _cached(self, key, compute):
@@ -258,6 +333,7 @@ class SweepResult:
             "metrics_merged": self.merged_metrics(),
             "metrics_aggregate": self.aggregate_metrics(),
             "supervision": self.supervision,
+            "dispatch": self.dispatch,
         }
 
     def __repr__(self):
@@ -266,6 +342,51 @@ class SweepResult:
         return ("SweepResult(%r, %d replicas%s, mode=%s, %.2fs)"
                 % (self.spec, len(self.replicas), failed, self.mode,
                    self.wall_seconds))
+
+
+def _dispatch_warm_pool(spec, config, chunks, workers, record, dispatch):
+    """Run ``chunks`` on a warm pool, applying the lifecycle policy.
+
+    ``pool_warm=True`` (the default) acquires the process-wide shared
+    pool — reused across sweeps when (spec, base seed, workers) match —
+    and leaves it warm on success *and* after a replica-level
+    :class:`SweepWorkerError` (the workers are healthy; only the
+    replica failed).  Anything else escaping mid-dispatch (worker
+    death, ``KeyboardInterrupt``, a manifest write blowing up) leaves
+    chunks in flight, so the pool is terminated outright — no worker
+    process ever outlives a failed sweep.
+    """
+    from repro.sim.workerpool import (
+        WarmPool,
+        invalidate_shared_pool,
+        shared_pool,
+    )
+
+    if config.pool_warm:
+        pool, reused = shared_pool(spec, config.base_seed, config.workers)
+    else:
+        pool, reused = WarmPool(spec, config.base_seed, workers), False
+    dispatch["pool_reused"] = reused
+    try:
+        replicas = pool.run(chunks, on_replica=record)
+    except SweepWorkerError as exc:
+        if exc.pool_broken:
+            if config.pool_warm:
+                invalidate_shared_pool(pool)
+            else:
+                pool.terminate()
+        elif not config.pool_warm:
+            pool.close()
+        raise
+    except BaseException:
+        if config.pool_warm:
+            invalidate_shared_pool(pool)
+        else:
+            pool.terminate()
+        raise
+    if not config.pool_warm:
+        pool.close()
+    return replicas
 
 
 def run_sweep(spec, config=None, checkpoint_dir=None, resume=False,
@@ -352,6 +473,16 @@ def run_sweep(spec, config=None, checkpoint_dir=None, resume=False,
     started = time.perf_counter()
     failures = []
     supervision_report = None
+    dispatch = {
+        "requested_mode": config.mode,
+        "path": mode,
+        "pool_warm": config.pool_warm,
+        "pool_reused": False,
+        "fallback_enabled": config.fallback,
+        "probe_seconds": None,
+        "estimated_seconds": None,
+        "break_even_seconds": config.resolved_fallback_threshold(),
+    }
     if mode == "serial":
         replicas = [record(run_replica(spec, index, config.base_seed))
                     for index in pending]
@@ -373,44 +504,43 @@ def run_sweep(spec, config=None, checkpoint_dir=None, resume=False,
             supervision_report = outcome.report
             workers_used = outcome.report["workers"]
     else:
-        chunks = [(spec, config.base_seed, indices)
-                  for indices in shard_chunks(pending, chunk_size)]
-        # A fully-recorded resume has nothing pending: never spin up a
-        # pool (Pool(processes=0) is an error) just to do no work.
-        workers_used = min(config.workers, len(chunks)) or 1
+        dispatch["path"] = "warm-pool"
         replicas = []
-        if chunks:
-            context = multiprocessing.get_context(_START_METHOD)
-            # Stream the reduction: imap_unordered hands each chunk
-            # back the moment its worker finishes, so reduced replicas
-            # never queue up behind a straggler chunk the way
-            # pool.map()'s ordered, hold-everything result list does —
-            # and each replica is checkpointed as soon as it lands, so
-            # a crash loses at most the in-flight chunks.  Replica
-            # order is restored by the index sort below, so dispatch-
-            # completion order never leaks into the result.
-            pool = context.Pool(processes=workers_used)
-            try:
-                for chunk in pool.imap_unordered(_run_chunk, chunks):
-                    replicas.extend(record(replica) for replica in chunk)
-                pool.close()
-            except KeyboardInterrupt:
-                # Ctrl-C: workers may be mid-replica, so terminate
-                # rather than close-and-drain — but every replica that
-                # already streamed back went through record(), whose
-                # manifest writes are atomic and per-replica, so the
-                # checkpoint directory stays a valid resume point and
-                # loses at most the in-flight chunks.
-                pool.terminate()
-                raise
-            except BaseException:
-                pool.terminate()
-                raise
-            finally:
-                # join() requires close()/terminate() to have been
-                # called; every path above guarantees exactly that, so
-                # no worker process outlives the sweep.
-                pool.join()
+        workers_used = 1
+        rest = pending
+        if pending and (config.fallback or config.chunk_size is None):
+            # Cost probe: run the first pending replica in-process and
+            # time it.  The measurement steers adaptive chunk sizing
+            # and the serial fallback; the probe replica is a full,
+            # recorded result, so probing never duplicates work.
+            probe_started = time.perf_counter()
+            replicas.append(record(run_replica(spec, pending[0],
+                                               config.base_seed)))
+            probe = time.perf_counter() - probe_started
+            rest = pending[1:]
+            dispatch["probe_seconds"] = probe
+            dispatch["estimated_seconds"] = probe * len(rest)
+        if rest:
+            if config.fallback and should_fallback(
+                    len(rest), dispatch["probe_seconds"],
+                    config.resolved_fallback_threshold()):
+                # Below break-even: process dispatch would cost more
+                # than it buys.  Finish in-process — byte-identical,
+                # because both paths run the same run_replica from the
+                # same pure per-replica seeds.
+                dispatch["path"] = "serial-fallback"
+                replicas.extend(record(run_replica(spec, index,
+                                                   config.base_seed))
+                                for index in rest)
+            else:
+                if config.chunk_size is None:
+                    chunk_size = adaptive_chunk_size(
+                        len(rest), config.workers,
+                        dispatch["probe_seconds"])
+                chunks = shard_chunks(rest, chunk_size)
+                workers_used = min(config.workers, len(chunks)) or 1
+                replicas.extend(_dispatch_warm_pool(
+                    spec, config, chunks, workers_used, record, dispatch))
         replicas.sort(key=lambda replica: replica.index)
     failures = sorted(failures + carried_failures,
                       key=lambda failure: failure.index)
@@ -424,6 +554,7 @@ def run_sweep(spec, config=None, checkpoint_dir=None, resume=False,
         wall_seconds=time.perf_counter() - started,
         failures=failures,
         supervision=supervision_report,
+        dispatch=dispatch,
     )
     if completed:
         result.merge_replicas(completed.values())

@@ -1,4 +1,4 @@
-"""Property-based tests: the sweep engine's aggregation layer.
+"""Property-based tests: the sweep engine's aggregation and scheduling.
 
 The statistics the ensemble reports (mean/stddev/percentiles/CI) are
 what turns the paper's single-trajectory anecdotes into defensible
@@ -6,14 +6,37 @@ distributions, so they get invariant-level scrutiny: percentile
 monotonicity, mean bounded by the sample extremes, confidence intervals
 that shrink as replicas accumulate, and explicit empty/single-replica
 behaviour.
+
+The scheduling layer gets the same treatment: chunk assignment must
+dispatch every replica index exactly once under arbitrary chunking and
+supervisor-style re-splitting, the adaptive fallback decision must be a
+pure function of its inputs, the warm-pool row codec must round-trip
+arbitrary replica payloads exactly, and ``SweepResult.merge_replicas``
+must drop its memoised aggregates even when the merged rows came
+through the codec.
 """
 
 import math
+from collections import deque
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.ensemble import aggregate, percentile, summarize
+from repro.core.ensemble import (
+    ReplicaResult,
+    aggregate,
+    percentile,
+    replica_seed,
+    summarize,
+)
+from repro.sim.sweep import (
+    PARALLEL_BREAK_EVEN_SECONDS,
+    SweepResult,
+    adaptive_chunk_size,
+    shard_chunks,
+    should_fallback,
+)
+from repro.sim.workerpool import decode_replica_row, encode_replica_row
 
 finite = st.floats(min_value=-1e9, max_value=1e9,
                    allow_nan=False, allow_infinity=False)
@@ -136,3 +159,172 @@ def test_stddev_matches_the_textbook_formula(values):
     expected = math.sqrt(sum((v - mean) ** 2 for v in values)
                          / (len(values) - 1))
     assert stats["stddev"] == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+
+# -- scheduling: chunking, re-splitting, fallback, row codec -------------------
+
+#: Resume pending sets are arbitrary unique index lists — neither
+#: zero-based nor contiguous.
+index_sets = st.lists(st.integers(min_value=0, max_value=999),
+                      unique=True, min_size=1, max_size=40)
+
+
+@settings(max_examples=100, deadline=None)
+@given(indices=index_sets, chunk=st.integers(min_value=1, max_value=17))
+def test_chunking_dispatches_every_index_exactly_once(indices, chunk):
+    chunks = shard_chunks(indices, chunk)
+    assert [index for piece in chunks for index in piece] == indices
+    assert all(1 <= len(piece) <= chunk for piece in chunks)
+    # Chunk assignment is deterministic for a fixed config: same
+    # input, same sharding, every time.
+    assert chunks == shard_chunks(indices, chunk)
+
+
+@settings(max_examples=60, deadline=None)
+@given(indices=index_sets, chunk=st.integers(min_value=1, max_value=7),
+       attempts_allowed=st.integers(min_value=1, max_value=3),
+       data=st.data())
+def test_resplitting_preserves_exactly_once_completion(indices, chunk,
+                                                       attempts_allowed,
+                                                       data):
+    """Model of the supervisor's crash handling: a worker dying at an
+    arbitrary position inside a chunk completes the prefix, charges the
+    replica it was on one attempt (retried as a singleton chunk until
+    its attempts run out, then quarantined), and re-queues the
+    untouched tail as its own chunk.  Whatever crash schedule Hypothesis
+    picks, every index must end up completed or quarantined exactly
+    once."""
+    queue = deque(shard_chunks(indices, chunk))
+    attempts = {index: 0 for index in indices}
+    completed = []
+    quarantined = []
+    while queue:
+        current = queue.popleft()
+        crash_at = data.draw(
+            st.integers(min_value=0, max_value=len(current)),
+            label="crash position")
+        completed.extend(current[:crash_at])
+        if crash_at == len(current):
+            continue
+        poison = current[crash_at]
+        attempts[poison] += 1
+        tail = current[crash_at + 1:]
+        if tail:
+            queue.appendleft(tail)
+        if attempts[poison] >= attempts_allowed:
+            quarantined.append(poison)
+        else:
+            queue.append([poison])
+    assert sorted(completed + quarantined) == sorted(indices)
+    assert len(completed) + len(quarantined) == len(indices)
+
+
+@settings(max_examples=100, deadline=None)
+@given(replicas=st.integers(min_value=1, max_value=1000),
+       workers=st.integers(min_value=1, max_value=64),
+       probe=st.one_of(st.none(),
+                       st.floats(min_value=0.0, max_value=10.0,
+                                 allow_nan=False)))
+def test_adaptive_chunk_sizing_is_pure_and_covering(replicas, workers,
+                                                    probe):
+    size = adaptive_chunk_size(replicas, workers, probe)
+    assert size == adaptive_chunk_size(replicas, workers, probe)
+    # Never coarser than the classic four-chunks-per-worker spread,
+    # never below one.
+    assert 1 <= size <= max(1, math.ceil(replicas / (workers * 4)))
+    chunks = shard_chunks(range(replicas), size)
+    assert [index for piece in chunks
+            for index in piece] == list(range(replicas))
+
+
+@settings(max_examples=100, deadline=None)
+@given(replicas=st.integers(min_value=0, max_value=10_000),
+       probe=st.one_of(st.none(),
+                       st.floats(min_value=0.0, max_value=100.0,
+                                 allow_nan=False)),
+       threshold=st.floats(min_value=1e-6, max_value=100.0,
+                           allow_nan=False))
+def test_fallback_decision_is_a_pure_threshold_function(replicas, probe,
+                                                        threshold):
+    decision = should_fallback(replicas, probe, threshold)
+    assert decision == should_fallback(replicas, probe, threshold)
+    if probe is None:
+        assert decision is False
+    else:
+        assert decision == (replicas * probe < threshold)
+    # The default threshold is the documented break-even constant.
+    assert should_fallback(1, PARALLEL_BREAK_EVEN_SECONDS / 2.0) is True
+    assert should_fallback(replicas, None) is False
+
+
+json_scalar = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-2**53, max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False), st.text(max_size=20))
+
+measurement_maps = st.dictionaries(st.text(max_size=20), json_scalar,
+                                   max_size=8)
+
+metric_maps = st.dictionaries(
+    st.text(max_size=15),
+    st.dictionaries(st.text(max_size=10), json_scalar, max_size=4),
+    max_size=4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(index=st.integers(min_value=0, max_value=99_999),
+       base_seed=st.integers(min_value=0, max_value=1000),
+       measurements=measurement_maps, metrics=metric_maps,
+       digest=st.text(max_size=64),
+       trace_records=st.integers(min_value=0, max_value=2**40),
+       events=st.integers(min_value=0, max_value=2**40),
+       sim_seconds=st.floats(min_value=0.0, max_value=1e9,
+                             allow_nan=False),
+       wall_seconds=st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False))
+def test_replica_row_codec_round_trips_exactly(index, base_seed,
+                                               measurements, metrics,
+                                               digest, trace_records,
+                                               events, sim_seconds,
+                                               wall_seconds):
+    replica = ReplicaResult(
+        index=index, seed=replica_seed(base_seed, index),
+        measurements=measurements, trace_digest=digest,
+        trace_records=trace_records, events_dispatched=events,
+        sim_seconds=sim_seconds, wall_seconds=wall_seconds,
+        metrics=metrics)
+    decoded = decode_replica_row(encode_replica_row(replica), base_seed)
+    assert decoded.as_dict() == replica.as_dict()
+
+
+def _codec_replica(index, value, base_seed=5):
+    replica = ReplicaResult(
+        index=index, seed=replica_seed(base_seed, index),
+        measurements={"value": value}, trace_digest="digest-%04d" % index,
+        trace_records=1, events_dispatched=1, sim_seconds=1.0,
+        wall_seconds=0.0, metrics={})
+    # The merge must behave identically for rows that came home through
+    # the warm pool's binary codec, hence the round trip here.
+    return decode_replica_row(encode_replica_row(replica), base_seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(finite, min_size=2, max_size=12), data=st.data())
+def test_merge_replicas_cache_invalidation_survives_codec_rows(values,
+                                                               data):
+    cut = data.draw(st.integers(min_value=1, max_value=len(values) - 1),
+                    label="merge split")
+    replicas = [_codec_replica(index, value)
+                for index, value in enumerate(values)]
+    result = SweepResult(spec=None, mode="parallel", workers=2,
+                         chunk_size=1, base_seed=5,
+                         replicas=replicas[:cut], wall_seconds=0.0)
+    before = result.aggregate()
+    assert result.aggregate() is before
+    result.merge_replicas(replicas[cut:])
+    after = result.aggregate()
+    assert after is not before
+    assert after["value"]["n"] == len(values)
+    assert after == aggregate([replica.measurements
+                               for replica in replicas])
+    with pytest.raises(ValueError):
+        result.merge_replicas([replicas[0]])

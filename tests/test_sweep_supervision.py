@@ -292,7 +292,7 @@ def test_deadline_salvage_then_resume_completes_the_sweep(tmp_path):
 
 def test_keyboard_interrupt_flushes_manifest_and_kills_pool(tmp_path,
                                                             monkeypatch):
-    import multiprocessing.pool
+    from repro.sim.workerpool import WarmPool
 
     checkpoint = str(tmp_path / "sweep")
     config = SweepConfig(replicas=6, workers=2, mode="parallel",
@@ -308,14 +308,13 @@ def test_keyboard_interrupt_flushes_manifest_and_kills_pool(tmp_path,
 
     monkeypatch.setattr(SweepCheckpoint, "record", explode_on_third)
     terminated = []
-    original_terminate = multiprocessing.pool.Pool.terminate
+    original_terminate = WarmPool.terminate
 
     def spy_terminate(self):
         terminated.append(True)
         return original_terminate(self)
 
-    monkeypatch.setattr(multiprocessing.pool.Pool, "terminate",
-                        spy_terminate)
+    monkeypatch.setattr(WarmPool, "terminate", spy_terminate)
     with pytest.raises(KeyboardInterrupt):
         run_sweep(SPEC, config, checkpoint_dir=checkpoint)
     # The pool was torn down hard (no orphaned workers)...
